@@ -1,0 +1,77 @@
+"""Figure 14a — selection fragment at 10% selectivity.
+
+Fragment #40 returns the unfinished projects.  The original code
+fetches *all* projects through the ORM and filters in application code;
+the QBS version pushes the selection into the database and hydrates
+only the matching 10%.  Paper shape: the inferred version outperforms
+the original at every database size, in both lazy and eager modes, and
+the gap grows with size.
+"""
+
+import pytest
+
+from repro.bench.harness import measure_original, measure_transformed, sweep
+from repro.core.transform import TransformedFragment
+from repro.corpus.registry import WILOS_FRAGMENTS, run_fragment_through_qbs
+from repro.corpus.schema import create_wilos_database, populate_wilos
+from repro.corpus.wilos import make_wilos_service
+
+SIZES = [2_000, 10_000, 40_000]
+SELECTIVITY = 0.10
+
+
+@pytest.fixture(scope="module")
+def transformed(qbs):
+    cf = next(f for f in WILOS_FRAGMENTS if f.fragment_id == "w40")
+    result = run_fragment_through_qbs(cf, qbs)
+    assert result.translated
+    return TransformedFragment(result)
+
+
+def run_sweep(transformed, selectivity):
+    def run_one(n_users):
+        db = create_wilos_database()
+        populate_wilos(db, n_users, unfinished_fraction=selectivity)
+        out = []
+        for fetch in ("lazy", "eager"):
+            out.append(measure_original(
+                "original w40", n_users, make_wilos_service, db,
+                "w40_unfinished_projects", fetch))
+        out.append(measure_transformed("inferred w40", n_users,
+                                       transformed, db))
+        return out
+
+    return sweep(SIZES, run_one)
+
+
+def test_fig14a_selection_10pct(benchmark, transformed):
+    print("\nFig. 14a — selection, 10%% selectivity (inferred SQL: %s)"
+          % transformed.sql)
+    measurements = benchmark.pedantic(run_sweep, args=(transformed,
+                                                       SELECTIVITY),
+                                      rounds=1, iterations=1)
+    _assert_selection_shape(measurements)
+
+
+def _assert_selection_shape(measurements):
+    by_size = {}
+    for m in measurements:
+        key = "inferred" if m.fetch == "n/a" else m.fetch
+        by_size.setdefault(m.db_size, {})[key] = m
+    for size, bucket in by_size.items():
+        # Inferred beats both original modes at every size.
+        assert bucket["inferred"].seconds < bucket["lazy"].seconds
+        assert bucket["inferred"].seconds < bucket["eager"].seconds
+        # Eager hydration costs at least as much as lazy (paper curves).
+        assert bucket["eager"].seconds >= bucket["lazy"].seconds * 0.8
+        # The inferred version hydrates only the selected fraction.
+        assert bucket["inferred"].rows_returned \
+            < bucket["lazy"].objects_hydrated
+    sizes = sorted(by_size)
+    small = by_size[sizes[0]]
+    large = by_size[sizes[-1]]
+    gap_small = small["lazy"].seconds / small["inferred"].seconds
+    gap_large = large["lazy"].seconds / large["inferred"].seconds
+    print("  speedup @%d: %.1fx   @%d: %.1fx"
+          % (sizes[0], gap_small, sizes[-1], gap_large))
+    assert gap_large > 1.0

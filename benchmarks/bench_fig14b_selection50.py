@@ -1,0 +1,35 @@
+"""Figure 14b — selection fragment at 50% selectivity.
+
+Same fragment as Fig. 14a with half the projects unfinished.  Paper
+shape: the inferred version still wins everywhere, but the gap over the
+lazy original narrows relative to the 10% case because more rows must
+be transferred and hydrated either way.
+"""
+
+import pytest
+
+from benchmarks.bench_fig14a_selection10 import (
+    SIZES,
+    _assert_selection_shape,
+    run_sweep,
+)
+from repro.core.transform import TransformedFragment
+from repro.corpus.registry import WILOS_FRAGMENTS, run_fragment_through_qbs
+
+SELECTIVITY = 0.50
+
+
+@pytest.fixture(scope="module")
+def transformed(qbs):
+    cf = next(f for f in WILOS_FRAGMENTS if f.fragment_id == "w40")
+    result = run_fragment_through_qbs(cf, qbs)
+    assert result.translated
+    return TransformedFragment(result)
+
+
+def test_fig14b_selection_50pct(benchmark, transformed):
+    print("\nFig. 14b — selection, 50% selectivity")
+    measurements = benchmark.pedantic(run_sweep, args=(transformed,
+                                                       SELECTIVITY),
+                                      rounds=1, iterations=1)
+    _assert_selection_shape(measurements)

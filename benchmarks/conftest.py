@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark suite."""
+
+import pytest
+
+from repro.core.qbs import QBS
+from repro.corpus.registry import (
+    ALL_FRAGMENTS,
+    run_fragment_through_qbs,
+)
+
+
+@pytest.fixture(scope="session")
+def qbs():
+    return QBS()
+
+
+@pytest.fixture(scope="session")
+def corpus_results(qbs):
+    """QBS outcomes for every corpus fragment, computed once."""
+    return {cf.fragment_id: run_fragment_through_qbs(cf, qbs)
+            for cf in ALL_FRAGMENTS}

@@ -1,0 +1,52 @@
+"""Performance comparison: a compact Fig. 14 reproduction.
+
+Sweeps database sizes for the three representative fragments the paper
+benchmarks — selection (#40), join (#46) and aggregation (#38) — and
+prints original-vs-inferred page load times under lazy and eager
+association fetching.
+
+Run:  python examples/performance_comparison.py
+"""
+
+from repro.bench.harness import measure_original, measure_transformed
+from repro.core.qbs import QBS
+from repro.core.transform import TransformedFragment
+from repro.corpus.registry import WILOS_FRAGMENTS, run_fragment_through_qbs
+from repro.corpus.schema import create_wilos_database, populate_wilos
+from repro.corpus.wilos import make_wilos_service
+
+EXPERIMENTS = [
+    ("Fig 14a selection 10%", "w40", "w40_unfinished_projects",
+     dict(unfinished_fraction=0.1), [2_000, 8_000]),
+    ("Fig 14c join", "w46", "w46_get_role_users",
+     dict(n_roles=None), [100, 400]),
+    ("Fig 14d aggregation", "w38", "w38_count_process_managers",
+     dict(manager_fraction=0.1), [2_000, 8_000]),
+]
+
+
+def main() -> None:
+    qbs = QBS()
+    for title, fragment_id, method, populate_kwargs, sizes in EXPERIMENTS:
+        corpus_fragment = next(f for f in WILOS_FRAGMENTS
+                               if f.fragment_id == fragment_id)
+        result = run_fragment_through_qbs(corpus_fragment, qbs)
+        transformed = TransformedFragment(result)
+        print("\n%s" % title)
+        print("  inferred SQL: %s" % transformed.sql)
+        for n in sizes:
+            db = create_wilos_database()
+            kwargs = dict(populate_kwargs)
+            if kwargs.get("n_roles", "missing") is None:
+                kwargs["n_roles"] = n
+            populate_wilos(db, n_users=n, **kwargs)
+            for fetch in ("lazy", "eager"):
+                print("  " + measure_original(
+                    "original", n, make_wilos_service, db, method,
+                    fetch).row())
+            print("  " + measure_transformed("inferred", n, transformed,
+                                             db).row())
+
+
+if __name__ == "__main__":
+    main()

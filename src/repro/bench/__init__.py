@@ -1,0 +1,21 @@
+"""Shared benchmark harness utilities.
+
+Provides the "page load" measurement model of paper Sec. 7.2: the time
+to run one fragment end-to-end — SQL execution, ORM hydration and
+application-side logic — for the original code and for the
+QBS-transformed query, under lazy and eager association fetching.
+"""
+
+from repro.bench.harness import (
+    PageLoadMeasurement,
+    measure_original,
+    measure_transformed,
+    sweep,
+)
+
+__all__ = [
+    "PageLoadMeasurement",
+    "measure_original",
+    "measure_transformed",
+    "sweep",
+]

@@ -1,0 +1,111 @@
+"""Timing harness for the Fig. 14 performance comparisons.
+
+The paper measures "webpage load time": the full cost of producing a
+page whose content comes from one code fragment.  Here that is the
+wall-clock time of executing the fragment — the original version runs
+its ORM fetches (hydrating every retrieved row into an entity object,
+optionally resolving associations eagerly) and its application-side
+loops; the QBS version runs the inferred SQL and hydrates only the
+returned rows.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.transform import TransformedFragment
+from repro.sql.database import Database
+
+
+@dataclass
+class PageLoadMeasurement:
+    """One measured configuration."""
+
+    label: str
+    db_size: int
+    fetch: str                  # lazy | eager | n/a (transformed)
+    seconds: float
+    rows_returned: int
+    objects_hydrated: int = 0
+    queries_issued: int = 0
+
+    def row(self) -> str:
+        return "%-22s n=%-8d %-6s %10.1f ms  rows=%-8d objs=%-8d q=%d" % (
+            self.label, self.db_size, self.fetch, self.seconds * 1e3,
+            self.rows_returned, self.objects_hydrated, self.queries_issued)
+
+
+def measure_original(label: str, db_size: int, make_service: Callable,
+                     db: Database, method: str, fetch: str,
+                     args: tuple = (), repeats: int = 1
+                     ) -> PageLoadMeasurement:
+    """Time the original fragment through the ORM."""
+    best = None
+    rows = 0
+    service = None
+    for _ in range(max(1, repeats)):
+        service = make_service(db, fetch=fetch)
+        start = time.perf_counter()
+        result = getattr(service, method)(*args)
+        elapsed = time.perf_counter() - start
+        rows = _result_size(result)
+        best = elapsed if best is None else min(best, elapsed)
+    session = service.session
+    return PageLoadMeasurement(
+        label=label, db_size=db_size, fetch=fetch, seconds=best,
+        rows_returned=rows, objects_hydrated=session.objects_hydrated,
+        queries_issued=session.queries_issued)
+
+
+def measure_transformed(label: str, db_size: int,
+                        transformed: TransformedFragment, db: Database,
+                        params: Optional[Dict[str, Any]] = None,
+                        repeats: int = 1) -> PageLoadMeasurement:
+    """Time the QBS-inferred query."""
+    best = None
+    rows = 0
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = transformed.execute(db, params)
+        elapsed = time.perf_counter() - start
+        rows = _result_size(result)
+        best = elapsed if best is None else min(best, elapsed)
+    return PageLoadMeasurement(
+        label=label, db_size=db_size, fetch="n/a", seconds=best,
+        rows_returned=rows,
+        objects_hydrated=rows if isinstance(rows, int) else 0,
+        queries_issued=1)
+
+
+def _result_size(result: Any) -> int:
+    if isinstance(result, (list, tuple, set)):
+        return len(result)
+    return 1
+
+
+def sweep(sizes: List[int], run_one: Callable[[int], List[PageLoadMeasurement]]
+          ) -> List[PageLoadMeasurement]:
+    """Run one figure's sweep, printing rows as they complete."""
+    out: List[PageLoadMeasurement] = []
+    for size in sizes:
+        for measurement in run_one(size):
+            print("  " + measurement.row())
+            out.append(measurement)
+    return out
+
+
+def speedup_table(measurements: List[PageLoadMeasurement]) -> Dict[int, float]:
+    """original(lazy) / inferred time per database size."""
+    by_size: Dict[int, Dict[str, float]] = {}
+    for m in measurements:
+        bucket = by_size.setdefault(m.db_size, {})
+        key = "inferred" if m.fetch == "n/a" else "original_%s" % m.fetch
+        bucket.setdefault(key, m.seconds)
+    out: Dict[int, float] = {}
+    for size, bucket in by_size.items():
+        if "inferred" in bucket and "original_lazy" in bucket \
+                and bucket["inferred"] > 0:
+            out[size] = bucket["original_lazy"] / bucket["inferred"]
+    return out

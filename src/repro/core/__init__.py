@@ -1,0 +1,32 @@
+"""The QBS algorithm: query inference by invariant/postcondition synthesis.
+
+The pipeline (paper Fig. 5, Secs. 4–5) is:
+
+1. :mod:`repro.core.vcgen` — compute Hoare-style verification conditions
+   for a kernel fragment, with the loop invariants and the postcondition
+   left as *unknown predicates* (Sec. 4.1, Fig. 11).
+2. :mod:`repro.core.templates` — scan the fragment and build the space
+   of candidate invariants/postconditions in the theory of ordered
+   relations, widened incrementally and with symmetries broken
+   (Secs. 4.3–4.5, Fig. 10).
+3. :mod:`repro.core.synthesizer` — search that space: dynamic trace
+   filtering, a Houdini-style inductive pruning pass, and CEGIS-style
+   bounded checking against the VCs (Sec. 4.2).
+4. :mod:`repro.core.prover` — formally validate the winning candidate by
+   equational/inductive reasoning over the TOR axioms (Sec. 5; the
+   paper uses Z3, which is unavailable offline — see DESIGN.md).
+5. :mod:`repro.core.qbs` — the driver that ties the stages together and
+   emits SQL through :mod:`repro.tor.sqlgen`.
+"""
+
+__all__ = ["QBS", "QBSResult", "QBSStatus"]
+
+
+def __getattr__(name):
+    # Lazy import: the driver pulls in every stage; submodules such as
+    # vcgen must stay importable on their own.
+    if name in __all__:
+        from repro.core import qbs
+
+        return getattr(qbs, name)
+    raise AttributeError(name)

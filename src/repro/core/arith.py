@@ -1,0 +1,300 @@
+"""A small linear-arithmetic entailment engine for the TOR prover.
+
+The verification conditions' scalar obligations are linear facts over a
+handful of *atoms* — loop counters, ``size(...)`` terms, aggregate terms
+and record-field reads treated as opaque variables.  Examples from the
+running example's proof:
+
+    facts   i >= 0,  i <= size(users),  not (i < size(users))
+    goal    i = size(users)                     (to collapse top_i)
+
+    facts   i < size(users)
+    goal    i + 1 <= size(users)                (integer reasoning)
+
+This module implements Fourier-Motzkin elimination over rational
+coefficients with strict/non-strict constraints.  Integer-typed atoms
+(counters and ``size`` terms) get the usual tightening
+``a < b  ==>  a + 1 <= b``; other atoms (field values, aggregates of
+unknown type) keep real semantics, which is sound for the mixed goals
+the prover asks about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.tor import ast as T
+
+#: Atom — any non-linear scalar TOR expression, used as an FM variable.
+Atom = T.TorNode
+
+
+@dataclass
+class LinExpr:
+    """A linear expression: ``sum(coef * atom) + const``."""
+
+    terms: Dict[Atom, Fraction] = field(default_factory=dict)
+    const: Fraction = Fraction(0)
+
+    def __add__(self, other: "LinExpr") -> "LinExpr":
+        terms = dict(self.terms)
+        for atom, coef in other.terms.items():
+            terms[atom] = terms.get(atom, Fraction(0)) + coef
+            if terms[atom] == 0:
+                del terms[atom]
+        return LinExpr(terms, self.const + other.const)
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({a: -c for a, c in self.terms.items()}, -self.const)
+
+    def __sub__(self, other: "LinExpr") -> "LinExpr":
+        return self + (-other)
+
+    def scale(self, factor: Fraction) -> "LinExpr":
+        if factor == 0:
+            return LinExpr()
+        return LinExpr({a: c * factor for a, c in self.terms.items()},
+                       self.const * factor)
+
+    def shift(self, delta) -> "LinExpr":
+        return LinExpr(dict(self.terms), self.const + Fraction(delta))
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    def atoms(self) -> Set[Atom]:
+        return set(self.terms)
+
+
+def linearize(expr: T.TorNode) -> LinExpr:
+    """Convert a scalar TOR expression into a :class:`LinExpr`.
+
+    Numeric constants become the constant part; ``+``/``-`` and
+    multiplication by a constant distribute; anything else is an opaque
+    atom with coefficient one.
+    """
+    if isinstance(expr, T.Const) and isinstance(expr.value, (int, float)) \
+            and not isinstance(expr.value, bool):
+        if expr.value in (float("inf"), float("-inf")):
+            return LinExpr({expr: Fraction(1)})
+        return LinExpr({}, Fraction(expr.value))
+    if isinstance(expr, T.BinOp) and expr.op == "+":
+        return linearize(expr.left) + linearize(expr.right)
+    if isinstance(expr, T.BinOp) and expr.op == "-":
+        return linearize(expr.left) - linearize(expr.right)
+    if isinstance(expr, T.BinOp) and expr.op == "*":
+        left, right = linearize(expr.left), linearize(expr.right)
+        if left.is_constant:
+            return right.scale(left.const)
+        if right.is_constant:
+            return left.scale(right.const)
+    return LinExpr({expr: Fraction(1)})
+
+
+def delinearize(lin: LinExpr) -> T.TorNode:
+    """Rebuild a canonical TOR expression from a linear form.
+
+    Used by the rewrite engine to normalise scalar sub-expressions:
+    ``(i + 1) - 1`` round-trips to ``i``.
+    """
+    parts: List[T.TorNode] = []
+    for atom in sorted(lin.terms, key=repr):
+        coef = lin.terms[atom]
+        if coef == 1:
+            parts.append(atom)
+        else:
+            value = int(coef) if coef.denominator == 1 else float(coef)
+            parts.append(T.BinOp("*", T.Const(value), atom))
+    if lin.const != 0 or not parts:
+        value = int(lin.const) if lin.const.denominator == 1 else float(lin.const)
+        parts.append(T.Const(value))
+    out = parts[0]
+    for part in parts[1:]:
+        out = T.BinOp("+", out, part)
+    return out
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``lin >= 0`` (non-strict) or ``lin > 0`` (strict)."""
+
+    lin: LinExpr
+    strict: bool = False
+
+
+def _is_int_atom(atom: Atom, int_vars: Set[str]) -> bool:
+    """Integer-typed atoms: sizes are cardinalities; counters are ints."""
+    if isinstance(atom, T.Size):
+        return True
+    if isinstance(atom, T.Var):
+        return atom.name in int_vars
+    return False
+
+
+class FactSet:
+    """Accumulated arithmetic facts with entailment queries.
+
+    Facts are added as comparison TOR expressions; queries ask whether a
+    comparison is entailed.  ``size(...) >= 0`` is assumed implicitly
+    for every ``size`` atom that appears anywhere in the system.
+    """
+
+    def __init__(self, int_vars: Optional[Set[str]] = None):
+        self.constraints: List[Constraint] = []
+        self.int_vars: Set[str] = set(int_vars or ())
+        self._contradictory = False
+
+    def copy(self) -> "FactSet":
+        out = FactSet(self.int_vars)
+        out.constraints = list(self.constraints)
+        out._contradictory = self._contradictory
+        return out
+
+    # -- fact ingestion ------------------------------------------------------
+
+    def add_comparison(self, op: str, left: T.TorNode, right: T.TorNode) -> None:
+        """Record ``left op right`` as a fact."""
+        l, r = linearize(left), linearize(right)
+        if op == "=":
+            self.constraints.append(Constraint(r - l, strict=False))
+            self.constraints.append(Constraint(l - r, strict=False))
+        elif op == "!=":
+            pass  # disequalities are kept by the prover's boolean store
+        elif op == "<":
+            self._add_strict(r - l)
+        elif op == ">":
+            self._add_strict(l - r)
+        elif op == "<=":
+            self.constraints.append(Constraint(r - l, strict=False))
+        elif op == ">=":
+            self.constraints.append(Constraint(l - r, strict=False))
+        else:
+            raise ValueError("not a comparison operator: %r" % op)
+
+    def _add_strict(self, lin: LinExpr) -> None:
+        # Integer tightening: over integer atoms, lin > 0 means lin >= 1.
+        if all(_is_int_atom(a, self.int_vars) for a in lin.atoms()):
+            self.constraints.append(Constraint(lin.shift(-1), strict=False))
+        else:
+            self.constraints.append(Constraint(lin, strict=True))
+
+    def known_int_constants(self) -> List[int]:
+        """Integer constants mentioned by any constraint.
+
+        Used by the prover to canonicalise scalar terms that the facts
+        pin to a constant value (``i >= 10`` with ``i <= 10``).
+        """
+        out: List[int] = []
+        for con in self.constraints:
+            value = con.lin.const
+            for candidate in (value, -value, value + 1, -(value + 1),
+                              value - 1):
+                if candidate.denominator == 1:
+                    ivalue = int(candidate)
+                    if 0 <= ivalue <= 1_000_000 and ivalue not in out:
+                        out.append(ivalue)
+        return out
+
+    # -- entailment ------------------------------------------------------------
+
+    def entails(self, op: str, left: T.TorNode, right: T.TorNode) -> bool:
+        """Is ``left op right`` entailed by the facts?"""
+        l, r = linearize(left), linearize(right)
+        if op == "=":
+            return (self._entails_geq(r - l, strict=False)
+                    and self._entails_geq(l - r, strict=False))
+        if op == "<":
+            return self._entails_geq(r - l, strict=True)
+        if op == ">":
+            return self._entails_geq(l - r, strict=True)
+        if op == "<=":
+            return self._entails_geq(r - l, strict=False)
+        if op == ">=":
+            return self._entails_geq(l - r, strict=False)
+        if op == "!=":
+            return (self._entails_geq(r - l, strict=True)
+                    or self._entails_geq(l - r, strict=True))
+        raise ValueError("not a comparison operator: %r" % op)
+
+    def refutes(self, op: str, left: T.TorNode, right: T.TorNode) -> bool:
+        """Is the *negation* of ``left op right`` entailed?"""
+        negated = {"=": "!=", "!=": "=", "<": ">=", ">=": "<",
+                   ">": "<=", "<=": ">"}[op]
+        return self.entails(negated, left, right)
+
+    def _entails_geq(self, lin: LinExpr, strict: bool) -> bool:
+        """Facts entail ``lin >= 0`` (or ``> 0`` when strict)?
+
+        Checked by refutation: add the negation and test feasibility via
+        Fourier-Motzkin.  Negation of ``lin >= 0`` is ``-lin > 0``;
+        negation of ``lin > 0`` is ``-lin >= 0`` (with integer
+        tightening when applicable).
+        """
+        system = list(self.constraints)
+        neg = -lin
+        if strict:
+            system.append(Constraint(neg, strict=False))
+        else:
+            if all(_is_int_atom(a, self.int_vars) for a in neg.atoms()):
+                system.append(Constraint(neg.shift(-1), strict=False))
+            else:
+                system.append(Constraint(neg, strict=True))
+        # Implicit size(...) >= 0 facts.
+        seen_atoms: Set[Atom] = set()
+        for con in system:
+            seen_atoms |= con.lin.atoms()
+        for atom in seen_atoms:
+            if isinstance(atom, T.Size):
+                self._ensure_size_nonneg(system, atom)
+        return not _feasible(system)
+
+    @staticmethod
+    def _ensure_size_nonneg(system: List[Constraint], atom: Atom) -> None:
+        system.append(Constraint(LinExpr({atom: Fraction(1)}), strict=False))
+
+
+def _feasible(system: List[Constraint]) -> bool:
+    """Fourier-Motzkin feasibility over the rationals.
+
+    Sound and complete for rational systems; the integer tightening
+    applied at ingestion recovers the integer consequences the prover
+    needs.  Systems here are tiny (a dozen constraints, a handful of
+    atoms), so the potential doubling per elimination is irrelevant.
+    """
+    constraints = list(system)
+    while True:
+        atoms: Set[Atom] = set()
+        for con in constraints:
+            atoms |= con.lin.atoms()
+        if not atoms:
+            break
+        atom = sorted(atoms, key=repr)[0]
+        upper: List[Constraint] = []  # coef < 0  ->  atom <= .../-coef
+        lower: List[Constraint] = []  # coef > 0  ->  atom >= ...
+        rest: List[Constraint] = []
+        for con in constraints:
+            coef = con.lin.terms.get(atom, Fraction(0))
+            if coef > 0:
+                lower.append(con)
+            elif coef < 0:
+                upper.append(con)
+            else:
+                rest.append(con)
+        for lo in lower:
+            for hi in upper:
+                lo_coef = lo.lin.terms[atom]
+                hi_coef = -hi.lin.terms[atom]
+                combined = lo.lin.scale(hi_coef) + hi.lin.scale(lo_coef)
+                combined.terms.pop(atom, None)
+                rest.append(Constraint(combined,
+                                       strict=lo.strict or hi.strict))
+        constraints = rest
+    for con in constraints:
+        if con.strict and con.lin.const <= 0:
+            return False
+        if not con.strict and con.lin.const < 0:
+            return False
+    return True

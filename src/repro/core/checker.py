@@ -1,0 +1,284 @@
+"""Bounded checking of verification conditions against candidate predicates.
+
+This is the reproduction's stand-in for Sketch's bounded model checking
+(paper Sec. 4.2): every VC is tested over all program states reachable
+within a world suite — database tables up to the size bound, loop
+counters over their full index ranges, and loop-modified variables
+*derived* from the candidate invariant's equality clauses.
+
+Derivation is the key trick.  A candidate invariant has the shape
+
+    i <= size(users) and listUsers = pi(join(top(users, i), roles))
+
+so rather than enumerating every possible value of ``listUsers`` (an
+astronomically large space), the checker enumerates only the base
+variables (``users``, ``roles`` from the world; ``i``, ``j`` over index
+ranges) and computes ``listUsers`` from its defining expression.  States
+that violate the invariant's comparison clauses are skipped — they make
+the VC's hypothesis false, so the implication holds vacuously.
+
+A returned :class:`Counterexample` records the world and base
+environment that falsified a VC; the synthesizer keeps these in a CEGIS
+cache and tries them first against subsequent candidates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.logic import (
+    And,
+    Assignment,
+    Bool,
+    Formula,
+    Implies,
+    NotF,
+    Or,
+    PredApp,
+    formula_pred_apps,
+)
+from repro.core.vcgen import VC, VCSet
+from repro.core.worlds import World
+from repro.kernel import ast as K
+from repro.tor import ast as T
+from repro.tor.semantics import EvalError, evaluate
+
+
+@dataclass
+class Counterexample:
+    """A VC falsification: which VC failed, in which state."""
+
+    vc_name: str
+    world: World
+    env: Dict[str, Any]
+
+    def __str__(self) -> str:
+        bindings = ", ".join("%s=%r" % (k, v) for k, v in sorted(
+            self.env.items(), key=lambda kv: kv[0]))
+        return "%s falsified at {%s}" % (self.vc_name, bindings)
+
+
+class UnpinnedVariableError(Exception):
+    """A loop-modified relation variable has no defining equality.
+
+    Such a candidate can never discharge its VCs — the conclusion would
+    have to hold for *arbitrary* values of the variable — so the checker
+    rejects it outright instead of searching for a counterexample.
+    """
+
+
+def _formula_vars(formula: Formula) -> set:
+    if isinstance(formula, Bool):
+        return T.free_vars(formula.expr)
+    if isinstance(formula, (And, Or)):
+        out = set()
+        for part in formula.parts:
+            out |= _formula_vars(part)
+        return out
+    if isinstance(formula, NotF):
+        return _formula_vars(formula.part)
+    if isinstance(formula, Implies):
+        return _formula_vars(formula.antecedent) | _formula_vars(formula.consequent)
+    if isinstance(formula, PredApp):
+        out = set()
+        for arg in formula.args:
+            out |= T.free_vars(arg)
+        return out
+    raise TypeError(formula)
+
+
+def _clause_expr(clause) -> T.TorNode:
+    return clause.expr
+
+
+def eval_formula(formula: Formula, env: Dict[str, Any], db,
+                 assignment: Assignment) -> bool:
+    """Evaluate a VC formula under a full concrete environment."""
+    if isinstance(formula, Bool):
+        return bool(evaluate(formula.expr, env, db))
+    if isinstance(formula, And):
+        return all(eval_formula(p, env, db, assignment) for p in formula.parts)
+    if isinstance(formula, Or):
+        return any(eval_formula(p, env, db, assignment) for p in formula.parts)
+    if isinstance(formula, NotF):
+        return not eval_formula(formula.part, env, db, assignment)
+    if isinstance(formula, Implies):
+        if not eval_formula(formula.antecedent, env, db, assignment):
+            return True
+        return eval_formula(formula.consequent, env, db, assignment)
+    if isinstance(formula, PredApp):
+        predicate = assignment[formula.name]
+        values = {param: evaluate(arg, env, db)
+                  for param, arg in zip(formula.params, formula.args)}
+        return predicate.holds_env(values, db)
+    raise TypeError(formula)
+
+
+class BoundedChecker:
+    """Check a candidate assignment against every VC over a world suite."""
+
+    def __init__(self, vcset: VCSet, worlds: List[World]):
+        self.vcset = vcset
+        self.worlds = worlds
+        self.fragment = vcset.fragment
+        # Loop-free derived relations (records := sort_id(Query(...)))
+        # are computed from their symbolic definitions per world rather
+        # than enumerated.
+        from repro.core.templates import exit_definitions
+
+        self._exit_defs = {
+            name: expr for name, expr in exit_definitions(
+                self.fragment).items()
+            if not isinstance(expr, T.Var)}
+        # CEGIS cache: states that falsified earlier candidates, tried
+        # first for each new candidate.
+        self._cache: List[Tuple[VC, World, Dict[str, Any]]] = []
+
+    # -- state enumeration --------------------------------------------------
+
+    def _classify_free_vars(self, vc: VC, assignment: Assignment
+                            ) -> Tuple[List[str], List[str]]:
+        """Split a VC's free variables into enumerable and derived sets.
+
+        Derived variables are pinned by an equality clause of a
+        hypothesis predicate application; enumerable variables are
+        everything else that the world does not already fix.
+        """
+        free = set()
+        for hyp in vc.hypotheses:
+            free |= _formula_vars(hyp)
+        free |= _formula_vars(vc.conclusion)
+
+        pinned = set()
+        for hyp in vc.hypotheses:
+            for app in formula_pred_apps(hyp):
+                predicate = assignment[app.name]
+                for param in predicate.pinned_params():
+                    arg = app.arg_for(param)
+                    if isinstance(arg, T.Var):
+                        pinned.add(arg.name)
+
+        # Variables the VC actually *reads*: conclusion plus boolean
+        # hypothesis parts plus the defining expressions of pinned
+        # variables.  An unconstrained relation that appears only as an
+        # unused hypothesis argument is benign — any placeholder value
+        # satisfies the VC vacuously.
+        needed = _formula_vars(vc.conclusion)
+        for hyp in vc.hypotheses:
+            if not isinstance(hyp, PredApp):
+                needed |= _formula_vars(hyp)
+            else:
+                predicate = assignment[hyp.name]
+                for clause in predicate.clauses:
+                    needed |= {p for p in T.free_vars(_clause_expr(clause))
+                               if p in hyp.params}
+                    if hasattr(clause, "var"):
+                        needed.add(clause.var)
+
+        enumerable: List[str] = []
+        derived: List[str] = []
+        for name in sorted(free):
+            info = self.fragment.var_info(name)
+            if name in pinned:
+                derived.append(name)
+            elif name in self.fragment.inputs:
+                continue  # provided by the world
+            elif info is not None and info.kind == "relation":
+                if info.table is None:
+                    if name in self._exit_defs:
+                        continue  # computed from its symbolic definition
+                    if name in needed:
+                        raise UnpinnedVariableError(name)
+                    continue  # benign: placeholder assigned in _base_envs
+                continue  # provided by the world's table
+            else:
+                enumerable.append(name)
+        return enumerable, derived
+
+    def _base_envs(self, vc: VC, world: World, assignment: Assignment
+                   ) -> Iterable[Dict[str, Any]]:
+        """Yield base environments (enumerables assigned, pins underived)."""
+        enumerable, _ = self._classify_free_vars(vc, assignment)
+        base: Dict[str, Any] = dict(world.inputs)
+        for name, info in self.fragment.all_vars().items():
+            if info.kind == "relation" and info.table is not None:
+                if info.table in world.tables:
+                    base[name] = world.tables[info.table]
+        for name, expr in self._exit_defs.items():
+            info = self.fragment.var_info(name)
+            if info is not None and info.kind == "relation" \
+                    and name not in base:
+                try:
+                    base[name] = evaluate(expr, base, world.db)
+                except EvalError:
+                    return  # definition outside this world's domain
+        for name, info in self.fragment.all_vars().items():
+            if info.kind == "relation":
+                # Placeholder for benign unconstrained relations.
+                base.setdefault(name, ())
+        bound = world.max_table_size() + 1
+        domains = [range(0, bound + 1) for _ in enumerable]
+        for values in itertools.product(*domains):
+            env = dict(base)
+            env.update(zip(enumerable, values))
+            yield env
+
+    # -- checking -----------------------------------------------------------
+
+    def _check_state(self, vc: VC, world: World, env: Dict[str, Any],
+                     assignment: Assignment) -> Optional[Counterexample]:
+        """Check one VC in one state; None means no violation here."""
+        db = world.db
+        full_env = dict(env)
+
+        # Derive pinned variables from hypothesis equality clauses, then
+        # test the hypotheses (comparison clauses and guards).
+        try:
+            for hyp in vc.hypotheses:
+                for app in formula_pred_apps(hyp):
+                    predicate = assignment[app.name]
+                    # Parameters map 1:1 onto plain Var args in hypothesis
+                    # position; evaluate the defining expressions.
+                    bound_env = {p: full_env[a.name]
+                                 for p, a in zip(app.params, app.args)
+                                 if isinstance(a, T.Var) and a.name in full_env}
+                    derived = predicate.derive(bound_env, db)
+                    for param, arg in zip(app.params, app.args):
+                        if isinstance(arg, T.Var) and param in derived:
+                            full_env[arg.name] = derived[param]
+            for hyp in vc.hypotheses:
+                if not eval_formula(hyp, full_env, db, assignment):
+                    return None  # hypothesis false: vacuously true
+        except EvalError:
+            return None  # hypothesis out of the axioms' domain: skip
+
+        try:
+            if eval_formula(vc.conclusion, full_env, db, assignment):
+                return None
+        except EvalError:
+            pass  # conclusion undefined while hypotheses hold: a violation
+        return Counterexample(vc_name=vc.name, world=world, env=env)
+
+    def check(self, assignment: Assignment) -> Optional[Counterexample]:
+        """Bounded-check every VC; return the first counterexample found."""
+        try:
+            # CEGIS: replay cached killer states first.
+            for vc, world, env in self._cache:
+                cex = self._check_state(vc, world, env, assignment)
+                if cex is not None:
+                    return cex
+            for vc in self.vcset.vcs:
+                for world in self.worlds:
+                    for env in self._base_envs(vc, world, assignment):
+                        cex = self._check_state(vc, world, env, assignment)
+                        if cex is not None:
+                            self._cache.append((vc, world, dict(env)))
+                            return cex
+        except UnpinnedVariableError as exc:
+            return Counterexample(
+                vc_name="unpinned relation variable %s" % exc,
+                world=self.worlds[0] if self.worlds else World(tables={}),
+                env={})
+        return None

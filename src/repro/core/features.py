@@ -1,0 +1,356 @@
+"""Feature extraction: how a fragment updates its accumulators.
+
+Template generation (paper Sec. 4.3) "scans the input code fragment for
+specific patterns".  This module performs that scan, producing:
+
+* :class:`Update` — one accumulating assignment (append / set-add /
+  counter increment / running sum / flag set / max-min tracking) with
+  the path condition guarding it;
+* *atoms* — the selection and join predicates mentioned by guards,
+  classified relative to the loops' scan variables (``get(users, i).f``
+  is field ``f`` of the relation scanned by the loop with counter
+  ``i``);
+* element shapes — which projection a loop body applies to scanned rows
+  before accumulating them.
+
+Everything here is purely syntactic; the synthesizer decides what to do
+with the facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.kernel import ast as K
+from repro.kernel.analysis import LoopInfo, analyze_loops
+from repro.tor import ast as T
+
+#: Negation of each predicate operator, for `else`-branch guard atoms.
+NEGATED_OP = {"=": "!=", "!=": "=", "<": ">=", ">=": "<", ">": "<=", "<=": ">"}
+
+
+@dataclass(frozen=True)
+class ScanRef:
+    """A reference to the current row of a scanning loop.
+
+    ``rel_var`` is the relation variable being scanned, ``counter`` the
+    loop counter, ``field`` the accessed field (``None`` for the whole
+    row).
+    """
+
+    rel_var: str
+    counter: str
+    field: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SelAtom:
+    """A selection predicate on one scanned relation's rows."""
+
+    rel_var: str
+    pred: T.SelectPred
+
+
+@dataclass(frozen=True)
+class JoinAtom:
+    """A join predicate between two scanned relations' rows.
+
+    ``left_var`` belongs to the outer loop, ``right_var`` to the inner
+    one, matching the left-major order of the TOR join.
+    """
+
+    left_var: str
+    right_var: str
+    pred: T.JoinFieldCmp
+
+
+@dataclass(frozen=True)
+class ContainsAtom:
+    """A ``contains(e, rel)`` guard: scanned rows filtered by membership."""
+
+    rel_var: str            # the scanned relation being filtered
+    field: Optional[str]    # field of the scanned row tested (None = whole)
+    target: T.TorNode       # the relation searched (a Var, usually)
+
+
+@dataclass
+class Update:
+    """One accumulator-modifying assignment inside a loop body."""
+
+    var: str
+    loop_id: str
+    kind: str  # append | set_add | count | sum | flag_true | flag_false | track
+    elem: Optional[T.TorNode]  # the appended/summed element expression
+    guards: Tuple[T.TorNode, ...]  # path condition, outermost first
+
+    #: atoms recognised in ``guards`` (filled by :func:`extract_features`).
+    sel_atoms: Tuple[SelAtom, ...] = ()
+    join_atoms: Tuple[JoinAtom, ...] = ()
+    contains_atoms: Tuple[ContainsAtom, ...] = ()
+    #: guard conjuncts that could not be atomized.
+    opaque_guards: Tuple[T.TorNode, ...] = ()
+
+
+@dataclass
+class Features:
+    """All extracted facts for one fragment."""
+
+    fragment: K.Fragment
+    loops: Dict[str, LoopInfo]
+    #: loop counter name -> (relation var, loop id)
+    counters: Dict[str, Tuple[str, str]]
+    updates: List[Update] = field(default_factory=list)
+
+    def updates_for(self, var: str) -> List[Update]:
+        return [u for u in self.updates if u.var == var]
+
+    def accumulators(self) -> List[str]:
+        seen: List[str] = []
+        for update in self.updates:
+            if update.var not in seen:
+                seen.append(update.var)
+        return seen
+
+
+def _as_scan_ref(expr: T.TorNode, counters: Dict[str, Tuple[str, str]]
+                 ) -> Optional[ScanRef]:
+    """Recognise ``get(rel, c)`` or ``get(rel, c).f`` for a scan counter."""
+    if isinstance(expr, T.FieldAccess):
+        base = _as_scan_ref(expr.expr, counters)
+        if base is not None and base.field is None:
+            return ScanRef(base.rel_var, base.counter, expr.field)
+        return None
+    if isinstance(expr, T.Get) and isinstance(expr.idx, T.Var):
+        counter = expr.idx.name
+        if counter in counters:
+            rel_var, _ = counters[counter]
+            rel = expr.rel
+            # Allow get(sort_f(rel), c) — scanning a sorted copy.
+            if isinstance(rel, T.Sort):
+                rel = rel.rel
+            if isinstance(rel, T.Var) and rel.name == rel_var:
+                return ScanRef(rel_var, counter, None)
+    return None
+
+
+def _is_loop_free_scalar(expr: T.TorNode, fragment: K.Fragment,
+                         modified: set) -> bool:
+    """True when ``expr`` is a scalar constant/input not modified by loops."""
+    for node in expr.walk():
+        if isinstance(node, T.Var):
+            if node.name in modified:
+                return False
+            info = fragment.var_info(node.name)
+            if info is not None and info.kind == "relation":
+                return False
+        elif not isinstance(node, (T.Const, T.BinOp, T.Not, T.FieldAccess)):
+            return False
+    return True
+
+
+def _loop_depth(features_counters: Dict[str, Tuple[str, str]],
+                loops: Dict[str, LoopInfo], counter: str) -> int:
+    _, loop_id = features_counters[counter]
+    return loops[loop_id].depth
+
+
+def atomize_condition(cond: T.TorNode, fragment: K.Fragment,
+                      loops: Dict[str, LoopInfo],
+                      counters: Dict[str, Tuple[str, str]],
+                      modified: set, negate: bool = False
+                      ) -> Tuple[List[SelAtom], List[JoinAtom],
+                                 List[ContainsAtom], List[T.TorNode]]:
+    """Classify a guard condition into predicate atoms.
+
+    Returns ``(sel_atoms, join_atoms, contains_atoms, opaque)``; opaque
+    collects conjuncts that do not fit the predicate grammar (their
+    presence usually dooms synthesis, as the paper observes for custom
+    comparators and type-based selections).
+    """
+    sel: List[SelAtom] = []
+    join: List[JoinAtom] = []
+    contains: List[ContainsAtom] = []
+    opaque: List[T.TorNode] = []
+
+    def visit(expr: T.TorNode, neg: bool) -> None:
+        if isinstance(expr, T.Not):
+            visit(expr.expr, not neg)
+            return
+        if isinstance(expr, T.BinOp) and expr.op == "and" and not neg:
+            visit(expr.left, neg)
+            visit(expr.right, neg)
+            return
+        if isinstance(expr, T.BinOp) and expr.op == "or" and neg:
+            # De Morgan: not (a or b) = not a and not b.
+            visit(expr.left, True)
+            visit(expr.right, True)
+            return
+        if isinstance(expr, T.BinOp) and expr.op in T.PREDICATE_OPS:
+            op = NEGATED_OP[expr.op] if neg else expr.op
+            left_ref = _as_scan_ref(expr.left, counters)
+            right_ref = _as_scan_ref(expr.right, counters)
+            if left_ref is not None and right_ref is not None:
+                if left_ref.rel_var == right_ref.rel_var:
+                    if left_ref.field and right_ref.field:
+                        sel.append(SelAtom(left_ref.rel_var, T.FieldCmpField(
+                            left_ref.field, op, right_ref.field)))
+                        return
+                elif left_ref.field and right_ref.field:
+                    # Order by loop depth: outer relation on the left.
+                    ldepth = _loop_depth(counters, loops, left_ref.counter)
+                    rdepth = _loop_depth(counters, loops, right_ref.counter)
+                    if ldepth <= rdepth:
+                        join.append(JoinAtom(
+                            left_ref.rel_var, right_ref.rel_var,
+                            T.JoinFieldCmp(left_ref.field, op, right_ref.field)))
+                    else:
+                        flipped = {"<": ">", ">": "<", "<=": ">=",
+                                   ">=": "<=", "=": "=", "!=": "!="}[op]
+                        join.append(JoinAtom(
+                            right_ref.rel_var, left_ref.rel_var,
+                            T.JoinFieldCmp(right_ref.field, flipped,
+                                           left_ref.field)))
+                    return
+            elif left_ref is not None and left_ref.field is not None:
+                if _is_loop_free_scalar(expr.right, fragment, modified):
+                    sel.append(SelAtom(left_ref.rel_var, T.FieldCmpConst(
+                        left_ref.field, op, expr.right)))
+                    return
+            elif right_ref is not None and right_ref.field is not None:
+                if _is_loop_free_scalar(expr.left, fragment, modified):
+                    flipped = {"<": ">", ">": "<", "<=": ">=",
+                               ">=": "<=", "=": "=", "!=": "!="}[op]
+                    sel.append(SelAtom(right_ref.rel_var, T.FieldCmpConst(
+                        right_ref.field, flipped, expr.left)))
+                    return
+            opaque.append(T.Not(expr) if neg else expr)
+            return
+        if isinstance(expr, T.Contains) and not neg:
+            ref = _as_scan_ref(expr.elem, counters)
+            if ref is not None:
+                contains.append(ContainsAtom(ref.rel_var, ref.field, expr.rel))
+                return
+        opaque.append(T.Not(expr) if neg else expr)
+
+    visit(cond, negate)
+    return sel, join, contains, opaque
+
+
+def _classify_assignment(cmd: K.Assign, modified: set
+                         ) -> Tuple[str, Optional[T.TorNode]]:
+    """Classify one accumulator assignment into an update kind."""
+    expr = cmd.expr
+    lv = cmd.var
+    if isinstance(expr, T.Append) and expr.rel == T.Var(lv):
+        return "append", expr.elem
+    if (isinstance(expr, T.Unique) and isinstance(expr.rel, T.Append)
+            and expr.rel.rel == T.Var(lv)):
+        return "set_add", expr.rel.elem
+    if isinstance(expr, T.BinOp) and expr.op == "+" and expr.left == T.Var(lv):
+        if expr.right == T.Const(1):
+            return "count", None
+        return "sum", expr.right
+    if isinstance(expr, T.BinOp) and expr.op == "+" and expr.right == T.Var(lv):
+        if expr.left == T.Const(1):
+            return "count", None
+        return "sum", expr.left
+    if expr == T.Const(True):
+        return "flag_true", None
+    if expr == T.Const(False):
+        return "flag_false", None
+    # Anything else (e.g. best := get(users, i).login) is a "track"
+    # update: the accumulator follows the scan conditionally.
+    return "track", expr
+
+
+def extract_features(fragment: K.Fragment) -> Features:
+    """Run the full feature scan over a fragment."""
+    loops = analyze_loops(fragment)
+    counters: Dict[str, Tuple[str, str]] = {}
+    for info in loops.values():
+        if info.counter is not None and isinstance(info.scanned, T.Var):
+            counters[info.counter] = (info.scanned.name, info.loop_id)
+        elif info.counter is not None and isinstance(info.scanned, T.Sort):
+            inner = info.scanned.rel
+            if isinstance(inner, T.Var):
+                counters[info.counter] = (inner.name, info.loop_id)
+
+    features = Features(fragment=fragment, loops=loops, counters=counters)
+    modified = set(K.modified_vars(fragment.body))
+
+    def walk(cmd: K.Command, loop_id: Optional[str],
+             guards: Tuple[T.TorNode, ...]) -> None:
+        if isinstance(cmd, K.Seq):
+            for sub in cmd.commands:
+                walk(sub, loop_id, guards)
+            return
+        if isinstance(cmd, K.If):
+            walk(cmd.then_branch, loop_id, guards + (cmd.cond,))
+            walk(cmd.else_branch, loop_id, guards + (T.Not(cmd.cond),))
+            return
+        if isinstance(cmd, K.While):
+            walk(cmd.body, cmd.loop_id, ())
+            return
+        if isinstance(cmd, K.Assign) and loop_id is not None:
+            info = loops[loop_id]
+            if cmd.var == info.counter:
+                return  # the scan counter itself
+            if cmd.var in counters:
+                return  # another loop's counter (e.g. j := 0 reset)
+            kind, elem = _classify_assignment(cmd, modified)
+            update = Update(var=cmd.var, loop_id=loop_id, kind=kind,
+                            elem=elem, guards=guards)
+            sel: List[SelAtom] = []
+            join: List[JoinAtom] = []
+            contains: List[ContainsAtom] = []
+            opaque: List[T.TorNode] = []
+            for guard in guards:
+                s, j, c, o = atomize_condition(
+                    guard, fragment, loops, counters, modified)
+                sel.extend(s)
+                join.extend(j)
+                contains.extend(c)
+                opaque.extend(o)
+            update.sel_atoms = tuple(sel)
+            update.join_atoms = tuple(join)
+            update.contains_atoms = tuple(contains)
+            update.opaque_guards = tuple(opaque)
+            features.updates.append(update)
+
+    walk(fragment.body, None, ())
+    return features
+
+
+def element_projection(elem: T.TorNode,
+                       counters: Dict[str, Tuple[str, str]],
+                       side_of: Dict[str, str]
+                       ) -> Optional[Tuple[T.FieldSpec, ...]]:
+    """Compute the projection a loop applies to scanned rows.
+
+    ``side_of`` maps a relation variable to its join side prefix
+    (``""`` when the element is drawn from a single relation, ``"left"``
+    / ``"right"`` inside a join).  Returns the :class:`FieldSpec` tuple,
+    ``()`` when the element is the whole (single) row unprojected, or
+    ``None`` when the element does not come from the scans at all.
+    """
+    ref = _as_scan_ref(elem, counters)
+    if ref is not None:
+        side = side_of.get(ref.rel_var, "")
+        if ref.field is None:
+            if side:
+                return (T.FieldSpec(side, "row"),)
+            return ()
+        source = "%s.%s" % (side, ref.field) if side else ref.field
+        return (T.FieldSpec(source, ref.field),)
+    if isinstance(elem, T.RecordLit):
+        specs: List[T.FieldSpec] = []
+        for name, value in elem.items:
+            ref = _as_scan_ref(value, counters)
+            if ref is None or ref.field is None:
+                return None
+            side = side_of.get(ref.rel_var, "")
+            source = "%s.%s" % (side, ref.field) if side else ref.field
+            specs.append(T.FieldSpec(source, name))
+        return tuple(specs)
+    return None

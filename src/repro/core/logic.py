@@ -1,0 +1,288 @@
+"""Predicate logic over TOR expressions, with unknown predicates.
+
+Verification conditions (paper Fig. 11) are implications whose atoms are
+boolean TOR expressions and *applications of unknown predicates* —
+``oInv(i, users, roles, listUsers)``, ``pcon(listUsers, users, roles)``
+and so on.  The synthesizer's job is to find a :class:`Predicate` for
+each unknown name that makes every VC valid.
+
+A candidate :class:`Predicate` is a conjunction of clauses of two forms
+(Sec. 4.3):
+
+* :class:`EqClause` — ``lv = e`` pinning a variable modified by the loop
+  to a TOR expression over the other parameters (Fig. 10's rows);
+* :class:`CmpClause` — a scalar boolean constraint such as
+  ``i <= size(users)``.
+
+``EqClause`` is what makes bounded checking tractable: given values for
+the un-pinned parameters, every pinned parameter's value is *derived*
+from its defining expression instead of being enumerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.tor import ast as T
+from repro.tor.pretty import pretty
+from repro.tor.semantics import DatabaseFn, EvalError, evaluate
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+
+
+class Formula:
+    """Base class of the VC formula language."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Bool(Formula):
+    """An embedded boolean TOR expression."""
+
+    expr: T.TorNode
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    parts: Tuple[Formula, ...]
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    parts: Tuple[Formula, ...]
+
+
+@dataclass(frozen=True)
+class NotF(Formula):
+    part: Formula
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    antecedent: Formula
+    consequent: Formula
+
+
+@dataclass(frozen=True)
+class PredApp(Formula):
+    """Application of an unknown predicate to TOR argument expressions.
+
+    ``name`` identifies the unknown (``"inv_loop0"``, ``"pcon"``);
+    ``params`` records the parameter names, positionally matching
+    ``args``.  Weakest-precondition substitution rewrites ``args`` —
+    e.g. the preservation VC applies the invariant to
+    ``append(listUsers, get(users, i))`` in the ``listUsers`` slot.
+    """
+
+    name: str
+    params: Tuple[str, ...]
+    args: Tuple[T.TorNode, ...]
+
+    def arg_for(self, param: str) -> T.TorNode:
+        return self.args[self.params.index(param)]
+
+
+def conj(*parts: Formula) -> Formula:
+    """Flattening conjunction constructor."""
+    flat = []
+    for part in parts:
+        if isinstance(part, And):
+            flat.extend(part.parts)
+        elif part == Bool(T.Const(True)):
+            continue
+        else:
+            flat.append(part)
+    if not flat:
+        return Bool(T.Const(True))
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def formula_substitute(formula: Formula, mapping: Dict[str, T.TorNode]) -> Formula:
+    """Substitute TOR variables throughout a formula."""
+    if isinstance(formula, Bool):
+        return Bool(T.substitute(formula.expr, mapping))
+    if isinstance(formula, And):
+        return And(tuple(formula_substitute(p, mapping) for p in formula.parts))
+    if isinstance(formula, Or):
+        return Or(tuple(formula_substitute(p, mapping) for p in formula.parts))
+    if isinstance(formula, NotF):
+        return NotF(formula_substitute(formula.part, mapping))
+    if isinstance(formula, Implies):
+        return Implies(formula_substitute(formula.antecedent, mapping),
+                       formula_substitute(formula.consequent, mapping))
+    if isinstance(formula, PredApp):
+        return PredApp(formula.name, formula.params,
+                       tuple(T.substitute(a, mapping) for a in formula.args))
+    raise TypeError("unknown formula %r" % (formula,))
+
+
+def formula_pred_apps(formula: Formula) -> Iterator[PredApp]:
+    """Yield every unknown-predicate application in the formula."""
+    if isinstance(formula, PredApp):
+        yield formula
+    elif isinstance(formula, (And, Or)):
+        for part in formula.parts:
+            yield from formula_pred_apps(part)
+    elif isinstance(formula, NotF):
+        yield from formula_pred_apps(formula.part)
+    elif isinstance(formula, Implies):
+        yield from formula_pred_apps(formula.antecedent)
+        yield from formula_pred_apps(formula.consequent)
+
+
+def pretty_formula(formula: Formula) -> str:
+    """Paper-style rendering of a formula."""
+    if isinstance(formula, Bool):
+        return pretty(formula.expr)
+    if isinstance(formula, And):
+        return " and ".join(_paren(p) for p in formula.parts)
+    if isinstance(formula, Or):
+        return " or ".join(_paren(p) for p in formula.parts)
+    if isinstance(formula, NotF):
+        return "not %s" % _paren(formula.part)
+    if isinstance(formula, Implies):
+        return "%s -> %s" % (_paren(formula.antecedent),
+                             _paren(formula.consequent))
+    if isinstance(formula, PredApp):
+        return "%s(%s)" % (formula.name, ", ".join(pretty(a) for a in formula.args))
+    return repr(formula)
+
+
+def _paren(formula: Formula) -> str:
+    text = pretty_formula(formula)
+    if isinstance(formula, (And, Or, Implies)):
+        return "(%s)" % text
+    return text
+
+
+# ---------------------------------------------------------------------------
+# Candidate predicates
+# ---------------------------------------------------------------------------
+
+
+class Clause:
+    """Base class for candidate-predicate clauses."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class EqClause(Clause):
+    """``var = expr`` — pins a loop-modified variable to a TOR expression.
+
+    ``expr`` refers to the predicate's *parameters* as free variables.
+    """
+
+    var: str
+    expr: T.TorNode
+
+    def __str__(self) -> str:
+        return "%s = %s" % (self.var, pretty(self.expr))
+
+
+@dataclass(frozen=True)
+class CmpClause(Clause):
+    """A scalar boolean side constraint, e.g. ``i <= size(users)``."""
+
+    expr: T.TorNode
+
+    def __str__(self) -> str:
+        return pretty(self.expr)
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A concrete candidate for one unknown predicate.
+
+    The predicate denotes the conjunction of its clauses over the
+    parameter list ``params``.
+    """
+
+    params: Tuple[str, ...]
+    clauses: Tuple[Clause, ...]
+
+    def __str__(self) -> str:
+        if not self.clauses:
+            return "True"
+        return " and ".join(str(c) for c in self.clauses)
+
+    def binding(self, args: Tuple[Any, ...]) -> Dict[str, Any]:
+        """Bind parameter names to concrete argument values."""
+        if len(args) != len(self.params):
+            raise ValueError("predicate arity mismatch")
+        return dict(zip(self.params, args))
+
+    def holds(self, args: Tuple[Any, ...], db: Optional[DatabaseFn] = None) -> bool:
+        """Evaluate the predicate on concrete argument values.
+
+        Raises :class:`~repro.tor.semantics.EvalError` when a clause is
+        outside the axioms' domain for these values (callers treat that
+        as "does not hold").
+        """
+        return self.holds_env(self.binding(args), db)
+
+    def holds_env(self, env: Dict[str, Any],
+                  db: Optional[DatabaseFn] = None) -> bool:
+        """Evaluate the predicate under a name -> value environment.
+
+        Robust to parameter-order differences between this predicate and
+        the :class:`PredApp` it is checked against, since binding is by
+        name.
+        """
+        for clause in self.clauses:
+            if isinstance(clause, EqClause):
+                if env[clause.var] != evaluate(clause.expr, env, db):
+                    return False
+            elif isinstance(clause, CmpClause):
+                if not evaluate(clause.expr, env, db):
+                    return False
+        return True
+
+    def pinned_params(self) -> Tuple[str, ...]:
+        """Parameters defined by an equality clause (derivable)."""
+        return tuple(c.var for c in self.clauses if isinstance(c, EqClause))
+
+    def derive(self, env: Dict[str, Any], db: Optional[DatabaseFn] = None
+               ) -> Dict[str, Any]:
+        """Extend ``env`` with values for every pinned parameter.
+
+        ``env`` must provide all un-pinned parameters.  Returns a new
+        environment; raises ``EvalError`` when a defining expression is
+        outside the axioms' domain.
+        """
+        out = dict(env)
+        for clause in self.clauses:
+            if isinstance(clause, EqClause):
+                out[clause.var] = evaluate(clause.expr, out, db)
+        return out
+
+    def as_formula_on(self, app: PredApp) -> "Formula":
+        """Instantiate this predicate on a :class:`PredApp`'s arguments.
+
+        Each clause becomes a boolean TOR expression with parameters
+        replaced by the application's argument expressions — this is how
+        the prover expands unknown predicates into concrete goals.
+        Binding is by the *application's* parameter names, so predicates
+        built with a different parameter order still expand correctly.
+        """
+        mapping = dict(zip(app.params, app.args))
+        parts = []
+        for clause in self.clauses:
+            if isinstance(clause, EqClause):
+                lhs = mapping.get(clause.var, T.Var(clause.var))
+                rhs = T.substitute(clause.expr, mapping)
+                parts.append(Bool(T.BinOp("=", lhs, rhs)))
+            else:
+                parts.append(Bool(T.substitute(clause.expr, mapping)))
+        return conj(*parts)
+
+
+#: A full solution: unknown predicate name -> candidate predicate.
+Assignment = Dict[str, Predicate]

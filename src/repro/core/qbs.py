@@ -1,0 +1,196 @@
+"""The QBS driver: kernel fragment in, SQL out (paper Fig. 5).
+
+Pipeline stages, with the status taxonomy of Fig. 13 / Appendix A:
+
+* **rejected** (``†``) — the fragment cannot even be expressed for
+  synthesis: kernel-language violations (relational updates, unsupported
+  types), or no persistent-data retrieval to push down.
+* **failed** (``*``) — synthesis found no invariants/postcondition that
+  both bounded-check and formally validate, at any template level, or
+  the validated postcondition falls outside the translatable grammar.
+* **translated** (``X``) — a postcondition was synthesized, proved
+  against the verification conditions, and converted to SQL.
+
+Formal validation runs *inside* the synthesis loop: a candidate that
+survives bounded checking but fails the prover sends the search onward
+(the paper's "ask the synthesizer to generate other candidates" retry,
+Sec. 5), optionally after enlarging the bounded-checking relations.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.logic import Assignment
+from repro.core.prover import Prover
+from repro.core.synthesizer import (
+    SynthesisOptions,
+    SynthesisResult,
+    SynthesisStats,
+    Synthesizer,
+)
+from repro.kernel import ast as K
+from repro.kernel.analysis import query_assignments
+from repro.kernel.ast import KernelValidationError, validate_expression
+from repro.tor import ast as T
+from repro.tor.sqlgen import SQLTranslation, translate
+from repro.tor.trans import NotTranslatableError
+
+
+class QBSStatus(enum.Enum):
+    """Outcome classes matching the paper's Appendix A markers."""
+
+    TRANSLATED = "translated"   # X
+    FAILED = "failed"           # * — no invariants found / not translatable
+    REJECTED = "rejected"       # † — outside TOR / preprocessing limits
+
+    @property
+    def marker(self) -> str:
+        return {"translated": "X", "failed": "*", "rejected": "+"}[self.value]
+
+
+@dataclass
+class QBSResult:
+    """Everything QBS produced for one fragment."""
+
+    fragment: K.Fragment
+    status: QBSStatus
+    sql: Optional[SQLTranslation] = None
+    assignment: Optional[Assignment] = None
+    postcondition_expr: Optional[T.TorNode] = None
+    stats: Optional[SynthesisStats] = None
+    reason: str = ""
+    elapsed_seconds: float = 0.0
+
+    @property
+    def translated(self) -> bool:
+        return self.status is QBSStatus.TRANSLATED
+
+
+@dataclass
+class QBSOptions:
+    """Driver configuration."""
+
+    synthesis: SynthesisOptions = field(default_factory=SynthesisOptions)
+    #: run the equational prover inside the synthesis loop.
+    formal_validation: bool = True
+    #: require SQL translatability inside the loop too, so the search
+    #: skips postconditions that validate but cannot be emitted.
+    require_translatable: bool = True
+
+
+class QBS:
+    """Query By Synthesis: infer SQL from imperative kernel fragments."""
+
+    def __init__(self, options: Optional[QBSOptions] = None):
+        self.options = options or QBSOptions()
+
+    def run(self, fragment: K.Fragment) -> QBSResult:
+        """Run the full pipeline on one kernel fragment."""
+        start = time.time()
+
+        rejection = self._rejection_reason(fragment)
+        if rejection is not None:
+            return QBSResult(fragment=fragment, status=QBSStatus.REJECTED,
+                             reason=rejection,
+                             elapsed_seconds=time.time() - start)
+
+        synthesizer = Synthesizer(fragment, self.options.synthesis)
+        prover = Prover(synthesizer.vcset) if self.options.formal_validation \
+            else None
+        bindings = dict(query_assignments(fragment))
+        exit_bindings = self._exit_bindings(fragment, bindings)
+
+        def accept(assignment: Assignment, pcon_expr: T.TorNode) -> bool:
+            if self.options.require_translatable:
+                try:
+                    translate(pcon_expr, exit_bindings)
+                except NotTranslatableError:
+                    return False
+            if prover is not None:
+                return prover.validate(assignment).proved
+            return True
+
+        synth = synthesizer.synthesize(accept=accept)
+        if not synth.succeeded:
+            return QBSResult(fragment=fragment, status=QBSStatus.FAILED,
+                             stats=synth.stats,
+                             reason=synth.failure_reason or
+                             "no valid invariants/postcondition found",
+                             elapsed_seconds=time.time() - start)
+
+        try:
+            sql = translate(synth.postcondition_expr, exit_bindings)
+        except NotTranslatableError as exc:
+            return QBSResult(fragment=fragment, status=QBSStatus.FAILED,
+                             stats=synth.stats,
+                             assignment=synth.assignment,
+                             postcondition_expr=synth.postcondition_expr,
+                             reason="not translatable: %s" % exc,
+                             elapsed_seconds=time.time() - start)
+
+        return QBSResult(fragment=fragment, status=QBSStatus.TRANSLATED,
+                         sql=sql, assignment=synth.assignment,
+                         postcondition_expr=synth.postcondition_expr,
+                         stats=synth.stats,
+                         elapsed_seconds=time.time() - start)
+
+    # -- stage helpers -----------------------------------------------------
+
+    @staticmethod
+    def _rejection_reason(fragment: K.Fragment) -> Optional[str]:
+        """Pre-synthesis rejection checks (the paper's ``†`` class)."""
+        if getattr(fragment, "rejected_reason", None):
+            return fragment.rejected_reason  # set by the frontend
+        has_query = False
+        for cmd in fragment.body.walk():
+            exprs = []
+            if isinstance(cmd, K.Assign):
+                exprs.append(cmd.expr)
+            elif isinstance(cmd, (K.If, K.While)):
+                exprs.append(cmd.cond)
+            elif isinstance(cmd, K.Assert):
+                exprs.append(cmd.expr)
+            for expr in exprs:
+                try:
+                    validate_expression(expr)
+                except KernelValidationError as exc:
+                    return str(exc)
+                if T.uses_operator(expr, T.QueryOp):
+                    has_query = True
+        if not has_query:
+            return "fragment retrieves no persistent data"
+        return None
+
+    @staticmethod
+    def _exit_bindings(fragment: K.Fragment,
+                       query_bindings: Dict[str, T.QueryOp]
+                       ) -> Dict[str, T.TorNode]:
+        """Symbolic value of each base variable at fragment exit.
+
+        Straight-line (non-loop) reassignments of query variables —
+        ``records := sort_id(records)`` after the fetch — are folded so
+        the SQL generator sees ``sort_id(Query(...))``.
+        """
+        bindings: Dict[str, T.TorNode] = {}
+
+        def visit(cmd: K.Command) -> None:
+            if isinstance(cmd, K.Seq):
+                for sub in cmd.commands:
+                    visit(sub)
+            elif isinstance(cmd, K.Assign):
+                expr = T.substitute(cmd.expr, bindings)
+                if isinstance(cmd.expr, T.QueryOp) or (
+                        cmd.var in bindings
+                        and not T.uses_operator(expr, T.Var)):
+                    bindings[cmd.var] = expr
+                elif cmd.var in bindings and isinstance(cmd.expr, T.Sort):
+                    bindings[cmd.var] = expr
+            # Loops never rebind base relations (the frontend guarantees
+            # this when carving out the fragment).
+
+        visit(fragment.body)
+        return bindings

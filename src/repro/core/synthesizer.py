@@ -1,0 +1,420 @@
+"""Invariant/postcondition synthesis (paper Sec. 4.2).
+
+The paper drives Sketch's CEGIS loop over automatically generated
+templates.  This module realises the same search with three cooperating
+filters, ordered cheapest-first:
+
+1. **Dynamic trace filtering** — the fragment is executed on the bounded
+   world suite with a loop-head trace hook.  A clause that is false in
+   *any* observed loop-head state cannot be part of a correct invariant,
+   and a postcondition expression that disagrees with the fragment's
+   actual result on *any* world is wrong.  This is the same insight as
+   the dynamic invariant-detection work the paper cites ([13, 18]) and
+   typically reduces each candidate pool to a handful of survivors.
+
+2. **Houdini-style pruning** — surviving clauses are conjoined into a
+   maximal candidate; when bounded checking finds a counterexample whose
+   failing conclusion clauses are comparison clauses, those clauses are
+   dropped and the check restarted.  A failing equality clause kills the
+   whole combination instead (the accumulator's defining expression is
+   wrong, not merely too strong).
+
+3. **CEGIS bounded checking** — :class:`~repro.core.checker.BoundedChecker`
+   validates every VC over all bounded states, replaying previously
+   discovered counterexamples first.
+
+Template *levels* widen incrementally (Sec. 4.5): synthesis retries with
+a richer template space when a level yields no candidate, and reports
+the level that succeeded (the paper observes < 3 iterations in
+practice).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.checker import BoundedChecker, Counterexample, eval_formula
+from repro.core.features import extract_features
+from repro.core.logic import (
+    And,
+    Assignment,
+    Bool,
+    Clause,
+    CmpClause,
+    EqClause,
+    Formula,
+    Implies,
+    NotF,
+    Or,
+    PredApp,
+    Predicate,
+)
+from repro.core.templates import TemplateGenerator
+from repro.core.vcgen import VCSet, generate_vcs, invariant_name
+from repro.core.worlds import World, generate_worlds
+from repro.kernel import ast as K
+from repro.kernel.interp import ExecutionError, execute
+from repro.tor import ast as T
+from repro.tor.semantics import EvalError, evaluate
+
+
+@dataclass
+class SynthesisStats:
+    """Search-effort accounting, reported by the benchmarks."""
+
+    level: int = 0
+    postcondition_pool: int = 0
+    postcondition_survivors: int = 0
+    invariant_pool: int = 0
+    invariant_survivors: int = 0
+    combinations_checked: int = 0
+    houdini_drops: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of the synthesis search."""
+
+    assignment: Optional[Assignment]
+    postcondition_expr: Optional[T.TorNode]
+    stats: SynthesisStats
+    failure_reason: str = ""
+
+    @property
+    def succeeded(self) -> bool:
+        return self.assignment is not None
+
+
+@dataclass
+class SynthesisOptions:
+    max_level: int = 3
+    symmetry_breaking: bool = True
+    world_max_size: int = 3
+    extra_random_worlds: int = 6
+    houdini_rounds: int = 12
+    max_combinations: int = 2000
+
+
+class Synthesizer:
+    """Searches the template space for VC-satisfying predicates."""
+
+    def __init__(self, fragment: K.Fragment,
+                 options: Optional[SynthesisOptions] = None):
+        self.fragment = fragment
+        self.options = options or SynthesisOptions()
+        self.features = extract_features(fragment)
+        self.vcset: VCSet = generate_vcs(fragment)
+        self.worlds: List[World] = generate_worlds(
+            fragment, max_size=self.options.world_max_size,
+            extra_random=self.options.extra_random_worlds)
+        self.checker = BoundedChecker(self.vcset, self.worlds)
+        self._loop_states: Dict[str, List[Dict[str, Any]]] = {}
+        self._final_envs: List[Tuple[World, Dict[str, Any]]] = []
+        self._collect_traces()
+
+    # -- trace collection -----------------------------------------------------
+
+    def _collect_traces(self) -> None:
+        """Execute the fragment on every world, recording loop states."""
+        for world in self.worlds:
+            env: Dict[str, Any] = dict(world.inputs)
+            for name, info in self.fragment.inputs.items():
+                env.setdefault(name, () if info.kind == "relation" else 0)
+            states: List[Tuple[str, Dict[str, Any]]] = []
+            try:
+                execute(self.fragment.body, env, world.db,
+                        trace=lambda lid, snap: states.append((lid, snap)),
+                        fuel=200_000)
+            except ExecutionError:
+                continue  # world outside the fragment's domain
+            for loop_id, snap in states:
+                self._loop_states.setdefault(loop_id, []).append(snap)
+            self._final_envs.append((world, env))
+
+    def _has_evidence(self) -> bool:
+        """At least one surviving world exercises real data."""
+        for world, _ in self._final_envs:
+            if any(len(rows) > 0 for rows in world.tables.values()):
+                return True
+        return False
+
+    # -- dynamic filters --------------------------------------------------------
+
+    def _postcondition_survivors(self, exprs: List[T.TorNode]
+                                 ) -> List[T.TorNode]:
+        """Keep expressions that reproduce the observed results."""
+        result_var = self.fragment.result_var
+        out = []
+        for expr in exprs:
+            ok = True
+            for world, env in self._final_envs:
+                try:
+                    if evaluate(expr, env, world.db) != env.get(result_var):
+                        ok = False
+                        break
+                except EvalError:
+                    ok = False
+                    break
+            if ok:
+                out.append(expr)
+        return out
+
+    def _clause_survives_traces(self, loop_id: str, clause: Clause) -> bool:
+        """A clause must hold at every observed head state of its loop."""
+        for world, _ in self._final_envs:
+            pass  # states already carry everything needed
+        for snap in self._loop_states.get(loop_id, ()):  # may be empty
+            try:
+                if isinstance(clause, EqClause):
+                    if snap.get(clause.var, _MISSING) != evaluate(
+                            clause.expr, snap, self._db_for(snap)):
+                        return False
+                else:
+                    if not evaluate(clause.expr, snap, self._db_for(snap)):
+                        return False
+            except EvalError:
+                return False
+        return True
+
+    def _db_for(self, snap: Dict[str, Any]):
+        # Trace snapshots never contain Query expressions (the frontend
+        # binds queries to variables first), so no database is needed.
+        return None
+
+    # -- candidate assembly -------------------------------------------------------
+
+    def synthesize(self, accept=None) -> SynthesisResult:
+        """Run the full search across template levels.
+
+        ``accept`` is an optional final filter — the driver passes the
+        formal validator here, so a candidate that bounded-checks but
+        does not prove sends the search onward instead of ending it
+        (the paper's "ask the synthesizer for other candidates" loop,
+        Sec. 5).
+        """
+        start = time.time()
+        stats = SynthesisStats()
+        if not self._has_evidence():
+            # The fragment did not execute on any non-trivial bounded
+            # world (e.g. a custom comparator the axioms cannot
+            # evaluate, which only survives on empty tables): there is
+            # no evidence to filter candidates with, and accepting one
+            # vacuously would be unsound.
+            stats.elapsed_seconds = time.time() - start
+            return SynthesisResult(
+                assignment=None, postcondition_expr=None, stats=stats,
+                failure_reason="fragment is not executable on any "
+                               "non-trivial bounded world")
+        failure = "no candidate template produced"
+        for level in range(1, self.options.max_level + 1):
+            stats.level = level
+            result = self._synthesize_at_level(level, stats, accept)
+            if result is not None:
+                stats.elapsed_seconds = time.time() - start
+                return SynthesisResult(assignment=result[0],
+                                       postcondition_expr=result[1],
+                                       stats=stats)
+            failure = ("no valid candidate at any level up to %d"
+                       % self.options.max_level)
+        stats.elapsed_seconds = time.time() - start
+        return SynthesisResult(assignment=None, postcondition_expr=None,
+                               stats=stats, failure_reason=failure)
+
+    def _synthesize_at_level(self, level: int, stats: SynthesisStats,
+                             accept=None
+                             ) -> Optional[Tuple[Assignment, T.TorNode]]:
+        generator = TemplateGenerator(
+            self.fragment, self.features, level=level,
+            symmetry_breaking=self.options.symmetry_breaking)
+
+        pcon_pool = generator.postcondition_exprs()
+        stats.postcondition_pool += len(pcon_pool)
+        pcon_survivors = self._postcondition_survivors(pcon_pool)
+        stats.postcondition_survivors += len(pcon_survivors)
+        if not pcon_survivors:
+            return None
+
+        # Per-loop clause pools, trace-filtered.
+        loop_ids = [loop.loop_id for loop in self.fragment.loops()]
+        cmp_clauses: Dict[str, List[CmpClause]] = {}
+        eq_pools: Dict[str, Dict[str, List[T.TorNode]]] = {}
+        for loop_id in loop_ids:
+            template = generator.loop_template(loop_id)
+            stats.invariant_pool += len(template.cmp_clauses) + sum(
+                len(v) for v in template.eq_choices.values())
+            cmp_clauses[loop_id] = [
+                c for c in template.cmp_clauses
+                if self._clause_survives_traces(loop_id, c)]
+            eq_pools[loop_id] = {}
+            for var, exprs in template.eq_choices.items():
+                survivors = [
+                    e for e in exprs
+                    if self._clause_survives_traces(loop_id, EqClause(var, e))]
+                eq_pools[loop_id][var] = survivors
+            stats.invariant_survivors += len(cmp_clauses[loop_id]) + sum(
+                len(v) for v in eq_pools[loop_id].values())
+
+        # Every loop must pin the result variable and every relation
+        # accumulator; scalar accumulators are pinned when candidates
+        # exist (an unpinned one that the postcondition depends on just
+        # fails bounded checking later).
+        required: Dict[str, List[str]] = {}
+        for loop_id in loop_ids:
+            info = self.features.loops[loop_id]
+            needed = []
+            for var in info.accumulators:
+                var_info = self.fragment.var_info(var)
+                is_relation = var_info is not None and var_info.kind == "relation"
+                must_pin = var == self.fragment.result_var or is_relation
+                if must_pin and not eq_pools[loop_id].get(var):
+                    return None
+                if eq_pools[loop_id].get(var):
+                    needed.append(var)
+            required[loop_id] = needed
+
+        # Enumerate combinations, simplest first.
+        choice_axes: List[Tuple[str, str, List[T.TorNode]]] = []
+        for loop_id in loop_ids:
+            for var in required[loop_id]:
+                choice_axes.append((loop_id, var, eq_pools[loop_id][var]))
+
+        combos = itertools.product(pcon_survivors,
+                                   *[axis[2] for axis in choice_axes])
+        scored = sorted(
+            combos,
+            key=lambda combo: sum(e.size() for e in combo),
+        )[: self.options.max_combinations]
+
+        for combo in scored:
+            stats.combinations_checked += 1
+            pcon_expr = combo[0]
+            assignment = self._build_assignment(
+                pcon_expr, choice_axes, combo[1:], cmp_clauses)
+            final = self._houdini(assignment, stats)
+            if final is not None:
+                if accept is None or accept(final, pcon_expr):
+                    return final, pcon_expr
+        return None
+
+    def _build_assignment(self, pcon_expr: T.TorNode,
+                          choice_axes, chosen_exprs,
+                          cmp_clauses: Dict[str, List[CmpClause]]
+                          ) -> Assignment:
+        assignment: Assignment = {}
+        result_var = self.fragment.result_var
+        assignment["pcon"] = Predicate(
+            params=self.vcset.unknowns["pcon"],
+            clauses=(EqClause(result_var, pcon_expr),))
+
+        per_loop: Dict[str, List[Clause]] = {
+            loop_id: list(clauses) for loop_id, clauses in cmp_clauses.items()}
+        for (loop_id, var, _), expr in zip(choice_axes, chosen_exprs):
+            per_loop[loop_id].append(EqClause(var, expr))
+        for loop_id, clauses in per_loop.items():
+            name = invariant_name(loop_id)
+            assignment[name] = Predicate(
+                params=self.vcset.unknowns[name], clauses=tuple(clauses))
+        return assignment
+
+    # -- Houdini refinement ---------------------------------------------------------
+
+    def _houdini(self, assignment: Assignment, stats: SynthesisStats
+                 ) -> Optional[Assignment]:
+        """Iteratively weaken comparison clauses until the VCs check.
+
+        Returns the surviving assignment, or None when a counterexample
+        implicates an equality clause (the combination is hopeless) or
+        the round budget runs out.
+        """
+        current = dict(assignment)
+        for _ in range(self.options.houdini_rounds):
+            cex = self.checker.check(current)
+            if cex is None:
+                return current
+            blamed = self._blame(cex, current)
+            if blamed is None:
+                return None
+            dropped_any = False
+            for name, clause in blamed:
+                if isinstance(clause, EqClause):
+                    return None
+                predicate = current[name]
+                remaining = tuple(c for c in predicate.clauses if c != clause)
+                if len(remaining) != len(predicate.clauses):
+                    current[name] = Predicate(predicate.params, remaining)
+                    dropped_any = True
+                    stats.houdini_drops += 1
+            if not dropped_any:
+                return None
+        return None
+
+    def _blame(self, cex: Counterexample, assignment: Assignment
+               ) -> Optional[List[Tuple[str, Clause]]]:
+        """Find the conclusion clauses that are false in a counterexample."""
+        vc = next((v for v in self.vcset.vcs if v.name == cex.vc_name), None)
+        if vc is None:
+            return None
+        # Rebuild the full environment the checker used.
+        env = dict(cex.env)
+        db = cex.world.db
+        try:
+            from repro.core.logic import formula_pred_apps
+
+            for hyp in vc.hypotheses:
+                for app in formula_pred_apps(hyp):
+                    predicate = assignment[app.name]
+                    bound = {p: env[a.name]
+                             for p, a in zip(app.params, app.args)
+                             if isinstance(a, T.Var) and a.name in env}
+                    derived = predicate.derive(bound, db)
+                    for param, arg in zip(app.params, app.args):
+                        if isinstance(arg, T.Var) and param in derived:
+                            env[arg.name] = derived[param]
+        except EvalError:
+            return None
+        return self._false_clauses(vc.conclusion, env, db, assignment)
+
+    def _false_clauses(self, formula: Formula, env, db,
+                       assignment: Assignment
+                       ) -> Optional[List[Tuple[str, Clause]]]:
+        """Clauses of conclusion predicate applications that evaluate false."""
+        out: List[Tuple[str, Clause]] = []
+
+        def visit(f: Formula) -> None:
+            if isinstance(f, And):
+                for part in f.parts:
+                    visit(part)
+            elif isinstance(f, Implies):
+                try:
+                    if eval_formula(f.antecedent, env, db, assignment):
+                        visit(f.consequent)
+                except EvalError:
+                    pass
+            elif isinstance(f, PredApp):
+                predicate = assignment[f.name]
+                try:
+                    values = {p: evaluate(a, env, db)
+                              for p, a in zip(f.params, f.args)}
+                except EvalError:
+                    return
+                for clause in predicate.clauses:
+                    try:
+                        if isinstance(clause, EqClause):
+                            ok = values[clause.var] == evaluate(
+                                clause.expr, values, db)
+                        else:
+                            ok = bool(evaluate(clause.expr, values, db))
+                    except EvalError:
+                        ok = False
+                    if not ok:
+                        out.append((f.name, clause))
+
+        visit(formula)
+        return out or None
+
+
+_MISSING = object()

@@ -1,0 +1,479 @@
+"""Template generation for invariants and postconditions (Secs. 4.3-4.5).
+
+The synthesizer does not search the raw TOR grammar; that space is
+astronomical (the paper reports 2^300 candidate combinations for some
+problems).  Instead, QBS scans the fragment for patterns and emits a
+*template*: a set of candidate clauses per unknown predicate.  This
+module reproduces that scheme:
+
+* **Postcondition candidates** for the result variable are translatable
+  expressions built from the fragment's base relations, with selection /
+  join predicates drawn from the guard atoms the feature scan recognised
+  and projections dictated by the accumulated element's shape.
+
+* **Invariant candidates** are *substitution instances* of the same
+  shapes.  For a full-scan expression ``E`` over base relation ``r``:
+
+  - the scanning loop's invariant pins the accumulator to
+    ``E[r -> top_c(r)]`` (Fig. 10's rows);
+  - an inner loop of a two-deep nest uses
+    ``cat(E[r1 -> top_i(r1)], E[r1 -> [get(r1, i)], r2 -> top_j(r2)])``
+    — exactly the shape of Fig. 12's inner invariant.
+
+* **Incremental solving** (Sec. 4.5): the ``level`` parameter bounds how
+  many predicate atoms and wrapper operators a candidate may use; the
+  synthesizer retries with a higher level when synthesis fails.
+
+* **Symmetry breaking** (Sec. 4.5): only canonical translatable forms
+  are emitted — conjunctions in a fixed atom order, no nested sigmas,
+  projection outside selection.  Passing ``symmetry_breaking=False``
+  re-adds the redundant variants; the ablation benchmark measures the
+  cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.features import (
+    ContainsAtom,
+    Features,
+    JoinAtom,
+    SelAtom,
+    Update,
+    element_projection,
+    extract_features,
+)
+from repro.core.logic import CmpClause, EqClause
+from repro.kernel import ast as K
+from repro.tor import ast as T
+
+
+def exit_definitions(fragment: K.Fragment) -> Dict[str, T.TorNode]:
+    """Symbolic values of variables after the fragment's top level.
+
+    Only straight-line (non-loop) assignments are folded; variables
+    modified inside loops stay as free :class:`~repro.tor.ast.Var`
+    references so their occurrences can be replaced by full-scan
+    candidate expressions.
+    """
+    defs: Dict[str, T.TorNode] = {}
+    loop_modified: set = set()
+
+    def visit(cmd: K.Command) -> None:
+        if isinstance(cmd, K.Seq):
+            for sub in cmd.commands:
+                visit(sub)
+        elif isinstance(cmd, K.While):
+            for var in K.modified_vars(cmd.body):
+                loop_modified.add(var)
+                defs.pop(var, None)
+        elif isinstance(cmd, K.If):
+            for var in K.modified_vars(cmd):
+                loop_modified.add(var)
+                defs.pop(var, None)
+        elif isinstance(cmd, K.Assign):
+            mapping = {v: e for v, e in defs.items()
+                       if v not in loop_modified}
+            defs[cmd.var] = T.substitute(cmd.expr, mapping)
+
+    visit(fragment.body)
+    return defs
+
+
+@dataclass
+class LoopTemplate:
+    """Candidate invariant clauses for one loop."""
+
+    loop_id: str
+    cmp_clauses: List[CmpClause] = field(default_factory=list)
+    #: accumulator variable -> candidate defining expressions.
+    eq_choices: Dict[str, List[T.TorNode]] = field(default_factory=dict)
+
+
+def _subsets(atoms: Sequence, max_size: int, min_size: int = 0):
+    """All subsets of ``atoms`` up to ``max_size``, smallest first."""
+    for size in range(min_size, min(len(atoms), max_size) + 1):
+        yield from itertools.combinations(atoms, size)
+
+
+def _sigma(preds: Tuple[T.SelectPred, ...], rel: T.TorNode) -> T.TorNode:
+    if not preds:
+        return rel
+    return T.Sigma(T.SelectFunc(tuple(preds)), rel)
+
+
+class TemplateGenerator:
+    """Builds the candidate spaces for one fragment at one level."""
+
+    def __init__(self, fragment: K.Fragment,
+                 features: Optional[Features] = None,
+                 level: int = 1,
+                 symmetry_breaking: bool = True):
+        self.fragment = fragment
+        self.features = features or extract_features(fragment)
+        self.level = level
+        self.symmetry_breaking = symmetry_breaking
+
+    # -- shared shape machinery ---------------------------------------------
+
+    def _loop_chain(self, loop_id: str) -> List[str]:
+        """Loop ids from the outermost enclosing loop down to ``loop_id``."""
+        chain = [loop_id]
+        info = self.features.loops[loop_id]
+        while info.parent is not None:
+            chain.insert(0, info.parent)
+            info = self.features.loops[info.parent]
+        return chain
+
+    def _scan_of(self, loop_id: str) -> Optional[Tuple[str, str]]:
+        """(counter, relation var) of a canonical scanning loop."""
+        info = self.features.loops[loop_id]
+        if info.counter is None:
+            return None
+        scanned = info.scanned
+        if isinstance(scanned, T.Sort):
+            scanned = scanned.rel
+        if not isinstance(scanned, T.Var):
+            return None
+        return info.counter, scanned.name
+
+    def full_exprs(self, update: Update) -> List[T.TorNode]:
+        """Candidate full-scan expressions for one accumulator update.
+
+        The returned expressions describe the accumulator's value after
+        the scan completes, in terms of the base relation variables.
+        """
+        if update.opaque_guards:
+            minmax = self._minmax_exprs(update)
+            return minmax if minmax is not None else []
+
+        chain = self._loop_chain(update.loop_id)
+        if any(self._scan_of(lid) is None for lid in chain):
+            return []
+
+        if len(chain) == 1:
+            if update.contains_atoms:
+                return self._contains_exprs(update, chain[0])
+            return self._single_exprs(update, chain[0])
+        if len(chain) == 2:
+            return self._join_exprs(update, chain[0], chain[1])
+        return []  # deeper nests are outside the template space
+
+    # -- single-relation shapes ----------------------------------------------
+
+    def _single_exprs(self, update: Update, loop_id: str) -> List[T.TorNode]:
+        counter, rel_var = self._scan_of(loop_id)
+        base = T.Var(rel_var)
+        atoms = [a.pred for a in update.sel_atoms if a.rel_var == rel_var]
+        if any(a.rel_var != rel_var for a in update.sel_atoms):
+            return []
+
+        out: List[T.TorNode] = []
+        for preds in _subsets(atoms, self.level):
+            filtered = _sigma(tuple(preds), base)
+            out.extend(self._finish(update, filtered, side_of={}))
+            if not self.symmetry_breaking and len(preds) == 2:
+                # Redundant symmetric variants for the ablation study:
+                # nested sigmas and the flipped conjunction order.
+                nested = _sigma((preds[1],), _sigma((preds[0],), base))
+                out.extend(self._finish(update, nested, side_of={}))
+                flipped = _sigma((preds[1], preds[0]), base)
+                out.extend(self._finish(update, flipped, side_of={}))
+        return out
+
+    def _contains_exprs(self, update: Update, loop_id: str) -> List[T.TorNode]:
+        counter, rel_var = self._scan_of(loop_id)
+        base = T.Var(rel_var)
+        sel_atoms = [a.pred for a in update.sel_atoms if a.rel_var == rel_var]
+        out: List[T.TorNode] = []
+        for catom in update.contains_atoms:
+            if catom.rel_var != rel_var:
+                continue
+            member = T.RecordIn(catom.target, field=catom.field)
+            for preds in _subsets(sel_atoms, max(0, self.level - 1)):
+                filtered = T.Sigma(T.SelectFunc((member,) + tuple(preds)), base)
+                out.extend(self._finish(update, filtered, side_of={}))
+        return out
+
+    # -- join shapes ----------------------------------------------------------
+
+    def _join_exprs(self, update: Update, outer_id: str, inner_id: str
+                    ) -> List[T.TorNode]:
+        outer_counter, r1 = self._scan_of(outer_id)
+        inner_counter, r2 = self._scan_of(inner_id)
+
+        join_atoms = [a.pred for a in update.join_atoms
+                      if a.left_var == r1 and a.right_var == r2]
+        if len(join_atoms) != len(update.join_atoms):
+            return []  # join predicates over unexpected relations
+        sel1 = [a.pred for a in update.sel_atoms if a.rel_var == r1]
+        sel2 = [a.pred for a in update.sel_atoms if a.rel_var == r2]
+        if len(sel1) + len(sel2) != len(update.sel_atoms):
+            return []
+
+        min_join = 1 if self.level < 2 else 0  # cross joins from level 2
+        side_of = {r1: "left", r2: "right"}
+        out: List[T.TorNode] = []
+        for join_preds in _subsets(join_atoms, self.level, min_size=min_join):
+            sel_budget = max(0, self.level - max(1, len(join_preds)) + 1)
+            for preds1 in _subsets(sel1, sel_budget):
+                for preds2 in _subsets(sel2, sel_budget):
+                    left = _sigma(tuple(preds1), T.Var(r1))
+                    right = _sigma(tuple(preds2), T.Var(r2))
+                    joined = T.Join(T.JoinFunc(tuple(join_preds)), left, right)
+                    out.extend(self._finish(update, joined, side_of))
+        return out
+
+    # -- aggregates / wrappers -------------------------------------------------
+
+    def _finish(self, update: Update, rel_expr: T.TorNode,
+                side_of: Dict[str, str]) -> List[T.TorNode]:
+        """Wrap a filtered/joined relation according to the update kind."""
+        if update.kind in ("append", "set_add"):
+            specs = element_projection(update.elem, self.features.counters,
+                                       side_of)
+            if specs is None:
+                return []
+            projected = T.Pi(specs, rel_expr) if specs else rel_expr
+            if side_of and not specs:
+                # Joins produce pair rows; an unprojected element can
+                # only be the whole left/right side, which
+                # element_projection would have reported.
+                return []
+            out = [projected]
+            if update.kind == "set_add":
+                out = [T.Unique(projected)]
+            elif self.level >= 2:
+                out.append(T.Unique(projected))
+            if self.level >= 2:
+                out.extend(self._top_variants(projected))
+            return out
+
+        if update.kind == "count":
+            return [T.Size(rel_expr)]
+
+        if update.kind == "sum":
+            specs = element_projection(update.elem, self.features.counters,
+                                       side_of)
+            if not specs:
+                return []
+            return [T.SumOp(T.Pi(specs, rel_expr))]
+
+        if update.kind == "flag_true":
+            return [T.BinOp(">", T.Size(rel_expr), T.Const(0))]
+
+        if update.kind == "flag_false":
+            return [T.BinOp("=", T.Size(rel_expr), T.Const(0))]
+
+        return []
+
+    def _top_variants(self, expr: T.TorNode) -> List[T.TorNode]:
+        """``top_k`` wrappers for loops bounded by a constant."""
+        out = []
+        for loop in self.features.loops.values():
+            bound = getattr(loop, "bound_const", None)
+            if bound is not None:
+                out.append(T.Top(expr, T.Const(bound)))
+        return out
+
+    def _minmax_exprs(self, update: Update) -> Optional[List[T.TorNode]]:
+        """Recognise running max/min tracking (category O / aggregates).
+
+        Pattern: ``if (get(r, c).f > lv) lv := get(r, c).f`` — the guard
+        compares the scanned field against the accumulator itself, which
+        the atomizer necessarily reports as opaque.
+        """
+        if update.kind != "track" or len(update.opaque_guards) != 1:
+            return None
+        guard = update.opaque_guards[0]
+        if not (isinstance(guard, T.BinOp) and guard.op in ("<", ">")):
+            return None
+        from repro.core.features import _as_scan_ref
+
+        ref = _as_scan_ref(guard.left, self.features.counters)
+        other = guard.right
+        op = guard.op
+        if ref is None:
+            ref = _as_scan_ref(guard.right, self.features.counters)
+            other = guard.left
+            op = {"<": ">", ">": "<"}[guard.op]
+        if ref is None or ref.field is None or other != T.Var(update.var):
+            return None
+        if update.elem is None:
+            return None
+        elem_ref = _as_scan_ref(update.elem, self.features.counters)
+        if elem_ref != ref:
+            return None
+
+        chain = self._loop_chain(update.loop_id)
+        if len(chain) != 1 or self._scan_of(chain[0]) is None:
+            return None
+        _, rel_var = self._scan_of(chain[0])
+        if ref.rel_var != rel_var:
+            return None
+        sel_atoms = [a.pred for a in update.sel_atoms if a.rel_var == rel_var]
+        agg = T.MaxOp if op == ">" else T.MinOp
+        out: List[T.TorNode] = []
+        for preds in _subsets(sel_atoms, self.level):
+            filtered = _sigma(tuple(preds), T.Var(rel_var))
+            out.append(agg(T.Pi((T.FieldSpec(ref.field, ref.field),),
+                                filtered)))
+        return out
+
+    # -- postcondition / invariant assembly ------------------------------------
+
+    def postcondition_exprs(self) -> List[T.TorNode]:
+        """Candidate defining expressions for the result variable.
+
+        Two shapes:
+
+        * the result variable is itself a loop accumulator — candidates
+          are its full-scan expressions;
+        * the result is *derived* from accumulators (or directly from
+          base relations) by straight-line code after the loops —
+          ``return n > 0``, ``return len(issues)`` — in which case the
+          defining expression is taken symbolically and each
+          accumulator occurrence is replaced by its full-scan
+          candidates.
+        """
+        result = self.fragment.result_var
+        updates = self.features.updates_for(result)
+        if updates:
+            if len(updates) > 1:
+                kinds = {u.kind for u in updates}
+                if kinds != {"flag_true"} and kinds != {"flag_false"}:
+                    return []
+                updates = updates[:1]
+            candidates = self.full_exprs(updates[0])
+        else:
+            candidates = self._derived_result_exprs(result)
+        seen = set()
+        unique: List[T.TorNode] = []
+        for expr in sorted(candidates, key=lambda e: e.size()):
+            if expr not in seen:
+                seen.add(expr)
+                unique.append(expr)
+        return unique
+
+    def _derived_result_exprs(self, result: str) -> List[T.TorNode]:
+        base = exit_definitions(self.fragment).get(result)
+        if base is None:
+            return []
+        acc_vars = sorted(
+            v for v in T.free_vars(base) if self.features.updates_for(v))
+        if not acc_vars:
+            return [base]
+        pools: List[List[T.TorNode]] = []
+        for var in acc_vars:
+            updates = self.features.updates_for(var)
+            exprs = self.full_exprs(updates[0]) if len(updates) == 1 else []
+            if not exprs:
+                return []
+            pools.append(exprs)
+        out: List[T.TorNode] = []
+        for combo in itertools.product(*pools):
+            out.append(T.substitute(base, dict(zip(acc_vars, combo))))
+        return out
+
+    def loop_template(self, loop_id: str) -> LoopTemplate:
+        """Candidate invariant clauses for one loop."""
+        template = LoopTemplate(loop_id=loop_id)
+        info = self.features.loops[loop_id]
+
+        # Comparison clauses: bounds for this loop's counter and every
+        # enclosing loop's counter.
+        for lid in self._loop_chain(loop_id):
+            scan = self._scan_of(lid)
+            if scan is None:
+                continue
+            counter, rel_var = scan
+            size = T.Size(T.Var(rel_var))
+            template.cmp_clauses.append(
+                CmpClause(T.BinOp(">=", T.Var(counter), T.Const(0))))
+            template.cmp_clauses.append(
+                CmpClause(T.BinOp("<=", T.Var(counter), size)))
+            if lid != loop_id:
+                template.cmp_clauses.append(
+                    CmpClause(T.BinOp("<", T.Var(counter), size)))
+            bound = getattr(self.features.loops[lid], "bound_const", None)
+            if bound is not None:
+                template.cmp_clauses.append(
+                    CmpClause(T.BinOp("<=", T.Var(counter), T.Const(bound))))
+
+        # Equality clauses for each accumulator the loop must pin.
+        for var in info.accumulators:
+            choices = self._invariant_exprs_for(var, loop_id)
+            if choices:
+                template.eq_choices[var] = choices
+        return template
+
+    def _invariant_exprs_for(self, var: str, loop_id: str) -> List[T.TorNode]:
+        updates = self.features.updates_for(var)
+        if len(updates) != 1:
+            updates = updates[:1] if updates else []
+        if not updates:
+            return []
+        update = updates[0]
+        full = self.full_exprs(update)
+        if not full:
+            return []
+
+        chain = self._loop_chain(update.loop_id)
+        out: List[T.TorNode] = []
+        if loop_id == update.loop_id and len(chain) == 1:
+            counter, rel_var = self._scan_of(loop_id)
+            prefix = T.Top(T.Var(rel_var), T.Var(counter))
+            out = [T.substitute(e, {rel_var: prefix}) for e in full]
+        elif len(chain) == 2 and loop_id == chain[0]:
+            # Outer loop of a nest: completed prefix of the outer scan.
+            counter, rel_var = self._scan_of(chain[0])
+            prefix = T.Top(T.Var(rel_var), T.Var(counter))
+            out = [T.substitute(e, {rel_var: prefix}) for e in full]
+        elif len(chain) == 2 and loop_id == chain[1]:
+            # Inner loop: completed outer prefix + partial current row.
+            o_counter, r1 = self._scan_of(chain[0])
+            i_counter, r2 = self._scan_of(chain[1])
+            done = {r1: T.Top(T.Var(r1), T.Var(o_counter))}
+            current = {
+                r1: T.Singleton(T.Get(T.Var(r1), T.Var(o_counter))),
+                r2: T.Top(T.Var(r2), T.Var(i_counter)),
+            }
+            for expr in full:
+                out.append(self._combine_partial(expr, done, current))
+        else:
+            return []
+
+        seen = set()
+        unique: List[T.TorNode] = []
+        for expr in sorted(out, key=lambda e: e.size()):
+            if expr not in seen:
+                seen.add(expr)
+                unique.append(expr)
+        return unique
+
+    def _combine_partial(self, expr: T.TorNode, done: Dict[str, T.TorNode],
+                         current: Dict[str, T.TorNode]) -> T.TorNode:
+        """``cat(E[done], E[current])`` with scalar aggregates recombined.
+
+        Relation-valued shapes concatenate; ``size``/``sum`` add;
+        flag shapes (``size > 0``) or-combine via addition of sizes.
+        """
+        done_part = T.substitute(expr, done)
+        current_part = T.substitute(expr, current)
+        if isinstance(expr, T.Size):
+            return T.BinOp("+", done_part, current_part)
+        if isinstance(expr, T.SumOp):
+            return T.BinOp("+", done_part, current_part)
+        if isinstance(expr, T.BinOp) and isinstance(expr.left, T.Size):
+            # size(...) > 0  — combine the underlying sizes.
+            combined = T.BinOp("+", T.Size(T.substitute(expr.left.rel, done)),
+                               T.Size(T.substitute(expr.left.rel, current)))
+            return T.BinOp(expr.op, combined, expr.right)
+        if isinstance(expr, (T.MaxOp, T.MinOp)):
+            inner_done = T.substitute(expr.rel, done)
+            inner_current = T.substitute(expr.rel, current)
+            return type(expr)(T.Concat(inner_done, inner_current))
+        return T.Concat(done_part, current_part)

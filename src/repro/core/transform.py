@@ -1,0 +1,72 @@
+"""Source transformation: run the inferred query in place of the code.
+
+Paper Sec. 5.1 patches the generated SQL back into the application.  In
+this reproduction the patched method is represented by
+:class:`TransformedFragment`: a callable that executes the inferred SQL
+through the bundled engine and adapts the result to the shape the
+original fragment produced (row list / scalar / boolean), so the two
+versions can be compared for both equivalence and performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.qbs import QBSResult, QBSStatus
+from repro.sql.database import Database
+from repro.tor.values import Record
+
+
+class TransformationError(Exception):
+    """The QBS result cannot be executed (not translated, bad params)."""
+
+
+@dataclass
+class TransformedFragment:
+    """The executable form of a translated fragment."""
+
+    result: QBSResult
+
+    def __post_init__(self):
+        if self.result.status is not QBSStatus.TRANSLATED:
+            raise TransformationError(
+                "fragment %s was not translated (%s)"
+                % (getattr(self.result.fragment, "name", "?"),
+                   self.result.status.value))
+
+    @property
+    def sql(self) -> str:
+        return self.result.sql.sql
+
+    def execute(self, db: Database,
+                params: Optional[Dict[str, Any]] = None) -> Any:
+        """Run the inferred query; adapt to the fragment's result shape."""
+        query_result = db.execute(self.sql, params)
+        kind = self.result.sql.kind
+        if kind == "relation":
+            return tuple(query_result.rows)
+        if kind == "scalar":
+            value = query_result.scalar()
+            return value
+        if kind == "bool":
+            return bool(query_result.scalar())
+        raise TransformationError("unknown result kind %r" % kind)
+
+
+def entity_rows(values) -> Tuple[Record, ...]:
+    """Normalise original-code results for equivalence comparison.
+
+    The original fragment returns ORM entities (or scalars); the
+    transformed fragment returns plain records.  This helper projects
+    entities down to their records so the two can be compared.
+    """
+    from repro.orm.session import Entity
+
+    if isinstance(values, (list, tuple)):
+        return tuple(v.record if isinstance(v, Entity) else v for v in values)
+    if isinstance(values, set):
+        return tuple(sorted(
+            (v.record if isinstance(v, Entity) else v for v in values),
+            key=repr))
+    return values

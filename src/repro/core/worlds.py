@@ -1,0 +1,219 @@
+"""Test-world generation for bounded checking.
+
+The synthesizer validates candidate invariants and postconditions by
+bounded checking (paper Sec. 4.2): the verification conditions are
+tested over all databases up to a small size bound.  A *world* is one
+such database instance plus values for the fragment's scalar inputs.
+
+Worlds are generated deterministically from the fragment's table
+schemas.  Field-value pools are small integer ranges seeded with every
+constant the fragment's code compares against (so a filter like
+``role_id = 10`` sees both matching and non-matching rows), and the
+pools of different tables overlap so join predicates find both matches
+and non-matches.  The suite always includes the adversarial shapes that
+kill most wrong candidates: empty tables, single rows, duplicate rows
+and all-pairs-match / no-pairs-match joins.
+
+The validator re-runs the same generator at a larger bound before the
+prover runs (mirroring the paper's "increase the maximum relation size
+and retry" loop, Sec. 5).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.kernel import ast as K
+from repro.kernel.analysis import query_assignments
+from repro.tor import ast as T
+from repro.tor.values import Record
+
+
+@dataclass
+class World:
+    """One bounded test database plus fragment input values."""
+
+    tables: Dict[str, Tuple[Record, ...]]
+    inputs: Dict[str, Any] = field(default_factory=dict)
+
+    def db(self, query: T.QueryOp) -> Tuple[Record, ...]:
+        """Database callback for the TOR evaluator / kernel interpreter.
+
+        Queries that project a subset of the table's columns (``SELECT
+        manager_id FROM process``) receive rows projected onto their
+        declared schema, matching what the engine would return.
+        """
+        if query.table is not None and query.table in self.tables:
+            rows = self.tables[query.table]
+            if len(query.schema) == 1:
+                # Single-column projections yield bare scalars, matching
+                # the ORM's List<Long>-style results.
+                (field,) = query.schema
+                return tuple(row[field] if isinstance(row, Record) else row
+                             for row in rows)
+            if query.schema and rows and isinstance(rows[0], Record) \
+                    and set(query.schema) < set(rows[0].fields):
+                return tuple(row.project([(f, f) for f in query.schema])
+                             for row in rows)
+            return rows
+        raise KeyError("world has no table for query %r" % (query.sql,))
+
+    def max_table_size(self) -> int:
+        if not self.tables:
+            return 0
+        return max(len(rows) for rows in self.tables.values())
+
+
+def fragment_constants(fragment: K.Fragment) -> List[Any]:
+    """Every scalar constant mentioned by the fragment's expressions."""
+    constants: List[Any] = []
+    for cmd in fragment.body.walk():
+        exprs: List[T.TorNode] = []
+        if isinstance(cmd, K.Assign):
+            exprs.append(cmd.expr)
+        elif isinstance(cmd, (K.If,)):
+            exprs.append(cmd.cond)
+        elif isinstance(cmd, K.While):
+            exprs.append(cmd.cond)
+        elif isinstance(cmd, K.Assert):
+            exprs.append(cmd.expr)
+        for expr in exprs:
+            for node in expr.walk():
+                if isinstance(node, T.Const) and not isinstance(node.value, bool):
+                    if isinstance(node.value, (int, str)) and node.value not in constants:
+                        constants.append(node.value)
+    return constants
+
+
+def _field_pool(field_name: str, constants: List[Any]) -> List[Any]:
+    """Small value pool for one field.
+
+    Base pool is ``{0, 1, 2}``; any fragment constant is added so that
+    comparisons against it can go both ways.  String constants get a
+    non-matching partner string.
+    """
+    pool: List[Any] = [0, 1, 2]
+    for const in constants:
+        if isinstance(const, str):
+            if const not in pool:
+                pool = [const, const + "_other"] + [p for p in pool if isinstance(p, str)]
+        elif isinstance(const, int) and const not in pool:
+            pool.append(const)
+    return pool
+
+
+def _table_rows(schema: Tuple[str, ...], size: int, rng: random.Random,
+                constants: List[Any], style: str) -> Tuple[Record, ...]:
+    """Build one table instance of ``size`` rows.
+
+    ``style`` selects a generation strategy:
+
+    * ``"random"`` — independent draws from the field pools;
+    * ``"dup"`` — rows repeat (exercises ``unique`` / DISTINCT);
+    * ``"const"`` — every field takes the first fragment constant it can
+      (maximises predicate matches, exercises all-match joins).
+    """
+    rows: List[Record] = []
+    for idx in range(size):
+        values = {}
+        for f in schema:
+            pool = _field_pool(f, constants)
+            if style == "const" and constants:
+                # Prefer a constant of a matching type.
+                preferred = [c for c in constants if isinstance(c, type(pool[0]))]
+                values[f] = preferred[0] if preferred else pool[0]
+            elif style == "dup" and rows:
+                values[f] = rows[0][f]
+            else:
+                values[f] = rng.choice(pool)
+        rows.append(Record(values))
+    return tuple(rows)
+
+
+def generate_worlds(fragment: K.Fragment, max_size: int = 3,
+                    extra_random: int = 6, seed: int = 0) -> List[World]:
+    """Build the bounded-checking world suite for a fragment.
+
+    ``max_size`` bounds the number of rows per table; ``extra_random``
+    adds randomized worlds on top of the systematic shapes.  Generation
+    is deterministic in ``seed``.
+    """
+    rng = random.Random(seed)
+    constants = fragment_constants(fragment)
+    queries = query_assignments(fragment)
+
+    # Table name -> schema: the union of every query's columns over the
+    # table (projected queries see a subset via World.db).
+    schemas: Dict[str, Tuple[str, ...]] = {}
+
+    def note_query(query: T.QueryOp) -> None:
+        if query.table is None:
+            return
+        existing = list(schemas.get(query.table, ()))
+        for column in query.schema:
+            if column not in existing:
+                existing.append(column)
+        schemas[query.table] = tuple(existing)
+
+    for var, query in queries.items():
+        note_query(query)
+    for cmd in fragment.body.walk():
+        if isinstance(cmd, K.Assign):
+            for node in cmd.expr.walk():
+                if isinstance(node, T.QueryOp):
+                    note_query(node)
+
+    input_scalars = [name for name, info in fragment.inputs.items()
+                     if info.kind == "scalar"]
+
+    def input_choices(rng_local: random.Random) -> Dict[str, Any]:
+        pool = [0, 1, 2] + [c for c in constants if isinstance(c, int)]
+        str_pool = [c for c in constants if isinstance(c, str)] or ["s0"]
+        out = {}
+        for name in input_scalars:
+            # Alternate int/string guesses; fragments only ever compare
+            # them, so a type mismatch simply never matches.
+            out[name] = rng_local.choice(pool + str_pool[:1])
+        return out
+
+    worlds: List[World] = []
+
+    def add_world(sizes: Dict[str, int], style: str) -> None:
+        tables = {
+            name: _table_rows(schema, sizes.get(name, 0), rng, constants, style)
+            for name, schema in schemas.items()
+        }
+        worlds.append(World(tables=tables, inputs=input_choices(rng)))
+
+    table_names = sorted(schemas)
+    if not table_names:
+        return [World(tables={}, inputs=input_choices(rng))]
+
+    # Systematic shapes: empty, singleton, square, ragged; then styles
+    # that force duplicates and forced predicate matches.
+    size_shapes: List[Dict[str, int]] = [
+        {name: 0 for name in table_names},
+        {name: 1 for name in table_names},
+        {name: 2 for name in table_names},
+        {name: max_size for name in table_names},
+    ]
+    if len(table_names) > 1:
+        first, rest = table_names[0], table_names[1:]
+        size_shapes.append(dict({first: max_size}, **{r: 1 for r in rest}))
+        size_shapes.append(dict({first: 1}, **{r: max_size for r in rest}))
+        size_shapes.append(dict({first: max_size}, **{r: 0 for r in rest}))
+
+    for shape in size_shapes:
+        add_world(shape, "random")
+    add_world({name: max_size for name in table_names}, "dup")
+    add_world({name: max_size for name in table_names}, "const")
+    add_world({name: 2 for name in table_names}, "const")
+
+    for _ in range(extra_random):
+        shape = {name: rng.randint(0, max_size) for name in table_names}
+        add_world(shape, "random")
+
+    return worlds

@@ -1,0 +1,33 @@
+"""The evaluation corpus: the paper's 49 code fragments + Sec. 7.3 idioms.
+
+Appendix A of the paper lists 49 distinct persistent-data code
+fragments harvested from two open-source Java applications — Wilos
+(project management, fragments #17-49) and itracker (issue management,
+fragments #1-16) — each tagged with an operation category (A-O) and an
+outcome: translated (``X``), failed to find invariants (``*``), or
+rejected by preprocessing (``†``).
+
+This package re-creates every fragment in Python against
+:mod:`repro.orm`, preserving each one's control-flow shape, operation
+category and — critically — the construct that determined its outcome
+(the map-accumulating selection that gets rejected, the custom
+comparator that defeats synthesis, the nested-loop join that
+translates).  The Fig. 13 counts are reproduced by running QBS over the
+whole corpus (``benchmarks/bench_fig13_corpus.py``).
+"""
+
+from repro.corpus.registry import (
+    ALL_FRAGMENTS,
+    CorpusFragment,
+    compile_fragment,
+    fragments_for,
+    run_fragment_through_qbs,
+)
+
+__all__ = [
+    "ALL_FRAGMENTS",
+    "CorpusFragment",
+    "compile_fragment",
+    "fragments_for",
+    "run_fragment_through_qbs",
+]

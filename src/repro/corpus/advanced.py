@@ -1,0 +1,131 @@
+"""The advanced idioms of paper Sec. 7.3.
+
+Four synthetic fragments probing the limits of the approach:
+
+* **hash join** — a join implemented by probing one relation per row of
+  the other (the paper models hashtables as lists; the probe loop below
+  is that modeling).  Translates.
+* **sort-merge join** — simultaneous two-counter scan with conditional
+  advances; the invariants relate the current records to *all*
+  previously processed ones, which the predicate language cannot
+  express.  Fails, as the paper reports.
+* **sorted top-10** — sort then take the first ten rows; translates to
+  ORDER BY ... LIMIT 10.
+* **sorted scan bounded by the id value** — equivalent to top-10 only
+  because ``id`` is a dense primary key, a schema fact outside the
+  axioms.  Fails, as the paper reports.
+"""
+
+from __future__ import annotations
+
+from repro.orm.dao import Dao, query_method
+from repro.orm.mapping import EntityType, MappingRegistry
+from repro.orm.session import Session
+from repro.sql.database import Database
+
+ADVANCED_TABLES = {
+    "r": ("id", "a"),
+    "s": ("id", "b"),
+    "t": ("id",),
+}
+
+
+class AdvancedDaos:
+    class RDao(Dao):
+        @query_method("SELECT * FROM r", table="r",
+                      schema=ADVANCED_TABLES["r"], entity="R")
+        def get_rs(self):
+            """All rows of r."""
+
+    class SDao(Dao):
+        @query_method("SELECT * FROM s", table="s",
+                      schema=ADVANCED_TABLES["s"], entity="S")
+        def get_ss(self):
+            """All rows of s."""
+
+    class TDao(Dao):
+        @query_method("SELECT id FROM t", table="t", schema=("id",))
+        def get_ids(self):
+            """Single-column id table."""
+
+
+class AdvancedService:
+    def __init__(self, session: Session):
+        self.session = session
+        self.r_dao = AdvancedDaos.RDao(session)
+        self.s_dao = AdvancedDaos.SDao(session)
+        self.t_dao = AdvancedDaos.TDao(session)
+
+    # Sec 7.3 "Hash Joins" — translated.
+    def adv_hash_join(self):
+        rs = self.r_dao.get_rs()
+        ss = self.s_dao.get_ss()
+        result = []
+        for r in rs:
+            for s in ss:
+                if r.a == s.b:
+                    result.append(r)
+        return result
+
+    # Sec 7.3 "Sort-Merge Joins" — fails (invariant outside the language).
+    def adv_sort_merge_join(self):
+        rs = self.r_dao.get_rs()
+        ss = self.s_dao.get_ss()
+        result = []
+        i = 0
+        j = 0
+        while i < len(rs) and j < len(ss):
+            if rs[i].a < ss[j].b:
+                i = i + 1
+            else:
+                if rs[i].a > ss[j].b:
+                    j = j + 1
+                else:
+                    result.append(rs[i])
+                    i = i + 1
+        return result
+
+    # Sec 7.3 "Iterating over Sorted Relations", first variant — translated
+    # to SELECT id FROM t ORDER BY id LIMIT 10.
+    def adv_sorted_top_ten(self):
+        records = self.t_dao.get_ids()
+        records = sorted(records)  # Collections.sort(records)
+        results = []
+        i = 0
+        while i < 10 and i < len(records):
+            results.append(records[i])
+            i = i + 1
+        return results
+
+    # Sec 7.3, second variant — fails: needs the schema fact that id is a
+    # dense primary key.
+    def adv_sorted_scan_by_id(self):
+        records = self.t_dao.get_ids()
+        records = sorted(records)
+        results = []
+        i = 0
+        while records[i] < 10:
+            results.append(records[i])
+            i = i + 1
+        return results
+
+
+def advanced_mappings() -> MappingRegistry:
+    registry = MappingRegistry()
+    registry.register(EntityType("R", "r", ADVANCED_TABLES["r"]))
+    registry.register(EntityType("S", "s", ADVANCED_TABLES["s"]))
+    registry.register(EntityType("T", "t", ADVANCED_TABLES["t"]))
+    return registry
+
+
+def create_advanced_database() -> Database:
+    db = Database()
+    for table, columns in ADVANCED_TABLES.items():
+        db.create_table(table, columns)
+    db.create_index("r", "a")
+    db.create_index("s", "b")
+    return db
+
+
+def make_advanced_service(db, fetch: str = "lazy") -> AdvancedService:
+    return AdvancedService(Session(db, advanced_mappings(), fetch=fetch))

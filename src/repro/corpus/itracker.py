@@ -1,0 +1,151 @@
+"""The 16 itracker fragments (Appendix A, #1-16)."""
+
+from __future__ import annotations
+
+from repro.corpus.schema import ItrackerDaos, itracker_mappings
+from repro.orm.session import Session
+
+
+class ItrackerService:
+    """Host object for all itracker fragments."""
+
+    def __init__(self, session: Session):
+        self.session = session
+        self.issue_dao = ItrackerDaos.IssueDao(session)
+        self.project_dao = ItrackerDaos.TrackedProjectDao(session)
+        self.user_dao = ItrackerDaos.TrackerUserDao(session)
+        self.notification_dao = ItrackerDaos.NotificationDao(session)
+        self.component_dao = ItrackerDaos.ComponentDao(session)
+
+    # #1 EditProjectFormActionUtil:219 — F X 289s (contains join).
+    def i1_components_of_projects(self):
+        components = self.component_dao.get_components()
+        project_ids = self.project_dao.get_project_ids()
+        result = []
+        for c in components:
+            if c.project_id in project_ids:
+                result.append(c)
+        return result
+
+    # #2 IssueServiceImpl:1437 — D X 30s (projection into a set).
+    def i2_open_issue_ids(self):
+        issues = self.issue_dao.get_issues()
+        ids = set()
+        for i in issues:
+            if i.status == 1:
+                ids.add(i.id)
+        return ids
+
+    # #3 IssueServiceImpl:1456 — L * (computed projection into an array).
+    def i3_severity_codes(self):
+        issues = self.issue_dao.get_issues()
+        values = []
+        for i in issues:
+            values.append(i.severity * 10 + i.status)
+        return values
+
+    # #4 IssueServiceImpl:1567 — C * (latest by sorting, take last).
+    def i4_latest_issue(self):
+        issues = self.issue_dao.get_issues()
+        issues.sort(key=lambda i: i.created)
+        return issues[-1]
+
+    # #5 IssueServiceImpl:1583 — M X 130s (result set size).
+    def i5_count_issues(self):
+        issues = self.issue_dao.get_issues()
+        return len(issues)
+
+    # #6 IssueServiceImpl:1592 — M X 133s.
+    def i6_count_notifications(self):
+        notifications = self.notification_dao.get_notifications()
+        return len(notifications)
+
+    # #7 IssueServiceImpl:1601 — M X 128s.
+    def i7_count_components(self):
+        components = self.component_dao.get_components()
+        return len(components)
+
+    # #8 IssueServiceImpl:1422 — D X 34s (projected owner set).
+    def i8_owner_ids(self):
+        issues = self.issue_dao.get_issues()
+        owners = set()
+        for i in issues:
+            if i.severity > 2:
+                owners.add(i.owner_id)
+        return owners
+
+    # #9 ListProjectsAction:77 — N * (in-place removal while scanning).
+    def i9_prune_inactive_projects(self):
+        projects = self.project_dao.get_tracked_projects()
+        for p in projects:
+            if p.status == 0:
+                projects.remove(p)
+        return projects
+
+    # #10 MoveIssueFormAction:144 — K * (custom comparator).
+    def i10_issues_in_triage_order(self):
+        issues = self.issue_dao.get_issues()
+        ordered = sorted(issues, key=lambda i: triage_weight(i))
+        return ordered
+
+    # #11 NotificationServiceImpl:568 — O X 57s (running max).
+    def i11_latest_created(self):
+        issues = self.issue_dao.get_issues()
+        latest = float("-inf")
+        for i in issues:
+            if i.created > latest:
+                latest = i.created
+        return latest
+
+    # #12 NotificationServiceImpl:848 — A X 132s (selection).
+    def i12_role_notifications(self, role):
+        notifications = self.notification_dao.get_notifications()
+        result = []
+        for n in notifications:
+            if n.role == role:
+                result.append(n)
+        return result
+
+    # #13 NotificationServiceImpl:941 — H X 160s (existence, two criteria).
+    def i13_user_is_notified(self, user_id):
+        notifications = self.notification_dao.get_notifications()
+        found = False
+        for n in notifications:
+            if n.user_id == user_id and n.role == 1:
+                found = True
+        return found
+
+    # #14 NotificationServiceImpl:244 — O X 72s (running min).
+    def i14_earliest_created(self):
+        issues = self.issue_dao.get_issues()
+        earliest = float("inf")
+        for i in issues:
+            if i.created < earliest:
+                earliest = i.created
+        return earliest
+
+    # #15 UserServiceImpl:155 — M X 146s.
+    def i15_count_users(self):
+        users = self.user_dao.get_users()
+        return len(users)
+
+    # #16 UserServiceImpl:412 — A X 142s (selection of active supers).
+    def i16_active_super_users(self):
+        users = self.user_dao.get_users()
+        result = []
+        for u in users:
+            if u.status == 1 and u.is_super == 1:
+                result.append(u)
+        return result
+
+
+def triage_weight(issue) -> int:
+    """The opaque comparator of fragment #10."""
+    weight = issue.severity * 100 - issue.created
+    if issue.status == 1:
+        weight = weight - 10_000
+    return weight
+
+
+def make_itracker_service(db, fetch: str = "lazy") -> ItrackerService:
+    return ItrackerService(Session(db, itracker_mappings(), fetch=fetch))

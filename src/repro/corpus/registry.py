@@ -1,0 +1,256 @@
+"""Corpus metadata: every fragment, its paper identity and expectation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.qbs import QBS, QBSResult, QBSStatus
+from repro.corpus import advanced, itracker, wilos
+from repro.corpus.schema import ItrackerDaos, WilosDaos
+from repro.frontend import AppRegistry, FrontendRejection, PythonFrontend
+from repro.kernel.ast import Fragment
+
+
+@dataclass(frozen=True)
+class CorpusFragment:
+    """One Appendix A (or Sec. 7.3) fragment."""
+
+    fragment_id: str          # paper id: "w17", "i3", "adv_hash_join"
+    app: str                  # wilos | itracker | advanced
+    java_class: str           # class name in the paper's table
+    line: int                 # line number in the paper's table
+    category: str             # operation category A-O (or a label)
+    expected: QBSStatus       # the paper's outcome
+    paper_seconds: Optional[float]  # synthesis time the paper reports
+    method: str               # method name on the app's service class
+    description: str
+
+
+def _dao_registry(*dao_groups) -> AppRegistry:
+    registry = AppRegistry()
+    for group in dao_groups:
+        for dao_cls in vars(group).values():
+            if isinstance(dao_cls, type):
+                for name, member in vars(dao_cls).items():
+                    if hasattr(member, "__query_spec__"):
+                        registry.register_query(name, member.__query_spec__)
+    return registry
+
+
+def build_registry(app: str) -> AppRegistry:
+    """Frontend registry for one application."""
+    if app == "wilos":
+        registry = _dao_registry(WilosDaos)
+        registry.register_function(wilos.WilosService.all_projects,
+                                   name="all_projects")
+        return registry
+    if app == "itracker":
+        return _dao_registry(ItrackerDaos)
+    if app == "advanced":
+        registry = AppRegistry()
+        for dao_cls in vars(advanced.AdvancedDaos).values():
+            if isinstance(dao_cls, type):
+                for name, member in vars(dao_cls).items():
+                    if hasattr(member, "__query_spec__"):
+                        registry.register_query(name, member.__query_spec__)
+        return registry
+    raise ValueError("unknown app %r" % app)
+
+
+_SERVICE_CLASSES = {
+    "wilos": wilos.WilosService,
+    "itracker": itracker.ItrackerService,
+    "advanced": advanced.AdvancedService,
+}
+
+X = QBSStatus.TRANSLATED
+F = QBSStatus.FAILED
+R = QBSStatus.REJECTED
+
+#: Wilos fragments #17-49, in Appendix A order.
+WILOS_FRAGMENTS: List[CorpusFragment] = [
+    CorpusFragment("w17", "wilos", "ActivityService", 401, "A", R, None,
+                   "w17_activities_by_state",
+                   "selection accumulated into a map"),
+    CorpusFragment("w18", "wilos", "ActivityService", 328, "A", R, None,
+                   "w18_cache_active_activities",
+                   "selection cached into a field (escapes)"),
+    CorpusFragment("w19", "wilos", "AffectedtoDao", 13, "B", X, 72,
+                   "w19_count_affected", "count of matching participants"),
+    CorpusFragment("w20", "wilos", "ConcreteActivityDao", 139, "C", F, None,
+                   "w20_latest_concrete_activity",
+                   "max by sorting then taking the last record"),
+    CorpusFragment("w21", "wilos", "ConcreteActivityService", 133, "D", R,
+                   None, "w21_cache_activity_states",
+                   "projected set escapes into a field"),
+    CorpusFragment("w22", "wilos", "ConcreteRoleAffectationService", 55, "E",
+                   X, 310, "w22_descriptors_with_roles",
+                   "nested-loop join, keep left side"),
+    CorpusFragment("w23", "wilos", "ConcreteRoleDescriptorService", 181, "F",
+                   X, 290, "w23_descriptors_of_managed_processes",
+                   "join by membership in a projected column"),
+    CorpusFragment("w24", "wilos", "ConcreteWorkBreakdownElementService", 55,
+                   "G", R, None, "w24_breakdown_elements",
+                   "type-based record selection"),
+    CorpusFragment("w25", "wilos", "ConcreteWorkProductDescriptorService",
+                   236, "F", X, 284, "w25_descriptors_of_known_workproducts",
+                   "join by contains"),
+    CorpusFragment("w26", "wilos", "GuidanceService", 140, "A", R, None,
+                   "w26_practices_array", "fills an array by index"),
+    CorpusFragment("w27", "wilos", "GuidanceService", 154, "A", R, None,
+                   "w27_checklists_formatted",
+                   "selection through an unknown helper call"),
+    CorpusFragment("w28", "wilos", "IterationService", 103, "A", R, None,
+                   "w28_first_finished_iterations",
+                   "selection with early return"),
+    CorpusFragment("w29", "wilos", "LoginService", 103, "H", X, 125,
+                   "w29_login_exists", "existence of a login"),
+    CorpusFragment("w30", "wilos", "LoginService", 83, "H", X, 164,
+                   "w30_login_with_role_exists",
+                   "existence with two criteria"),
+    CorpusFragment("w31", "wilos", "ParticipantBean", 1079, "B", X, 31,
+                   "w31_no_managers", "emptiness of a filtered selection"),
+    CorpusFragment("w32", "wilos", "ParticipantBean", 681, "H", X, 121,
+                   "w32_project_has_manager", "existence check"),
+    CorpusFragment("w33", "wilos", "ParticipantService", 146, "E", X, 281,
+                   "w33_participants_with_projects", "nested-loop join"),
+    CorpusFragment("w34", "wilos", "ParticipantService", 119, "E", X, 301,
+                   "w34_participants_on_unfinished",
+                   "nested-loop join with selection"),
+    CorpusFragment("w35", "wilos", "ParticipantService", 266, "F", X, 260,
+                   "w35_ready_descriptors_of_processes",
+                   "filtered contains join"),
+    CorpusFragment("w36", "wilos", "PhaseService", 98, "A", R, None,
+                   "w36_first_done_phases", "selection with break"),
+    CorpusFragment("w37", "wilos", "ProcessBean", 248, "H", X, 82,
+                   "w37_process_exists", "existence by name"),
+    CorpusFragment("w38", "wilos", "ProcessManagerBean", 243, "B", X, 50,
+                   "w38_count_process_managers",
+                   "count of process managers (Fig. 14d)"),
+    CorpusFragment("w39", "wilos", "ProjectService", 266, "K", F, None,
+                   "w39_projects_in_custom_order",
+                   "sort with a custom comparator"),
+    CorpusFragment("w40", "wilos", "ProjectService", 297, "A", X, 19,
+                   "w40_unfinished_projects",
+                   "selection of unfinished projects (Fig. 14a/b)"),
+    CorpusFragment("w41", "wilos", "ProjectService", 338, "G", R, None,
+                   "w41_concrete_projects", "type-based selection"),
+    CorpusFragment("w42", "wilos", "ProjectService", 394, "A", X, 21,
+                   "w42_projects_by_creator", "selection by parameter"),
+    CorpusFragment("w43", "wilos", "ProjectService", 410, "A", X, 39,
+                   "w43_finished_projects_of_creator",
+                   "selection with two criteria"),
+    CorpusFragment("w44", "wilos", "ProjectService", 248, "H", X, 150,
+                   "w44_unfinished_project_exists", "existence check"),
+    CorpusFragment("w45", "wilos", "RoleDao", 15, "I", F, None,
+                   "w45_role_by_name",
+                   "keeps one record among several matches"),
+    CorpusFragment("w46", "wilos", "RoleService", 15, "E", X, 150,
+                   "w46_get_role_users",
+                   "the paper's running example (Fig. 1)"),
+    CorpusFragment("w47", "wilos", "WilosUserBean", 717, "B", X, 23,
+                   "w47_count_admins", "size of a filtered selection"),
+    CorpusFragment("w48", "wilos", "WorkProductsExpTableBean", 990, "B", X,
+                   52, "w48_has_ready_workproducts",
+                   "non-emptiness of a selection"),
+    CorpusFragment("w49", "wilos", "WorkProductsExpTableBean", 974, "J", X,
+                   50, "w49_count_project_workproducts",
+                   "selection followed by count"),
+]
+
+#: itracker fragments #1-16, in Appendix A order.
+ITRACKER_FRAGMENTS: List[CorpusFragment] = [
+    CorpusFragment("i1", "itracker", "EditProjectFormActionUtil", 219, "F",
+                   X, 289, "i1_components_of_projects", "contains join"),
+    CorpusFragment("i2", "itracker", "IssueServiceImpl", 1437, "D", X, 30,
+                   "i2_open_issue_ids", "projection into a set"),
+    CorpusFragment("i3", "itracker", "IssueServiceImpl", 1456, "L", F, None,
+                   "i3_severity_codes", "computed projection into an array"),
+    CorpusFragment("i4", "itracker", "IssueServiceImpl", 1567, "C", F, None,
+                   "i4_latest_issue", "max by sorting then last record"),
+    CorpusFragment("i5", "itracker", "IssueServiceImpl", 1583, "M", X, 130,
+                   "i5_count_issues", "result set size"),
+    CorpusFragment("i6", "itracker", "IssueServiceImpl", 1592, "M", X, 133,
+                   "i6_count_notifications", "result set size"),
+    CorpusFragment("i7", "itracker", "IssueServiceImpl", 1601, "M", X, 128,
+                   "i7_count_components", "result set size"),
+    CorpusFragment("i8", "itracker", "IssueServiceImpl", 1422, "D", X, 34,
+                   "i8_owner_ids", "filtered projection into a set"),
+    CorpusFragment("i9", "itracker", "ListProjectsAction", 77, "N", F, None,
+                   "i9_prune_inactive_projects",
+                   "selection with in-place removal"),
+    CorpusFragment("i10", "itracker", "MoveIssueFormAction", 144, "K", F,
+                   None, "i10_issues_in_triage_order",
+                   "sort with a custom comparator"),
+    CorpusFragment("i11", "itracker", "NotificationServiceImpl", 568, "O",
+                   X, 57, "i11_latest_created", "running max"),
+    CorpusFragment("i12", "itracker", "NotificationServiceImpl", 848, "A",
+                   X, 132, "i12_role_notifications",
+                   "selection by parameter"),
+    CorpusFragment("i13", "itracker", "NotificationServiceImpl", 941, "H",
+                   X, 160, "i13_user_is_notified",
+                   "existence with two criteria"),
+    CorpusFragment("i14", "itracker", "NotificationServiceImpl", 244, "O",
+                   X, 72, "i14_earliest_created", "running min"),
+    CorpusFragment("i15", "itracker", "UserServiceImpl", 155, "M", X, 146,
+                   "i15_count_users", "result set size"),
+    CorpusFragment("i16", "itracker", "UserServiceImpl", 412, "A", X, 142,
+                   "i16_active_super_users", "selection, two criteria"),
+]
+
+#: Sec. 7.3 advanced idioms.
+ADVANCED_FRAGMENTS: List[CorpusFragment] = [
+    CorpusFragment("adv_hash", "advanced", "HashJoin", 0, "hash-join", X,
+                   None, "adv_hash_join",
+                   "hash join modeled over lists (Sec. 7.3)"),
+    CorpusFragment("adv_merge", "advanced", "SortMergeJoin", 0,
+                   "sort-merge", F, None, "adv_sort_merge_join",
+                   "sort-merge join (Sec. 7.3, fails)"),
+    CorpusFragment("adv_top10", "advanced", "SortedTopTen", 0, "sorted-scan",
+                   X, None, "adv_sorted_top_ten",
+                   "sorted scan of the first ten rows (LIMIT 10)"),
+    CorpusFragment("adv_idscan", "advanced", "SortedIdScan", 0,
+                   "sorted-scan", F, None, "adv_sorted_scan_by_id",
+                   "sorted scan bounded by the id value (fails)"),
+]
+
+ALL_FRAGMENTS: List[CorpusFragment] = (
+    ITRACKER_FRAGMENTS + WILOS_FRAGMENTS + ADVANCED_FRAGMENTS)
+
+
+def fragments_for(app: str) -> List[CorpusFragment]:
+    return [f for f in ALL_FRAGMENTS if f.app == app]
+
+
+_REGISTRY_CACHE: Dict[str, AppRegistry] = {}
+
+
+def _registry(app: str) -> AppRegistry:
+    if app not in _REGISTRY_CACHE:
+        _REGISTRY_CACHE[app] = build_registry(app)
+    return _REGISTRY_CACHE[app]
+
+
+def compile_fragment(corpus_fragment: CorpusFragment) -> Fragment:
+    """Compile one corpus fragment to the kernel language.
+
+    Raises :class:`FrontendRejection` for the paper's ``†`` class.
+    """
+    service_cls = _SERVICE_CLASSES[corpus_fragment.app]
+    method = getattr(service_cls, corpus_fragment.method)
+    frontend = PythonFrontend(_registry(corpus_fragment.app))
+    return frontend.compile_function(
+        method, name="%s/%s" % (corpus_fragment.app, corpus_fragment.method))
+
+
+def run_fragment_through_qbs(corpus_fragment: CorpusFragment,
+                             qbs: Optional[QBS] = None) -> QBSResult:
+    """Frontend + QBS on one corpus fragment; rejection becomes a result."""
+    qbs = qbs or QBS()
+    try:
+        fragment = compile_fragment(corpus_fragment)
+    except FrontendRejection as exc:
+        return QBSResult(fragment=None, status=QBSStatus.REJECTED,
+                         reason=exc.reason)
+    return qbs.run(fragment)

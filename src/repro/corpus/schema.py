@@ -1,0 +1,325 @@
+"""Schemas, entities, DAOs and data populators for both applications.
+
+Table layouts distill the parts of Wilos and itracker the Appendix A
+fragments touch.  Each application gets:
+
+* ``*_TABLES`` — table name -> column tuple;
+* entity types with the associations the eager-fetch benchmarks need;
+* DAO classes whose ``@query_method``s double as frontend query specs;
+* a deterministic ``populate_*`` helper that fills a database at a
+  given scale (used by the Fig. 14 sweeps).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.orm.dao import Dao, query_method
+from repro.orm.mapping import Association, EntityType, MappingRegistry
+from repro.sql.database import Database
+
+# ---------------------------------------------------------------------------
+# Wilos (project management, 62k LOC in the paper)
+# ---------------------------------------------------------------------------
+
+WILOS_TABLES: Dict[str, Tuple[str, ...]] = {
+    "participant": ("id", "login", "role_id", "project_id", "is_manager"),
+    "role": ("role_id", "role_name"),
+    "project": ("id", "project_name", "is_finished", "creator_id"),
+    "activity": ("id", "activity_name", "project_id", "state"),
+    "concrete_activity": ("id", "activity_id", "state", "order_index"),
+    "guidance": ("id", "guidance_name", "guidance_type"),
+    "iteration": ("id", "phase_id", "iteration_name", "is_finished"),
+    "phase": ("id", "project_id", "phase_name", "state"),
+    "process": ("id", "process_name", "manager_id"),
+    "role_descriptor": ("id", "role_id", "process_id", "descriptor_name"),
+    "workproduct": ("id", "workproduct_name", "state", "project_id"),
+    "workproduct_descriptor": ("id", "workproduct_id", "process_id", "state"),
+}
+
+
+class WilosDaos:
+    """All Wilos persistent-data methods, one DAO class per concern."""
+
+    class ParticipantDao(Dao):
+        @query_method("SELECT * FROM participant", table="participant",
+                      schema=WILOS_TABLES["participant"], entity="Participant")
+        def get_participants(self):
+            """All participants (Hibernate: session.createQuery(...))."""
+
+    class RoleDao(Dao):
+        @query_method("SELECT * FROM role", table="role",
+                      schema=WILOS_TABLES["role"], entity="Role")
+        def get_roles(self):
+            """All roles."""
+
+    class ProjectDao(Dao):
+        @query_method("SELECT * FROM project", table="project",
+                      schema=WILOS_TABLES["project"], entity="Project")
+        def get_projects(self):
+            """All projects."""
+
+    class ActivityDao(Dao):
+        @query_method("SELECT * FROM activity", table="activity",
+                      schema=WILOS_TABLES["activity"], entity="Activity")
+        def get_activities(self):
+            """All activities."""
+
+    class ConcreteActivityDao(Dao):
+        @query_method("SELECT * FROM concrete_activity",
+                      table="concrete_activity",
+                      schema=WILOS_TABLES["concrete_activity"],
+                      entity="ConcreteActivity")
+        def get_concrete_activities(self):
+            """All concrete activities."""
+
+    class GuidanceDao(Dao):
+        @query_method("SELECT * FROM guidance", table="guidance",
+                      schema=WILOS_TABLES["guidance"], entity="Guidance")
+        def get_guidances(self):
+            """All guidance entries."""
+
+    class IterationDao(Dao):
+        @query_method("SELECT * FROM iteration", table="iteration",
+                      schema=WILOS_TABLES["iteration"], entity="Iteration")
+        def get_iterations(self):
+            """All iterations."""
+
+    class PhaseDao(Dao):
+        @query_method("SELECT * FROM phase", table="phase",
+                      schema=WILOS_TABLES["phase"], entity="Phase")
+        def get_phases(self):
+            """All phases."""
+
+    class ProcessDao(Dao):
+        @query_method("SELECT * FROM process", table="process",
+                      schema=WILOS_TABLES["process"], entity="Process")
+        def get_processes(self):
+            """All processes."""
+
+        @query_method("SELECT manager_id FROM process", table="process",
+                      schema=("manager_id",))
+        def get_manager_ids(self):
+            """Projected manager ids (single-column query)."""
+
+    class RoleDescriptorDao(Dao):
+        @query_method("SELECT * FROM role_descriptor",
+                      table="role_descriptor",
+                      schema=WILOS_TABLES["role_descriptor"],
+                      entity="RoleDescriptor")
+        def get_role_descriptors(self):
+            """All role descriptors."""
+
+    class WorkproductDao(Dao):
+        @query_method("SELECT * FROM workproduct", table="workproduct",
+                      schema=WILOS_TABLES["workproduct"], entity="Workproduct")
+        def get_workproducts(self):
+            """All work products."""
+
+        @query_method("SELECT id FROM workproduct", table="workproduct",
+                      schema=("id",))
+        def get_workproduct_ids(self):
+            """Projected work-product ids."""
+
+    class WorkproductDescriptorDao(Dao):
+        @query_method("SELECT * FROM workproduct_descriptor",
+                      table="workproduct_descriptor",
+                      schema=WILOS_TABLES["workproduct_descriptor"],
+                      entity="WorkproductDescriptor")
+        def get_workproduct_descriptors(self):
+            """All work-product descriptors."""
+
+
+def wilos_mappings() -> MappingRegistry:
+    registry = MappingRegistry()
+    registry.register(EntityType(
+        "Participant", "participant", WILOS_TABLES["participant"],
+        associations=(Association("role", "Role", "role_id", "role_id"),
+                      Association("project", "Project", "project_id", "id"))))
+    registry.register(EntityType("Role", "role", WILOS_TABLES["role"]))
+    registry.register(EntityType(
+        "Project", "project", WILOS_TABLES["project"],
+        associations=(Association("creator", "Participant",
+                                  "creator_id", "id"),)))
+    registry.register(EntityType("Activity", "activity",
+                                 WILOS_TABLES["activity"]))
+    registry.register(EntityType("ConcreteActivity", "concrete_activity",
+                                 WILOS_TABLES["concrete_activity"]))
+    registry.register(EntityType("Guidance", "guidance",
+                                 WILOS_TABLES["guidance"]))
+    registry.register(EntityType("Iteration", "iteration",
+                                 WILOS_TABLES["iteration"]))
+    registry.register(EntityType("Phase", "phase", WILOS_TABLES["phase"]))
+    registry.register(EntityType("Process", "process",
+                                 WILOS_TABLES["process"]))
+    registry.register(EntityType("RoleDescriptor", "role_descriptor",
+                                 WILOS_TABLES["role_descriptor"]))
+    registry.register(EntityType("Workproduct", "workproduct",
+                                 WILOS_TABLES["workproduct"]))
+    registry.register(EntityType(
+        "WorkproductDescriptor", "workproduct_descriptor",
+        WILOS_TABLES["workproduct_descriptor"]))
+    return registry
+
+
+def create_wilos_database(with_indexes: bool = True) -> Database:
+    db = Database()
+    for table, columns in WILOS_TABLES.items():
+        db.create_table(table, columns)
+    if with_indexes:
+        # Hibernate creates indexes on key columns automatically
+        # (paper Sec. 7.2 credits these for the hash-join speedup).
+        db.create_index("participant", "id")
+        db.create_index("participant", "role_id")
+        db.create_index("participant", "project_id")
+        db.create_index("participant", "is_manager")
+        db.create_index("role", "role_id")
+        db.create_index("project", "id")
+        db.create_index("role_descriptor", "role_id")
+    return db
+
+
+def populate_wilos(db: Database, n_users: int, n_roles: Optional[int] = None,
+                   unfinished_fraction: float = 0.1,
+                   manager_fraction: float = 0.1, seed: int = 7) -> None:
+    """Deterministic Wilos dataset at a given scale.
+
+    ``n_users`` participants; ``n_roles`` roles (default: one per
+    participant, the Fig. 14c configuration where the join returns
+    every user exactly once); ``unfinished_fraction`` of projects
+    unfinished (Fig. 14a/b selectivity); ``manager_fraction`` of
+    participants are process managers (Fig. 14d).
+    """
+    rng = random.Random(seed)
+    n_roles = n_users if n_roles is None else n_roles
+    db.insert_many("role", ({"role_id": i, "role_name": "role%d" % i}
+                            for i in range(n_roles)))
+    n_projects = max(1, n_users // 10)
+    unfinished_count = int(n_projects * unfinished_fraction)
+    db.insert_many("project", (
+        {"id": i, "project_name": "proj%d" % i,
+         "is_finished": 0 if i < unfinished_count else 1,
+         "creator_id": rng.randrange(max(1, n_users))}
+        for i in range(n_projects)))
+    manager_count = int(n_users * manager_fraction)
+    db.insert_many("participant", (
+        {"id": i, "login": "user%d" % i,
+         "role_id": i % n_roles,
+         "project_id": i % n_projects,
+         "is_manager": 1 if i < manager_count else 0}
+        for i in range(n_users)))
+
+
+# ---------------------------------------------------------------------------
+# itracker (issue management, 61k LOC in the paper)
+# ---------------------------------------------------------------------------
+
+ITRACKER_TABLES: Dict[str, Tuple[str, ...]] = {
+    "issue": ("id", "project_id", "status", "severity", "owner_id",
+              "created"),
+    "tracked_project": ("id", "project_name", "status"),
+    "tracker_user": ("id", "login", "status", "is_super"),
+    "notification": ("id", "issue_id", "user_id", "role"),
+    "component": ("id", "project_id", "component_name"),
+}
+
+
+class ItrackerDaos:
+    class IssueDao(Dao):
+        @query_method("SELECT * FROM issue", table="issue",
+                      schema=ITRACKER_TABLES["issue"], entity="Issue")
+        def get_issues(self):
+            """All issues."""
+
+    class TrackedProjectDao(Dao):
+        @query_method("SELECT * FROM tracked_project",
+                      table="tracked_project",
+                      schema=ITRACKER_TABLES["tracked_project"],
+                      entity="TrackedProject")
+        def get_tracked_projects(self):
+            """All projects."""
+
+        @query_method("SELECT id FROM tracked_project",
+                      table="tracked_project", schema=("id",))
+        def get_project_ids(self):
+            """Projected project ids."""
+
+    class TrackerUserDao(Dao):
+        @query_method("SELECT * FROM tracker_user", table="tracker_user",
+                      schema=ITRACKER_TABLES["tracker_user"],
+                      entity="TrackerUser")
+        def get_users(self):
+            """All users."""
+
+    class NotificationDao(Dao):
+        @query_method("SELECT * FROM notification", table="notification",
+                      schema=ITRACKER_TABLES["notification"],
+                      entity="Notification")
+        def get_notifications(self):
+            """All notifications."""
+
+    class ComponentDao(Dao):
+        @query_method("SELECT * FROM component", table="component",
+                      schema=ITRACKER_TABLES["component"], entity="Component")
+        def get_components(self):
+            """All components."""
+
+
+def itracker_mappings() -> MappingRegistry:
+    registry = MappingRegistry()
+    registry.register(EntityType(
+        "Issue", "issue", ITRACKER_TABLES["issue"],
+        associations=(Association("project", "TrackedProject",
+                                  "project_id", "id"),
+                      Association("owner", "TrackerUser", "owner_id", "id"))))
+    registry.register(EntityType("TrackedProject", "tracked_project",
+                                 ITRACKER_TABLES["tracked_project"]))
+    registry.register(EntityType("TrackerUser", "tracker_user",
+                                 ITRACKER_TABLES["tracker_user"]))
+    registry.register(EntityType("Notification", "notification",
+                                 ITRACKER_TABLES["notification"]))
+    registry.register(EntityType("Component", "component",
+                                 ITRACKER_TABLES["component"]))
+    return registry
+
+
+def create_itracker_database(with_indexes: bool = True) -> Database:
+    db = Database()
+    for table, columns in ITRACKER_TABLES.items():
+        db.create_table(table, columns)
+    if with_indexes:
+        db.create_index("issue", "project_id")
+        db.create_index("tracked_project", "id")
+        db.create_index("tracker_user", "id")
+    return db
+
+
+def populate_itracker(db: Database, n_issues: int,
+                      open_fraction: float = 0.3, seed: int = 11) -> None:
+    """Deterministic itracker dataset at a given scale."""
+    rng = random.Random(seed)
+    n_projects = max(1, n_issues // 20)
+    n_users = max(1, n_issues // 5)
+    db.insert_many("tracked_project", (
+        {"id": i, "project_name": "proj%d" % i, "status": i % 2}
+        for i in range(n_projects)))
+    db.insert_many("tracker_user", (
+        {"id": i, "login": "dev%d" % i, "status": 1,
+         "is_super": 1 if i % 10 == 0 else 0}
+        for i in range(n_users)))
+    open_count = int(n_issues * open_fraction)
+    db.insert_many("issue", (
+        {"id": i, "project_id": i % n_projects,
+         "status": 1 if i < open_count else 0,
+         "severity": rng.randrange(5), "owner_id": i % n_users,
+         "created": i}
+        for i in range(n_issues)))
+    db.insert_many("notification", (
+        {"id": i, "issue_id": i % max(1, n_issues),
+         "user_id": i % n_users, "role": i % 3}
+        for i in range(n_issues // 2)))
+    db.insert_many("component", (
+        {"id": i, "project_id": i % n_projects,
+         "component_name": "comp%d" % i}
+        for i in range(n_projects * 2)))

@@ -1,0 +1,368 @@
+"""The 33 Wilos fragments (Appendix A, #17-49).
+
+Each method reproduces the operation category and outcome-determining
+construct of the corresponding paper fragment.  Methods are executable
+against the ORM (the Fig. 14 benchmarks run them as the "original"
+version) and analysable by the frontend (the Fig. 13 benchmark runs
+QBS on them).
+
+Status legend (paper Appendix A): ``X`` translated, ``*`` synthesis
+failed, ``†`` rejected by preprocessing.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.schema import WilosDaos, wilos_mappings
+from repro.orm.session import Session
+
+
+class WilosService:
+    """Host object for all Wilos fragments; one DAO per concern."""
+
+    def __init__(self, session: Session):
+        self.session = session
+        self.participant_dao = WilosDaos.ParticipantDao(session)
+        self.role_dao = WilosDaos.RoleDao(session)
+        self.project_dao = WilosDaos.ProjectDao(session)
+        self.activity_dao = WilosDaos.ActivityDao(session)
+        self.concrete_activity_dao = WilosDaos.ConcreteActivityDao(session)
+        self.guidance_dao = WilosDaos.GuidanceDao(session)
+        self.iteration_dao = WilosDaos.IterationDao(session)
+        self.phase_dao = WilosDaos.PhaseDao(session)
+        self.process_dao = WilosDaos.ProcessDao(session)
+        self.role_descriptor_dao = WilosDaos.RoleDescriptorDao(session)
+        self.workproduct_dao = WilosDaos.WorkproductDao(session)
+        self.workproduct_descriptor_dao = \
+            WilosDaos.WorkproductDescriptorDao(session)
+
+    # -- helpers exercised by the inliner -----------------------------------
+
+    def all_projects(self):
+        """Persistent-data helper inlined into #40/#42 (budget of 5)."""
+        projects = self.project_dao.get_projects()
+        return projects
+
+    # #17 ActivityService:401 — A † (map-accumulating selection).
+    def w17_activities_by_state(self, state):
+        activities = self.activity_dao.get_activities()
+        by_id = {}
+        for a in activities:
+            if a.state == state:
+                by_id[a.id] = a
+        return by_id
+
+    # #18 ActivityService:328 — A † (result cached into a field: escapes).
+    def w18_cache_active_activities(self):
+        activities = self.activity_dao.get_activities()
+        filtered = []
+        for a in activities:
+            if a.state == 'active':
+                filtered.append(a)
+        self.activity_cache = filtered
+        return filtered
+
+    # #19 AffectedtoDao:13 — B X 72s (count rows matching a project).
+    def w19_count_affected(self):
+        participants = self.participant_dao.get_participants()
+        n = 0
+        for p in participants:
+            if p.project_id == 1:
+                n = n + 1
+        return n
+
+    # #20 ConcreteActivityDao:139 — C * (max by sorting, take last).
+    def w20_latest_concrete_activity(self):
+        activities = self.concrete_activity_dao.get_concrete_activities()
+        activities.sort(key=lambda a: a.order_index)
+        return activities[-1]
+
+    # #21 ConcreteActivityService:133 — D † (projected set escapes).
+    def w21_cache_activity_states(self):
+        activities = self.concrete_activity_dao.get_concrete_activities()
+        states = set()
+        for a in activities:
+            states.add(a.state)
+        self.state_cache = states
+        return states
+
+    # #22 ConcreteRoleAffectationService:55 — E X 310s (nested-loop join).
+    def w22_descriptors_with_roles(self):
+        descriptors = self.role_descriptor_dao.get_role_descriptors()
+        roles = self.role_dao.get_roles()
+        result = []
+        for d in descriptors:
+            for r in roles:
+                if d.role_id == r.role_id:
+                    result.append(d)
+        return result
+
+    # #23 ConcreteRoleDescriptorService:181 — F X 290s (join by contains).
+    def w23_descriptors_of_managed_processes(self):
+        descriptors = self.role_descriptor_dao.get_role_descriptors()
+        manager_ids = self.process_dao.get_manager_ids()
+        result = []
+        for d in descriptors:
+            if d.process_id in manager_ids:
+                result.append(d)
+        return result
+
+    # #24 ConcreteWorkBreakdownElementService:55 — G † (type dispatch).
+    def w24_breakdown_elements(self):
+        elements = self.activity_dao.get_activities()
+        result = []
+        for e in elements:
+            if isinstance(e, WorkBreakdownElement):  # noqa: F821
+                result.append(e)
+        return result
+
+    # #25 ConcreteWorkProductDescriptorService:236 — F X 284s.
+    def w25_descriptors_of_known_workproducts(self):
+        descriptors = self.workproduct_descriptor_dao \
+            .get_workproduct_descriptors()
+        workproduct_ids = self.workproduct_dao.get_workproduct_ids()
+        result = []
+        for d in descriptors:
+            if d.workproduct_id in workproduct_ids:
+                result.append(d)
+        return result
+
+    # #26 GuidanceService:140 — A † (fills a pre-sized array by index).
+    def w26_practices_array(self):
+        guidances = self.guidance_dao.get_guidances()
+        results = []
+        i = 0
+        for g in guidances:
+            if g.guidance_type == 'practice':
+                results[i] = g
+                i = i + 1
+        return results
+
+    # #27 GuidanceService:154 — A † (formats through an unknown helper).
+    def w27_checklists_formatted(self):
+        guidances = self.guidance_dao.get_guidances()
+        result = []
+        for g in guidances:
+            if g.guidance_type == 'checklist':
+                result.append(self.format_guidance(g))
+        return result
+
+    # #28 IterationService:103 — A † (early return from the scan).
+    def w28_first_finished_iterations(self):
+        iterations = self.iteration_dao.get_iterations()
+        result = []
+        for it in iterations:
+            if it.is_finished == 1:
+                result.append(it)
+            if len(result) > 10:
+                return result
+        return result
+
+    # #29 LoginService:103 — H X 125s (login existence check).
+    def w29_login_exists(self, login):
+        participants = self.participant_dao.get_participants()
+        found = False
+        for p in participants:
+            if p.login == login:
+                found = True
+        return found
+
+    # #30 LoginService:83 — H X 164s (existence with two criteria).
+    def w30_login_with_role_exists(self, login, role_id):
+        participants = self.participant_dao.get_participants()
+        found = False
+        for p in participants:
+            if p.login == login and p.role_id == role_id:
+                found = True
+        return found
+
+    # #31 ParticipantBean:1079 — B X 31s (emptiness of a filtered set).
+    def w31_no_managers(self):
+        participants = self.participant_dao.get_participants()
+        n = 0
+        for p in participants:
+            if p.is_manager == 1:
+                n += 1
+        return n == 0
+
+    # #32 ParticipantBean:681 — H X 121s.
+    def w32_project_has_manager(self):
+        participants = self.participant_dao.get_participants()
+        found = False
+        for p in participants:
+            if p.project_id == 2 and p.is_manager == 1:
+                found = True
+        return found
+
+    # #33 ParticipantService:146 — E X 281s (join participants/projects).
+    def w33_participants_with_projects(self):
+        participants = self.participant_dao.get_participants()
+        projects = self.project_dao.get_projects()
+        result = []
+        for p in participants:
+            for pr in projects:
+                if p.project_id == pr.id:
+                    result.append(p)
+        return result
+
+    # #34 ParticipantService:119 — E X 301s (join + selection).
+    def w34_participants_on_unfinished(self):
+        participants = self.participant_dao.get_participants()
+        projects = self.project_dao.get_projects()
+        result = []
+        for p in participants:
+            for pr in projects:
+                if p.project_id == pr.id and pr.is_finished == 0:
+                    result.append(p)
+        return result
+
+    # #35 ParticipantService:266 — F X 260s (filtered contains join).
+    def w35_ready_descriptors_of_processes(self):
+        descriptors = self.workproduct_descriptor_dao \
+            .get_workproduct_descriptors()
+        workproduct_ids = self.workproduct_dao.get_workproduct_ids()
+        result = []
+        for d in descriptors:
+            if d.state == 1 and d.workproduct_id in workproduct_ids:
+                result.append(d)
+        return result
+
+    # #36 PhaseService:98 — A † (break interrupts the scan).
+    def w36_first_done_phases(self):
+        phases = self.phase_dao.get_phases()
+        result = []
+        for ph in phases:
+            if ph.state == 'done':
+                result.append(ph)
+            if len(result) >= 5:
+                break
+        return result
+
+    # #37 ProcessBean:248 — H X 82s.
+    def w37_process_exists(self, name):
+        processes = self.process_dao.get_processes()
+        found = False
+        for pr in processes:
+            if pr.process_name == name:
+                found = True
+        return found
+
+    # #38 ProcessManagerBean:243 — B X 50s; the Fig. 14d fragment.
+    def w38_count_process_managers(self):
+        participants = self.participant_dao.get_participants()
+        n = 0
+        for p in participants:
+            if p.is_manager == 1:
+                n = n + 1
+        return n
+
+    # #39 ProjectService:266 — K * (custom comparator).
+    def w39_projects_in_custom_order(self):
+        projects = self.project_dao.get_projects()
+        ordered = sorted(projects,
+                         key=lambda p: project_sort_weight(p))
+        return ordered
+
+    # #40 ProjectService:297 — A X 19s; the Fig. 14a/b fragment.
+    def w40_unfinished_projects(self):
+        projects = self.all_projects()
+        unfinished = []
+        for p in projects:
+            if p.is_finished == 0:
+                unfinished.append(p)
+        return unfinished
+
+    # #41 ProjectService:338 — G † (type dispatch again).
+    def w41_concrete_projects(self):
+        projects = self.project_dao.get_projects()
+        result = []
+        for p in projects:
+            if isinstance(p, ConcreteProject):  # noqa: F821
+                result.append(p)
+        return result
+
+    # #42 ProjectService:394 — A X 21s (selection by parameter).
+    def w42_projects_by_creator(self, creator_id):
+        projects = self.all_projects()
+        result = []
+        for p in projects:
+            if p.creator_id == creator_id:
+                result.append(p)
+        return result
+
+    # #43 ProjectService:410 — A X 39s (two selection criteria).
+    def w43_finished_projects_of_creator(self, creator_id):
+        projects = self.project_dao.get_projects()
+        result = []
+        for p in projects:
+            if p.is_finished == 1 and p.creator_id == creator_id:
+                result.append(p)
+        return result
+
+    # #44 ProjectService:248 — H X 150s.
+    def w44_unfinished_project_exists(self):
+        projects = self.project_dao.get_projects()
+        found = False
+        for p in projects:
+            if p.is_finished == 0:
+                found = True
+        return found
+
+    # #45 RoleDao:15 — I * (keeps the last matching record).
+    def w45_role_by_name(self, role_name):
+        roles = self.role_dao.get_roles()
+        result = 0
+        for r in roles:
+            if r.role_name == role_name:
+                result = r
+        return result
+
+    # #46 RoleService:15 — E X 150s; the paper's running example (Fig. 1).
+    def w46_get_role_users(self):
+        list_users = []
+        users = self.participant_dao.get_participants()
+        roles = self.role_dao.get_roles()
+        for u in users:
+            for r in roles:
+                if u.role_id == r.role_id:
+                    list_users.append(u)
+        return list_users
+
+    # #47 WilosUserBean:717 — B X 23s (size of a filtered selection).
+    def w47_count_admins(self):
+        participants = self.participant_dao.get_participants()
+        admins = []
+        for p in participants:
+            if p.role_id == 1:
+                admins.append(p)
+        return len(admins)
+
+    # #48 WorkProductsExpTableBean:990 — B X 52s.
+    def w48_has_ready_workproducts(self):
+        workproducts = self.workproduct_dao.get_workproducts()
+        n = 0
+        for w in workproducts:
+            if w.state == 1:
+                n = n + 1
+        return n > 0
+
+    # #49 WorkProductsExpTableBean:974 — J X 50s (selection then count).
+    def w49_count_project_workproducts(self):
+        workproducts = self.workproduct_dao.get_workproducts()
+        matching = []
+        for w in workproducts:
+            if w.project_id == 3:
+                matching.append(w)
+        return len(matching)
+
+
+def project_sort_weight(project) -> int:
+    """The 'custom comparator' of fragment #39 — opaque to QBS."""
+    weight = project.id * 31
+    if project.is_finished == 0:
+        weight = weight - 1000
+    return weight
+
+
+def make_wilos_service(db, fetch: str = "lazy") -> WilosService:
+    """A service wired to a session over ``db``."""
+    return WilosService(Session(db, wilos_mappings(), fetch=fetch))

@@ -1,0 +1,35 @@
+"""The QBS frontend: from application source to kernel fragments.
+
+The paper's preprocessing (Sec. 6) takes Java web applications written
+against Hibernate and produces kernel-language code fragments.  This
+package does the same for Python applications written against
+:mod:`repro.orm`:
+
+* :mod:`repro.frontend.registry` — the application model: entry points,
+  persistent-data methods (``@query_method`` DAOs) and inlinable
+  application methods (Sec. 6.1);
+* :mod:`repro.frontend.inliner` — call inlining up to a budget of 5
+  callees, the paper's "neighborhood of calls";
+* :mod:`repro.frontend.analysis` — location tainting and value
+  escapement over the Python AST (Sec. 6.2): fragments whose persistent
+  data escapes (fields, globals, unknown calls) or whose collections
+  alias-and-mutate are rejected;
+* :mod:`repro.frontend.compile` — lowering of the supported Python
+  subset into the kernel language (Sec. 6.3), including ``for`` loops
+  to counter-indexed ``while`` scans and ORM calls to ``Query(...)``.
+
+Fragments the frontend cannot express raise
+:class:`~repro.frontend.errors.FrontendRejection`; the driver maps that
+to the paper's ``†`` (rejected) status.
+"""
+
+from repro.frontend.errors import FrontendRejection
+from repro.frontend.registry import AppRegistry, entry_point
+from repro.frontend.compile import PythonFrontend
+
+__all__ = [
+    "FrontendRejection",
+    "AppRegistry",
+    "entry_point",
+    "PythonFrontend",
+]

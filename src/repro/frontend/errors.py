@@ -1,0 +1,14 @@
+"""Frontend error types."""
+
+
+class FrontendRejection(Exception):
+    """The fragment falls outside the frontend's supported subset.
+
+    Maps to the paper's ``†`` status: "rejected by QBS due to TOR /
+    preprocessing limitations" — unsupported data structures, escaping
+    persistent values, relational updates, polymorphic dispatch.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason

@@ -1,0 +1,55 @@
+"""The kernel language of paper Fig. 4.
+
+Candidate code fragments are lowered into this small imperative language
+before query inference.  It operates on three types of values — scalars,
+immutable records and immutable lists — and its expressions are a strict
+subset of the theory of ordered relations (:mod:`repro.tor`), which makes
+verification-condition generation a matter of substitution rather than
+translation.
+
+Modules
+-------
+``ast``       commands (skip, assign, if, while, seq, assert) and the
+              expression-subset validator.
+``interp``    a reference interpreter with loop-head trace hooks, used by
+              the synthesizer's dynamic candidate filter and by the
+              bounded observational-equivalence check.
+``analysis``  structural facts about a fragment: loop nesting, modified
+              variables, loop counters and the relations they scan.
+``pretty``    source-like rendering of kernel programs.
+"""
+
+from repro.kernel.ast import (
+    Assert,
+    Assign,
+    Command,
+    Fragment,
+    If,
+    KernelValidationError,
+    Seq,
+    Skip,
+    VarInfo,
+    While,
+    validate_expression,
+)
+from repro.kernel.interp import ExecutionError, execute, run_fragment
+from repro.kernel.pretty import pretty_command, pretty_fragment
+
+__all__ = [
+    "Assert",
+    "Assign",
+    "Command",
+    "Fragment",
+    "If",
+    "KernelValidationError",
+    "Seq",
+    "Skip",
+    "VarInfo",
+    "While",
+    "validate_expression",
+    "ExecutionError",
+    "execute",
+    "run_fragment",
+    "pretty_command",
+    "pretty_fragment",
+]

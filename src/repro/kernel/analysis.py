@@ -1,0 +1,215 @@
+"""Structural analysis of kernel fragments.
+
+The template generator (paper Sec. 4.3/4.4) scans the input fragment for
+specific patterns — which relation a loop iterates over, which variable
+is its counter, which variables accumulate results — and builds the
+candidate invariant space from them.  This module extracts those facts.
+
+A canonical scanning loop looks like (paper Fig. 2)::
+
+    while (i < size(rel)) {
+        ... get(rel, i) ...
+        i := i + 1;
+    }
+
+Loops whose guard does not bound a counter by the size of a relation
+(for example ``while (get(records, i).id < 10)`` from Sec. 7.3) yield a
+:class:`LoopInfo` with ``counter=None``; the synthesizer then has no
+``top_i``-shaped template to offer and the fragment fails translation,
+exactly as the paper reports for that idiom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.kernel import ast as K
+from repro.tor import ast as T
+
+
+@dataclass
+class LoopInfo:
+    """Facts about one ``while`` loop used to direct template generation.
+
+    ``loop``            the :class:`~repro.kernel.ast.While` node.
+    ``depth``           nesting depth (0 = outermost).
+    ``parent``          enclosing loop id, if any.
+    ``counter``         name of the scan counter, when the loop matches
+                        the canonical pattern.
+    ``scanned``         TOR expression for the relation being scanned
+                        (usually a ``Var``, possibly ``sort_f(Var)``).
+    ``modified``        variables assigned in the body (including the
+                        counter and inner-loop variables).
+    ``accumulators``    modified variables that are not scan counters —
+                        the variables invariants must pin.
+    ``inner_loops``     loop ids nested directly inside this one.
+    """
+
+    loop: K.While
+    depth: int
+    parent: Optional[str] = None
+    counter: Optional[str] = None
+    scanned: Optional[T.TorNode] = None
+    bound_const: Optional[int] = None
+    modified: Tuple[str, ...] = ()
+    accumulators: Tuple[str, ...] = ()
+    inner_loops: Tuple[str, ...] = ()
+
+    @property
+    def loop_id(self) -> str:
+        return self.loop.loop_id
+
+
+def _match_scan_guard(cond: T.TorNode
+                      ) -> Optional[Tuple[str, T.TorNode, Optional[int]]]:
+    """Match the canonical scan guard shapes.
+
+    Recognised forms (and their symmetric spellings):
+
+    * ``i < size(rel)`` — a full scan;
+    * ``i < k and i < size(rel)`` — a constant-bounded scan (the
+      "first k rows" idiom of Sec. 7.3, which translates to LIMIT k).
+
+    Returns ``(counter_name, scanned_relation_expr, bound_const)``.
+    """
+    simple = _match_size_bound(cond)
+    if simple is not None:
+        return simple[0], simple[1], None
+    if isinstance(cond, T.BinOp) and cond.op == "and":
+        left_size = _match_size_bound(cond.left)
+        right_size = _match_size_bound(cond.right)
+        left_const = _match_const_bound(cond.left)
+        right_const = _match_const_bound(cond.right)
+        if left_size and right_const and left_size[0] == right_const[0]:
+            return left_size[0], left_size[1], right_const[1]
+        if right_size and left_const and right_size[0] == left_const[0]:
+            return right_size[0], right_size[1], left_const[1]
+    return None
+
+
+def _match_size_bound(cond: T.TorNode) -> Optional[Tuple[str, T.TorNode]]:
+    """``i < size(rel)`` or ``size(rel) > i``."""
+    if isinstance(cond, T.BinOp) and cond.op == "<":
+        if isinstance(cond.left, T.Var) and isinstance(cond.right, T.Size):
+            return cond.left.name, cond.right.rel
+    if isinstance(cond, T.BinOp) and cond.op == ">":
+        if isinstance(cond.right, T.Var) and isinstance(cond.left, T.Size):
+            return cond.right.name, cond.left.rel
+    return None
+
+
+def _match_const_bound(cond: T.TorNode) -> Optional[Tuple[str, int]]:
+    """``i < k`` for an integer constant ``k``."""
+    if isinstance(cond, T.BinOp) and cond.op == "<":
+        if (isinstance(cond.left, T.Var) and isinstance(cond.right, T.Const)
+                and isinstance(cond.right.value, int)):
+            return cond.left.name, cond.right.value
+    if isinstance(cond, T.BinOp) and cond.op == ">":
+        if (isinstance(cond.right, T.Var) and isinstance(cond.left, T.Const)
+                and isinstance(cond.left.value, int)):
+            return cond.right.name, cond.left.value
+    return None
+
+
+def _increments_by_one(body: K.Command, var: str) -> bool:
+    """True when ``body`` contains exactly ``var := var + 1``."""
+    for cmd in body.walk():
+        if isinstance(cmd, K.Assign) and cmd.var == var:
+            expr = cmd.expr
+            if (isinstance(expr, T.BinOp) and expr.op == "+"
+                    and expr.left == T.Var(var) and expr.right == T.Const(1)):
+                continue
+            return False
+    return True
+
+
+def analyze_loops(fragment: K.Fragment) -> Dict[str, LoopInfo]:
+    """Compute :class:`LoopInfo` for every loop of the fragment."""
+    infos: Dict[str, LoopInfo] = {}
+
+    def visit(cmd: K.Command, depth: int, parent: Optional[str]) -> List[str]:
+        """Return loop ids directly nested in ``cmd``."""
+        direct: List[str] = []
+        if isinstance(cmd, K.Seq):
+            for sub in cmd.commands:
+                direct.extend(visit(sub, depth, parent))
+        elif isinstance(cmd, K.If):
+            direct.extend(visit(cmd.then_branch, depth, parent))
+            direct.extend(visit(cmd.else_branch, depth, parent))
+        elif isinstance(cmd, K.While):
+            info = LoopInfo(loop=cmd, depth=depth, parent=parent)
+            info.modified = K.modified_vars(cmd.body)
+            match = _match_scan_guard(cmd.cond)
+            if match is not None:
+                counter, scanned, bound_const = match
+                if counter in info.modified and _increments_by_one(cmd.body, counter):
+                    info.counter = counter
+                    info.scanned = scanned
+                    info.bound_const = bound_const
+            infos[cmd.loop_id] = info
+            inner = visit(cmd.body, depth + 1, cmd.loop_id)
+            info.inner_loops = tuple(inner)
+            direct.append(cmd.loop_id)
+        return direct
+
+    visit(fragment.body, 0, None)
+
+    # Accumulators: everything modified in the body except this loop's
+    # own counter and the counters of nested loops.
+    all_counters = {info.counter for info in infos.values() if info.counter}
+    for info in infos.values():
+        info.accumulators = tuple(
+            v for v in info.modified if v not in all_counters)
+    return infos
+
+
+def scope_vars(fragment: K.Fragment, loop: K.While) -> Tuple[str, ...]:
+    """Program variables in scope at the head of ``loop``.
+
+    Used as the parameter list of the loop's unknown invariant predicate.
+    We take every fragment variable that is assigned before or inside the
+    loop, plus all fragment inputs — a sound over-approximation of the
+    textual scope (extra parameters are harmless: the synthesizer simply
+    never mentions them).
+    """
+    names: List[str] = list(fragment.inputs)
+
+    found = [False]
+
+    def visit(cmd: K.Command) -> None:
+        if cmd is loop:
+            found[0] = True
+        if isinstance(cmd, K.Assign):
+            if cmd.var not in names:
+                names.append(cmd.var)
+            return
+        if isinstance(cmd, K.Seq):
+            for sub in cmd.commands:
+                visit(sub)
+            return
+        if isinstance(cmd, K.If):
+            visit(cmd.then_branch)
+            visit(cmd.else_branch)
+            return
+        if isinstance(cmd, K.While):
+            for sub in cmd.body.walk():
+                if isinstance(sub, K.Assign) and sub.var not in names:
+                    names.append(sub.var)
+            return
+
+    visit(fragment.body)
+    return tuple(names)
+
+
+def query_assignments(fragment: K.Fragment) -> Dict[str, T.QueryOp]:
+    """Map variable name -> the ``Query`` expression assigned to it.
+
+    Only direct ``v := Query(...)`` bindings count; these are the base
+    relations that postconditions are built from.
+    """
+    out: Dict[str, T.QueryOp] = {}
+    for cmd in fragment.body.walk():
+        if isinstance(cmd, K.Assign) and isinstance(cmd.expr, T.QueryOp):
+            out[cmd.var] = cmd.expr
+    return out

@@ -1,0 +1,244 @@
+"""Abstract syntax of the kernel language (paper Fig. 4).
+
+Commands::
+
+    c ::= skip | var := e | if (e) then c1 else c2
+        | while (e) do c | c1 ; c2 | assert e
+
+Expressions are shared with the theory of ordered relations: the kernel
+expression grammar of Fig. 4 is exactly the TOR node set
+
+    Const | [] | Var | e.f | {fi = ei} | e1 op e2 | not e
+    | Query(...) | size(e) | get_es(er) | append(er, es) | unique(e)
+
+plus ``singleton``/``concat`` which the frontend uses to model list
+literals and set insertion.  :func:`validate_expression` enforces the
+subset so that a fragment containing, say, a ``sort`` smuggled in as an
+expression is rejected loudly instead of silently accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.tor import ast as T
+
+#: TOR node types that may appear in kernel-language expressions.
+KERNEL_EXPRESSION_NODES = (
+    T.Const,
+    T.EmptyRelation,
+    T.Var,
+    T.FieldAccess,
+    T.RecordLit,
+    T.BinOp,
+    T.Not,
+    T.QueryOp,
+    T.Size,
+    T.Get,
+    T.Append,
+    T.Unique,
+    T.Singleton,
+    T.Concat,
+    T.Contains,
+    T.FieldSpec,
+    # ``sort`` is how the frontend models Collections.sort(...) calls on
+    # fetched lists (Sec. 7.3); QBS treats it as an uninterpreted
+    # operation with a handful of algebraic properties.
+    T.Sort,
+    # ``remove`` models List.remove(Object): evaluable but outside the
+    # template space, so removal fragments fail synthesis (category N).
+    T.RemoveFirst,
+)
+
+
+class KernelValidationError(Exception):
+    """Raised when an expression falls outside the kernel subset."""
+
+
+def validate_expression(expr: T.TorNode) -> T.TorNode:
+    """Check that ``expr`` only uses kernel-language constructs.
+
+    Returns the expression unchanged on success so callers can validate
+    inline; raises :class:`KernelValidationError` otherwise.
+    """
+    for node in expr.walk():
+        if not isinstance(node, KERNEL_EXPRESSION_NODES):
+            raise KernelValidationError(
+                "%s is not a kernel-language expression construct"
+                % type(node).__name__
+            )
+    return expr
+
+
+class Command:
+    """Base class for kernel-language commands."""
+
+    __slots__ = ()
+
+    def walk(self) -> Iterator["Command"]:
+        """Yield this command and all nested sub-commands, pre-order."""
+        yield self
+        for child in self._sub_commands():
+            yield from child.walk()
+
+    def _sub_commands(self) -> Iterator["Command"]:
+        return iter(())
+
+
+@dataclass(frozen=True)
+class Skip(Command):
+    """``skip`` — the no-op command."""
+
+
+@dataclass(frozen=True)
+class Assign(Command):
+    """``var := e``."""
+
+    var: str
+    expr: T.TorNode
+
+
+@dataclass(frozen=True)
+class If(Command):
+    """``if (cond) then then_branch else else_branch``."""
+
+    cond: T.TorNode
+    then_branch: Command
+    else_branch: Command = Skip()
+
+    def _sub_commands(self) -> Iterator[Command]:
+        yield self.then_branch
+        yield self.else_branch
+
+
+@dataclass(frozen=True)
+class While(Command):
+    """``while (cond) do body``.
+
+    ``loop_id`` names the loop so verification conditions can refer to
+    its (initially unknown) invariant; the frontend assigns ids in
+    program order (``loop0`` is the outermost / first).
+    """
+
+    cond: T.TorNode
+    body: Command
+    loop_id: str
+
+    def _sub_commands(self) -> Iterator[Command]:
+        yield self.body
+
+
+@dataclass(frozen=True)
+class Seq(Command):
+    """``c1 ; c2 ; ...`` — sequential composition, flattened."""
+
+    commands: Tuple[Command, ...]
+
+    def _sub_commands(self) -> Iterator[Command]:
+        return iter(self.commands)
+
+
+@dataclass(frozen=True)
+class Assert(Command):
+    """``assert e``."""
+
+    expr: T.TorNode
+
+
+def seq(*commands: Command) -> Command:
+    """Smart constructor: flatten nested sequences and drop skips."""
+    flat = []
+    for cmd in commands:
+        if isinstance(cmd, Seq):
+            flat.extend(cmd.commands)
+        elif not isinstance(cmd, Skip):
+            flat.append(cmd)
+    if not flat:
+        return Skip()
+    if len(flat) == 1:
+        return flat[0]
+    return Seq(tuple(flat))
+
+
+# ---------------------------------------------------------------------------
+# Fragments
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VarInfo:
+    """Static information about one fragment variable.
+
+    ``kind``
+        ``"relation"`` for ordered-relation variables, ``"scalar"`` for
+        booleans/numbers/strings, ``"record"`` for single records.
+    ``schema``
+        Field names of the rows for relation variables (empty for
+        scalar-element relations), or of the record for record variables.
+    ``table``
+        The database table this relation was fetched from, when it is
+        the direct result of a ``Query``.
+    ``element_scalar``
+        True for relations whose rows are bare scalars (projected
+        single columns collected into plain lists).
+    """
+
+    kind: str
+    schema: Tuple[str, ...] = ()
+    table: Optional[str] = None
+    element_scalar: bool = False
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A candidate code fragment in kernel form (paper Sec. 2/6).
+
+    ``body``
+        The kernel command sequence.
+    ``result_var``
+        The variable whose final value the fragment produces (detected
+        by the frontend, Sec. 2.1).
+    ``inputs``
+        Parameters the fragment receives from its context (scalars used
+        in selection criteria, for instance), name -> :class:`VarInfo`.
+    ``locals``
+        Variables assigned inside the fragment, name -> :class:`VarInfo`.
+    ``name``
+        Diagnostic label (e.g. ``wilos/RoleService.getRoleUser``).
+    """
+
+    body: Command
+    result_var: str
+    inputs: Dict[str, VarInfo] = field(default_factory=dict)
+    locals: Dict[str, VarInfo] = field(default_factory=dict)
+    name: str = "<fragment>"
+
+    # Fragment carries dicts, so opt out of hashing/equality-by-value.
+    def __hash__(self):  # pragma: no cover - identity hashing only
+        return id(self)
+
+    def var_info(self, name: str) -> Optional[VarInfo]:
+        """Look up a variable in inputs then locals."""
+        if name in self.inputs:
+            return self.inputs[name]
+        return self.locals.get(name)
+
+    def all_vars(self) -> Dict[str, VarInfo]:
+        """Union of inputs and locals (locals win on a clash)."""
+        merged = dict(self.inputs)
+        merged.update(self.locals)
+        return merged
+
+    def loops(self) -> Tuple[While, ...]:
+        """All while loops of the body, outermost first, program order."""
+        return tuple(cmd for cmd in self.body.walk() if isinstance(cmd, While))
+
+
+def modified_vars(cmd: Command) -> Tuple[str, ...]:
+    """Variables assigned anywhere inside ``cmd``, in first-write order."""
+    seen = []
+    for node in cmd.walk():
+        if isinstance(node, Assign) and node.var not in seen:
+            seen.append(node.var)
+    return tuple(seen)

@@ -1,0 +1,130 @@
+"""Reference interpreter for the kernel language.
+
+The interpreter serves three purposes:
+
+* **ground truth** — the bounded observational-equivalence check runs a
+  fragment and compares its result variable with the evaluation of a
+  synthesized postcondition;
+* **dynamic invariant filtering** — a ``trace`` callback fires at every
+  loop head with the loop id and a snapshot of the environment, giving
+  the synthesizer concrete states that any correct loop invariant must
+  satisfy (in the spirit of the dynamic-detection work the paper cites);
+* **testing** — the corpus tests execute every fragment directly.
+
+Loops are bounded by ``fuel`` to keep runaway candidates from hanging
+the test suite; exceeding the budget raises :class:`ExecutionError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.kernel import ast as K
+from repro.tor import ast as T
+from repro.tor.semantics import DatabaseFn, EvalError, evaluate
+
+#: Trace callback type: ``trace(loop_id, env_snapshot)``.
+TraceFn = Callable[[str, Dict[str, Any]], None]
+
+DEFAULT_FUEL = 1_000_000
+
+
+class ExecutionError(Exception):
+    """Raised on assertion failure, evaluation error or fuel exhaustion."""
+
+
+def execute(cmd: K.Command, env: Dict[str, Any],
+            db: Optional[DatabaseFn] = None,
+            trace: Optional[TraceFn] = None,
+            fuel: int = DEFAULT_FUEL) -> Dict[str, Any]:
+    """Execute ``cmd``, mutating and returning ``env``.
+
+    ``env`` maps variable names to TOR runtime values.  ``db`` resolves
+    ``Query`` expressions.  ``trace`` is invoked at every loop-head
+    evaluation (including the final one whose condition is false),
+    *before* the condition is tested, mirroring where a loop invariant
+    must hold.
+    """
+    budget = [fuel]
+    _exec(cmd, env, db, trace, budget)
+    return env
+
+
+def _spend(budget, amount: int = 1) -> None:
+    budget[0] -= amount
+    if budget[0] < 0:
+        raise ExecutionError("fuel exhausted: fragment loop did not terminate "
+                             "within the configured budget")
+
+
+def _eval(expr: T.TorNode, env: Dict[str, Any], db: Optional[DatabaseFn]) -> Any:
+    try:
+        return evaluate(expr, env, db)
+    except EvalError as exc:
+        raise ExecutionError(str(exc)) from exc
+
+
+def _exec(cmd: K.Command, env: Dict[str, Any], db: Optional[DatabaseFn],
+          trace: Optional[TraceFn], budget) -> None:
+    if isinstance(cmd, K.Skip):
+        return
+
+    if isinstance(cmd, K.Assign):
+        env[cmd.var] = _eval(cmd.expr, env, db)
+        return
+
+    if isinstance(cmd, K.Seq):
+        for sub in cmd.commands:
+            _exec(sub, env, db, trace, budget)
+        return
+
+    if isinstance(cmd, K.If):
+        if _eval(cmd.cond, env, db):
+            _exec(cmd.then_branch, env, db, trace, budget)
+        else:
+            _exec(cmd.else_branch, env, db, trace, budget)
+        return
+
+    if isinstance(cmd, K.While):
+        while True:
+            _spend(budget)
+            if trace is not None:
+                trace(cmd.loop_id, dict(env))
+            if not _eval(cmd.cond, env, db):
+                break
+            _exec(cmd.body, env, db, trace, budget)
+        return
+
+    if isinstance(cmd, K.Assert):
+        if not _eval(cmd.expr, env, db):
+            raise ExecutionError("assertion failed: %r" % (cmd.expr,))
+        return
+
+    raise ExecutionError("unknown command %r" % (cmd,))
+
+
+def run_fragment(fragment: K.Fragment, db: Optional[DatabaseFn] = None,
+                 inputs: Optional[Dict[str, Any]] = None,
+                 trace: Optional[TraceFn] = None,
+                 fuel: int = DEFAULT_FUEL) -> Any:
+    """Run a fragment and return the value of its result variable.
+
+    ``inputs`` supplies values for the fragment's input parameters;
+    missing relation inputs default to the empty relation and missing
+    scalars to 0, which keeps small smoke tests terse.
+    """
+    env: Dict[str, Any] = {}
+    for name, info in fragment.inputs.items():
+        if inputs is not None and name in inputs:
+            env[name] = inputs[name]
+        elif info.kind == "relation":
+            env[name] = ()
+        else:
+            env[name] = 0
+    execute(fragment.body, env, db, trace, fuel)
+    try:
+        return env[fragment.result_var]
+    except KeyError:
+        raise ExecutionError(
+            "fragment %s never assigned its result variable %r"
+            % (fragment.name, fragment.result_var)) from None

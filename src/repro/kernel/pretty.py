@@ -1,0 +1,58 @@
+"""Source-like rendering of kernel-language programs.
+
+Mirrors the layout of paper Fig. 2 — assignments, nested whiles and the
+``Query`` retrievals — so that examples and reports can show "the code
+QBS actually reasons about" next to the original source.
+"""
+
+from __future__ import annotations
+
+from repro.kernel import ast as K
+from repro.tor.pretty import pretty as pretty_expr
+
+
+def pretty_command(cmd: K.Command, indent: int = 0) -> str:
+    """Render a command with two-space indentation."""
+    pad = "  " * indent
+
+    if isinstance(cmd, K.Skip):
+        return pad + "skip;"
+
+    if isinstance(cmd, K.Assign):
+        return "%s%s := %s;" % (pad, cmd.var, pretty_expr(cmd.expr))
+
+    if isinstance(cmd, K.Seq):
+        return "\n".join(pretty_command(sub, indent) for sub in cmd.commands)
+
+    if isinstance(cmd, K.If):
+        lines = ["%sif (%s) {" % (pad, pretty_expr(cmd.cond)),
+                 pretty_command(cmd.then_branch, indent + 1)]
+        if not isinstance(cmd.else_branch, K.Skip):
+            lines.append(pad + "} else {")
+            lines.append(pretty_command(cmd.else_branch, indent + 1))
+        lines.append(pad + "}")
+        return "\n".join(lines)
+
+    if isinstance(cmd, K.While):
+        return "\n".join([
+            "%swhile (%s) {  // %s" % (pad, pretty_expr(cmd.cond), cmd.loop_id),
+            pretty_command(cmd.body, indent + 1),
+            pad + "}",
+        ])
+
+    if isinstance(cmd, K.Assert):
+        return "%sassert %s;" % (pad, pretty_expr(cmd.expr))
+
+    return pad + repr(cmd)
+
+
+def pretty_fragment(fragment: K.Fragment) -> str:
+    """Render a whole fragment with its header metadata."""
+    lines = ["// fragment %s" % fragment.name]
+    for name, info in fragment.inputs.items():
+        lines.append("// input %s : %s%s" % (
+            name, info.kind,
+            "(%s)" % ", ".join(info.schema) if info.schema else ""))
+    lines.append(pretty_command(fragment.body))
+    lines.append("return %s;" % fragment.result_var)
+    return "\n".join(lines)

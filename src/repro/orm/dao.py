@@ -1,0 +1,60 @@
+"""DAO base class and the ``@query_method`` marker.
+
+A persistent-data method (paper Sec. 6.1) is one that fetches rows via
+the ORM.  ``@query_method`` serves both worlds:
+
+* **runtime** — calling the method executes its SQL through the DAO's
+  session and returns hydrated entities (the decorated body is never
+  executed; it exists only as documentation, like a Hibernate named
+  query);
+* **analysis** — the QBS frontend recognises calls to decorated methods
+  and replaces them with ``Query(...)`` kernel expressions carrying the
+  SQL, table and schema.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Optional, Tuple
+
+
+class QuerySpec:
+    """Metadata attached to a persistent-data method."""
+
+    def __init__(self, sql: str, table: Optional[str],
+                 schema: Tuple[str, ...], entity: Optional[str]):
+        self.sql = sql
+        self.table = table
+        self.schema = schema
+        self.entity = entity
+
+
+def query_method(sql: str, table: Optional[str] = None,
+                 schema: Tuple[str, ...] = (), entity: Optional[str] = None):
+    """Declare a DAO method as a persistent-data query."""
+
+    def decorate(func):
+        spec = QuerySpec(sql=sql, table=table, schema=tuple(schema),
+                         entity=entity)
+
+        @functools.wraps(func)
+        def wrapper(self, *args, **kwargs):
+            params = dict(kwargs)
+            if args:
+                # Positional parameters bind in declaration order after
+                # self; named binding is preferred in the corpus.
+                names = [n for n in func.__code__.co_varnames[1:len(args) + 1]]
+                params.update(zip(names, args))
+            return self.session.query(spec.sql, spec.entity, params or None)
+
+        wrapper.__query_spec__ = spec
+        return wrapper
+
+    return decorate
+
+
+class Dao:
+    """Base class: a DAO is a bag of query methods bound to a session."""
+
+    def __init__(self, session):
+        self.session = session

@@ -1,0 +1,55 @@
+"""Entity declarations: tables, columns, associations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Association:
+    """A reference from one entity to another, resolved by key equality.
+
+    ``local_column`` on the owning entity matches ``remote_column`` on
+    the target; ``many`` selects between a single object (many-to-one)
+    and a list (one-to-many).
+    """
+
+    name: str
+    target: str            # target EntityType name
+    local_column: str
+    remote_column: str
+    many: bool = False
+
+
+@dataclass
+class EntityType:
+    """One mapped entity: table, columns and associations."""
+
+    name: str
+    table: str
+    columns: Tuple[str, ...]
+    associations: Tuple[Association, ...] = ()
+
+    def association(self, name: str) -> Optional[Association]:
+        for assoc in self.associations:
+            if assoc.name == name:
+                return assoc
+        return None
+
+
+class MappingRegistry:
+    """All entity types of one application."""
+
+    def __init__(self):
+        self.entities: Dict[str, EntityType] = {}
+
+    def register(self, entity: EntityType) -> EntityType:
+        self.entities[entity.name] = entity
+        return entity
+
+    def entity(self, name: str) -> EntityType:
+        try:
+            return self.entities[name]
+        except KeyError:
+            raise KeyError("unmapped entity %r" % name) from None

@@ -1,0 +1,147 @@
+"""The ORM session: loading and hydration.
+
+``Session.load_all(entity)`` issues ``SELECT *`` over the entity's
+table and hydrates each row into an :class:`Entity` object.  Fetch
+modes (paper Sec. 7.2):
+
+* ``lazy`` — associations become proxy attributes that run their lookup
+  query on first access;
+* ``eager`` — associations are resolved during hydration, one indexed
+  lookup per row (Hibernate's default join/select fetching; the extra
+  per-row work is why the paper's eager curves are uniformly slower).
+
+Hydration statistics (``objects_hydrated``) let benchmarks report how
+many entity objects each code version materialised — the quantity QBS
+reduces by pushing work into the database.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.orm.mapping import Association, EntityType, MappingRegistry
+from repro.sql.database import Database
+from repro.tor.values import Record
+
+
+class Entity:
+    """A hydrated row: attribute access over columns and associations."""
+
+    __slots__ = ("_type", "_session", "_data", "_assoc_cache")
+
+    def __init__(self, entity_type: EntityType, session: "Session",
+                 data: Record):
+        object.__setattr__(self, "_type", entity_type)
+        object.__setattr__(self, "_session", session)
+        object.__setattr__(self, "_data", data)
+        object.__setattr__(self, "_assoc_cache", {})
+
+    def __getattr__(self, name: str) -> Any:
+        data = object.__getattribute__(self, "_data")
+        if name in data.fields:
+            return data[name]
+        entity_type = object.__getattribute__(self, "_type")
+        assoc = entity_type.association(name)
+        if assoc is not None:
+            cache = object.__getattribute__(self, "_assoc_cache")
+            if name not in cache:
+                session = object.__getattribute__(self, "_session")
+                cache[name] = session._resolve_association(self, assoc)
+            return cache[name]
+        raise AttributeError("%s has no column or association %r"
+                             % (entity_type.name, name))
+
+    def __setattr__(self, name: str, value: Any):
+        raise AttributeError("entities are read-only in this reproduction")
+
+    @property
+    def record(self) -> Record:
+        """The underlying row record (used by equivalence checks)."""
+        return object.__getattribute__(self, "_data")
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, Entity):
+            return self.record == other.record
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.record)
+
+    def __repr__(self) -> str:
+        entity_type = object.__getattribute__(self, "_type")
+        return "%s(%r)" % (entity_type.name, dict(self.record))
+
+
+class Session:
+    """A unit of database access with a fixed association fetch mode."""
+
+    def __init__(self, db: Database, registry: MappingRegistry,
+                 fetch: str = "lazy"):
+        if fetch not in ("lazy", "eager"):
+            raise ValueError("fetch mode must be 'lazy' or 'eager'")
+        self.db = db
+        self.registry = registry
+        self.fetch = fetch
+        #: number of entity objects created — the hydration cost proxy.
+        self.objects_hydrated = 0
+        #: number of SQL statements issued.
+        self.queries_issued = 0
+
+    # -- loading ------------------------------------------------------------
+
+    def load_all(self, entity_name: str) -> List[Entity]:
+        """``SELECT *`` over the entity's table, hydrated."""
+        entity_type = self.registry.entity(entity_name)
+        result = self.db.execute("SELECT * FROM %s" % entity_type.table)
+        self.queries_issued += 1
+        return [self._hydrate(entity_type, row) for row in result.rows]
+
+    def query(self, sql: str, entity_name: Optional[str] = None,
+              params: Optional[Dict[str, Any]] = None) -> List[Entity]:
+        """Run arbitrary SQL, hydrating rows as ``entity_name`` if given.
+
+        Entity-less single-column queries return bare scalars, matching
+        Hibernate's ``List<Long>`` projections — application code
+        membership tests (``id in manager_ids``) rely on this.
+        """
+        result = self.db.execute(sql, params)
+        self.queries_issued += 1
+        if entity_name is None:
+            if len(result.columns) == 1:
+                column = result.columns[0]
+                return [row[column] for row in result.rows]
+            return list(result.rows)
+        entity_type = self.registry.entity(entity_name)
+        return [self._hydrate(entity_type, row) for row in result.rows]
+
+    def _hydrate(self, entity_type: EntityType, row: Record,
+                 shallow: bool = False) -> Entity:
+        self.objects_hydrated += 1
+        entity = Entity(entity_type, self, row)
+        if self.fetch == "eager" and not shallow:
+            cache = object.__getattribute__(entity, "_assoc_cache")
+            for assoc in entity_type.associations:
+                cache[assoc.name] = self._resolve_association(entity, assoc)
+        return entity
+
+    # -- associations -----------------------------------------------------------
+
+    def _resolve_association(self, entity: Entity, assoc: Association):
+        """Resolve one association by key lookup.
+
+        Associated entities are hydrated *shallowly* (their own
+        associations stay lazy) so that cyclic mappings — participant ->
+        project -> creator -> ... — terminate, matching Hibernate's
+        bounded eager-fetch depth.
+        """
+        target = self.registry.entity(assoc.target)
+        key = getattr(entity, assoc.local_column)
+        sql = ("SELECT * FROM %s AS t0 WHERE t0.%s = :key"
+               % (target.table, assoc.remote_column))
+        result = self.db.execute(sql, {"key": key})
+        self.queries_issued += 1
+        hydrated = [self._hydrate(target, row, shallow=True)
+                    for row in result.rows]
+        if assoc.many:
+            return hydrated
+        return hydrated[0] if hydrated else None

@@ -1,0 +1,33 @@
+"""An in-memory relational engine for executing QBS-generated queries.
+
+The paper's performance evaluation (Fig. 14) runs the original
+imperative fragments and the QBS-transformed queries against a real
+DBMS behind Hibernate.  This package is that substrate: a small but
+honest SQL engine with
+
+* a lexer/parser for the SQL subset QBS emits (SELECT with DISTINCT,
+  multi-table FROM, WHERE conjunctions, IN subqueries, aggregates,
+  COUNT(*) comparisons, ORDER BY including the hidden ``_rowid``
+  storage order, LIMIT, named parameters);
+* a catalog of tables with insertion-ordered rows and hash indexes;
+* a planner that pushes selection predicates into scans, uses indexes
+  for equality lookups, and — crucially for Fig. 14c — implements
+  equality joins as hash joins (O(n)) rather than nested loops (O(n²));
+* an executor with per-query statistics (rows scanned, index probes)
+  that the benchmarks report alongside wall-clock time.
+
+The engine preserves insertion order for unordered scans, which is the
+"record order in the database" that the ``Order`` function of Fig. 9
+relies on.
+"""
+
+from repro.sql.database import Database, QueryResult
+from repro.sql.errors import SQLError, SQLParseError, SQLExecutionError
+
+__all__ = [
+    "Database",
+    "QueryResult",
+    "SQLError",
+    "SQLParseError",
+    "SQLExecutionError",
+]

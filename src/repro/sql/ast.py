@@ -1,0 +1,131 @@
+"""AST for the supported SQL subset.
+
+Grammar (informally)::
+
+    select    ::= SELECT [DISTINCT] items FROM sources
+                  [WHERE expr] [ORDER BY orders] [LIMIT int]
+    items     ::= item ("," item)*
+    item      ::= "*" | alias ".*" | expr [AS name]
+    sources   ::= source ("," source)*
+    source    ::= table [AS alias] | "(" select ")" [AS alias]
+    orders    ::= col [ASC|DESC] ("," col [ASC|DESC])*
+    expr      ::= disjunctions of conjunctions of comparisons;
+                  operands are column refs, literals, parameters,
+                  aggregate calls, IN (select)
+
+This mirrors what :mod:`repro.tor.sqlgen` emits plus enough generality
+for hand-written queries in examples and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+
+# -- scalar expressions -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object
+
+
+@dataclass(frozen=True)
+class Param:
+    """A named parameter ``:name`` bound at execution time."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """``alias.column`` or bare ``column`` (alias resolved by planner)."""
+
+    alias: Optional[str]
+    column: str
+
+
+@dataclass(frozen=True)
+class RowRef:
+    """A whole-row reference (``alias`` used as an IN subject)."""
+
+    alias: str
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """Aggregate call: COUNT(*), SUM(col), MAX(col), MIN(col), AVG(col)."""
+
+    name: str
+    arg: Optional["Expr"]  # None for COUNT(*)
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # comparison, AND, OR, arithmetic
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class NotOp:
+    expr: "Expr"
+
+
+@dataclass(frozen=True)
+class InSubquery:
+    subject: "Expr"          # ColumnRef or RowRef
+    query: "Select"
+    negated: bool = False
+
+
+Expr = Union[Literal, Param, ColumnRef, RowRef, FuncCall, BinOp, NotOp,
+             InSubquery]
+
+
+# -- select structure ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` or ``alias.*`` in the select list."""
+
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Union[Expr, Star]
+    as_name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TableSource:
+    table: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class SubquerySource:
+    query: "Select"
+    alias: str
+
+
+Source = Union[TableSource, SubquerySource]
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    column: ColumnRef
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    items: Tuple[SelectItem, ...]
+    sources: Tuple[Source, ...]
+    where: Optional[Expr] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False

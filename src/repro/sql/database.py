@@ -1,0 +1,85 @@
+"""The public database facade."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+from repro.sql.catalog import Catalog, Table
+from repro.sql.executor import ExecutionStats, Executor, QueryResult
+from repro.sql.parser import parse
+from repro.tor import ast as T
+
+
+class Database:
+    """An in-memory relational database.
+
+    >>> db = Database()
+    >>> _ = db.create_table("users", ["id", "name"])
+    >>> db.insert("users", {"id": 1, "name": "alice"})
+    >>> [r.name for r in db.execute("SELECT * FROM users")]
+    ['alice']
+    """
+
+    def __init__(self):
+        self.catalog = Catalog()
+        self.executor = Executor(self.catalog)
+        self._plan_cache: Dict[str, Any] = {}
+        #: cumulative statistics across every executed query.
+        self.total_stats = ExecutionStats()
+
+    # -- schema / data -----------------------------------------------------
+
+    def create_table(self, name: str, columns: Iterable[str]) -> Table:
+        return self.catalog.create_table(name, columns)
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    def insert(self, table: str, row: Dict[str, Any]) -> None:
+        self.catalog.table(table).insert(row)
+
+    def insert_many(self, table: str, rows: Iterable[Dict[str, Any]]) -> None:
+        self.catalog.table(table).insert_many(rows)
+
+    def create_index(self, table: str, column: str) -> None:
+        self.catalog.table(table).create_index(column)
+
+    # -- querying --------------------------------------------------------------
+
+    def execute(self, sql: str,
+                params: Optional[Dict[str, Any]] = None) -> QueryResult:
+        """Parse (with caching) and execute one SELECT statement."""
+        plan = self._plan_cache.get(sql)
+        if plan is None:
+            plan = parse(sql)
+            self._plan_cache[sql] = plan
+        result = self.executor.execute(plan, params)
+        self._accumulate(result.stats)
+        return result
+
+    def _accumulate(self, stats: ExecutionStats) -> None:
+        total = self.total_stats
+        total.rows_scanned += stats.rows_scanned
+        total.index_probes += stats.index_probes
+        total.hash_joins += stats.hash_joins
+        total.nested_loop_joins += stats.nested_loop_joins
+        total.index_scans += stats.index_scans
+        total.full_scans += stats.full_scans
+
+    # -- TOR integration -----------------------------------------------------------
+
+    def tor_db(self):
+        """Adapter for the TOR evaluator / kernel interpreter.
+
+        Resolves ``Query`` nodes by running their SQL through the
+        engine, so a kernel fragment can execute against real tables.
+        """
+
+        def resolve(query: T.QueryOp):
+            result = self.execute(query.sql)
+            if len(result.columns) == 1 and len(query.schema) == 1:
+                column = result.columns[0]
+                return tuple(row[column] for row in result.rows)
+            return tuple(result.rows)
+
+        return resolve

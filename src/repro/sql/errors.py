@@ -1,0 +1,17 @@
+"""Error hierarchy for the SQL engine."""
+
+
+class SQLError(Exception):
+    """Base class for all engine errors."""
+
+
+class SQLParseError(SQLError):
+    """The statement does not belong to the supported SQL subset."""
+
+
+class SQLExecutionError(SQLError):
+    """The statement is well-formed but cannot be executed.
+
+    Examples: unknown table or column, unbound parameter, aggregate
+    misuse.
+    """

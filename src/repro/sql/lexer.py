@@ -1,0 +1,60 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.sql.errors import SQLParseError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "ORDER", "BY", "LIMIT",
+    "AS", "AND", "OR", "NOT", "IN", "ASC", "DESC", "TRUE", "FALSE",
+    "NULL", "COUNT", "SUM", "MAX", "MIN", "AVG", "EXISTS",
+}
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(\.\d+)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<param>:[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|!=|<>|=|<|>|\(|\)|,|\.|\*)
+""", re.VERBOSE)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # keyword | name | number | string | param | op | eof
+    value: str
+    position: int
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize a statement; raises :class:`SQLParseError` on junk."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            raise SQLParseError("unexpected character %r at offset %d"
+                                % (sql[pos], pos))
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "ws":
+            pos = match.end()
+            continue
+        if kind == "name":
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, pos))
+            else:
+                tokens.append(Token("name", text, pos))
+        elif kind == "op" and text == "<>":
+            tokens.append(Token("op", "!=", pos))
+        else:
+            tokens.append(Token(kind, text, pos))
+        pos = match.end()
+    tokens.append(Token("eof", "", pos))
+    return tokens

@@ -1,0 +1,230 @@
+"""Recursive-descent parser for the SQL subset."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.sql import ast as S
+from repro.sql.errors import SQLParseError
+from repro.sql.lexer import Token, tokenize
+
+
+def parse(sql: str) -> S.Select:
+    """Parse one SELECT statement."""
+    parser = _Parser(tokenize(sql))
+    select = parser.select()
+    parser.expect_eof()
+    return select
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def accept_keyword(self, *words: str) -> Optional[str]:
+        if self.current.kind == "keyword" and self.current.value in words:
+            return self.advance().value
+        return None
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise SQLParseError("expected %s at offset %d (found %r)"
+                                % (word, self.current.position,
+                                   self.current.value))
+
+    def accept_op(self, *ops: str) -> Optional[str]:
+        if self.current.kind == "op" and self.current.value in ops:
+            return self.advance().value
+        return None
+
+    def expect_op(self, op: str) -> None:
+        if not self.accept_op(op):
+            raise SQLParseError("expected %r at offset %d (found %r)"
+                                % (op, self.current.position,
+                                   self.current.value))
+
+    def expect_name(self) -> str:
+        if self.current.kind == "name":
+            return self.advance().value
+        raise SQLParseError("expected identifier at offset %d (found %r)"
+                            % (self.current.position, self.current.value))
+
+    def expect_eof(self) -> None:
+        if self.current.kind != "eof":
+            raise SQLParseError("trailing input at offset %d: %r"
+                                % (self.current.position, self.current.value))
+
+    # -- grammar ------------------------------------------------------------------
+
+    def select(self) -> S.Select:
+        self.expect_keyword("SELECT")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        items = [self.select_item()]
+        while self.accept_op(","):
+            items.append(self.select_item())
+        self.expect_keyword("FROM")
+        sources = [self.source()]
+        while self.accept_op(","):
+            sources.append(self.source())
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.expr()
+        order_by: Tuple[S.OrderItem, ...] = ()
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            orders = [self.order_item()]
+            while self.accept_op(","):
+                orders.append(self.order_item())
+            order_by = tuple(orders)
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            if self.current.kind != "number":
+                raise SQLParseError("LIMIT expects an integer")
+            limit = int(self.advance().value)
+        return S.Select(items=tuple(items), sources=tuple(sources),
+                        where=where, order_by=order_by, limit=limit,
+                        distinct=distinct)
+
+    def select_item(self) -> S.SelectItem:
+        if self.accept_op("*"):
+            return S.SelectItem(S.Star(None))
+        # alias.* lookahead
+        if (self.current.kind == "name"
+                and self.tokens[self.index + 1].kind == "op"
+                and self.tokens[self.index + 1].value == "."
+                and self.tokens[self.index + 2].value == "*"):
+            alias = self.expect_name()
+            self.expect_op(".")
+            self.expect_op("*")
+            return S.SelectItem(S.Star(alias))
+        expr = self.expr()
+        as_name = None
+        if self.accept_keyword("AS"):
+            as_name = self.expect_name()
+        return S.SelectItem(expr, as_name)
+
+    def source(self) -> S.Source:
+        if self.accept_op("("):
+            query = self.select()
+            self.expect_op(")")
+            alias = self._source_alias()
+            if alias is None:
+                raise SQLParseError("subquery in FROM requires an alias")
+            return S.SubquerySource(query, alias)
+        table = self.expect_name()
+        alias = self._source_alias() or table
+        return S.TableSource(table, alias)
+
+    def _source_alias(self) -> Optional[str]:
+        if self.accept_keyword("AS"):
+            return self.expect_name()
+        if self.current.kind == "name":
+            return self.advance().value
+        return None
+
+    def order_item(self) -> S.OrderItem:
+        column = self.column_ref()
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return S.OrderItem(column, descending)
+
+    def column_ref(self) -> S.ColumnRef:
+        first = self.expect_name()
+        if self.accept_op("."):
+            return S.ColumnRef(first, self.expect_name())
+        return S.ColumnRef(None, first)
+
+    # -- expressions -------------------------------------------------------------------
+
+    def expr(self) -> S.Expr:
+        return self.or_expr()
+
+    def or_expr(self) -> S.Expr:
+        left = self.and_expr()
+        while self.accept_keyword("OR"):
+            left = S.BinOp("OR", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> S.Expr:
+        left = self.not_expr()
+        while self.accept_keyword("AND"):
+            left = S.BinOp("AND", left, self.not_expr())
+        return left
+
+    def not_expr(self) -> S.Expr:
+        if self.accept_keyword("NOT"):
+            return S.NotOp(self.not_expr())
+        return self.comparison()
+
+    def comparison(self) -> S.Expr:
+        left = self.primary()
+        negated = bool(self.accept_keyword("NOT"))
+        if self.accept_keyword("IN"):
+            self.expect_op("(")
+            query = self.select()
+            self.expect_op(")")
+            return S.InSubquery(left, query, negated=negated)
+        if negated:
+            raise SQLParseError("NOT must be followed by IN here")
+        op = self.accept_op("=", "!=", "<", ">", "<=", ">=")
+        if op is not None:
+            return S.BinOp(op, left, self.primary())
+        return left
+
+    def primary(self) -> S.Expr:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            text = token.value
+            return S.Literal(float(text) if "." in text else int(text))
+        if token.kind == "string":
+            self.advance()
+            return S.Literal(token.value[1:-1].replace("''", "'"))
+        if token.kind == "param":
+            self.advance()
+            return S.Param(token.value[1:])
+        if token.kind == "keyword" and token.value in ("TRUE", "FALSE"):
+            self.advance()
+            return S.Literal(token.value == "TRUE")
+        if token.kind == "keyword" and token.value == "NULL":
+            self.advance()
+            return S.Literal(None)
+        if token.kind == "keyword" and token.value in (
+                "COUNT", "SUM", "MAX", "MIN", "AVG"):
+            name = self.advance().value
+            self.expect_op("(")
+            if name == "COUNT" and self.accept_op("*"):
+                self.expect_op(")")
+                return S.FuncCall("COUNT", None)
+            arg = self.expr()
+            self.expect_op(")")
+            return S.FuncCall(name, arg)
+        if token.kind == "op" and token.value == "(":
+            self.advance()
+            inner = self.expr()
+            self.expect_op(")")
+            return inner
+        if token.kind == "name":
+            name = self.advance().value
+            if self.accept_op("."):
+                return S.ColumnRef(name, self.expect_name())
+            # A bare name is a column if it resolves later, or a row
+            # reference when used as an IN subject; the planner decides.
+            return S.ColumnRef(None, name)
+        raise SQLParseError("unexpected token %r at offset %d"
+                            % (token.value, token.position))

@@ -1,0 +1,109 @@
+"""Theory of ordered relations (TOR).
+
+This package implements the theory defined in Section 3 and Appendix C of
+the paper: an ordered (list-based) analogue of relational algebra that is
+
+* *precise* — it models both the contents and the order of records,
+* *expressive* — it can describe partially-constructed lists such as
+  ``top_i(users)`` that loop invariants need,
+* *concise* — invariants stay small, which keeps synthesis tractable, and
+* *translatable* — every expression without ``append`` / nested ``unique``
+  maps to SQL (Fig. 8 of the paper).
+
+Modules
+-------
+``values``
+    Runtime values: scalars, immutable :class:`~repro.tor.values.Record`
+    objects and ordered relations (tuples of rows).
+``ast``
+    Expression nodes mirroring the abstract syntax of Fig. 6.
+``semantics``
+    A direct evaluator implementing the axioms of Appendix C.
+``rewrite``
+    The operator equivalences of Theorem 2 as a rewrite system.
+``trans``
+    ``Trans`` — normalisation into *translatable* form (Appendix B).
+``order``
+    The ``Order`` function of Fig. 9 used to thread ORDER BY keys.
+``sqlgen``
+    Syntax-directed SQL generation (Fig. 8).
+``pretty``
+    Human-readable rendering of TOR expressions (used in reports).
+"""
+
+from repro.tor.values import Record, NEG_INF, POS_INF
+from repro.tor.ast import (
+    Append,
+    BinOp,
+    Concat,
+    Const,
+    Contains,
+    EmptyRelation,
+    FieldCmpConst,
+    FieldCmpField,
+    FieldAccess,
+    FieldSpec,
+    Get,
+    Join,
+    JoinFieldCmp,
+    JoinFunc,
+    MaxOp,
+    MinOp,
+    Not,
+    PairLit,
+    Pi,
+    QueryOp,
+    RecordIn,
+    RecordLit,
+    SelectFunc,
+    Sigma,
+    Singleton,
+    Size,
+    Sort,
+    SumOp,
+    Top,
+    Unique,
+    Var,
+)
+from repro.tor.semantics import evaluate, EvalError
+from repro.tor.pretty import pretty
+
+__all__ = [
+    "Record",
+    "NEG_INF",
+    "POS_INF",
+    "Append",
+    "BinOp",
+    "Const",
+    "Contains",
+    "EmptyRelation",
+    "FieldCmpConst",
+    "FieldCmpField",
+    "FieldAccess",
+    "FieldSpec",
+    "Get",
+    "Join",
+    "JoinFieldCmp",
+    "JoinFunc",
+    "Concat",
+    "MaxOp",
+    "MinOp",
+    "Not",
+    "PairLit",
+    "Pi",
+    "Singleton",
+    "QueryOp",
+    "RecordIn",
+    "RecordLit",
+    "SelectFunc",
+    "Sigma",
+    "Size",
+    "Sort",
+    "SumOp",
+    "Top",
+    "Unique",
+    "Var",
+    "evaluate",
+    "EvalError",
+    "pretty",
+]

@@ -1,0 +1,105 @@
+"""Human-readable rendering of TOR expressions.
+
+The output mirrors the paper's mathematical notation where ASCII allows:
+``pi[f1,f2](sigma[x.id = 3](users))``, ``join[l.role_id = r.role_id](users,
+roles)``, ``top(users, i)`` and so on.  Used by examples, reports and
+error messages; round-tripping is *not* a goal (the AST is the source of
+truth).
+"""
+
+from __future__ import annotations
+
+from repro.tor import ast as T
+
+
+def pretty(expr: T.TorNode) -> str:
+    """Render a TOR expression as a compact, paper-style string."""
+    if isinstance(expr, T.Const):
+        return repr(expr.value)
+    if isinstance(expr, T.EmptyRelation):
+        return "[]"
+    if isinstance(expr, T.Var):
+        return expr.name
+    if isinstance(expr, T.FieldAccess):
+        return "%s.%s" % (pretty(expr.expr), expr.field)
+    if isinstance(expr, T.RecordLit):
+        inner = ", ".join("%s = %s" % (n, pretty(e)) for n, e in expr.items)
+        return "{%s}" % inner
+    if isinstance(expr, T.BinOp):
+        return "(%s %s %s)" % (pretty(expr.left), expr.op, pretty(expr.right))
+    if isinstance(expr, T.Not):
+        return "not %s" % pretty(expr.expr)
+    if isinstance(expr, T.QueryOp):
+        return "Query(%s)" % (expr.table or expr.sql)
+    if isinstance(expr, T.Size):
+        return "size(%s)" % pretty(expr.rel)
+    if isinstance(expr, T.Get):
+        return "get(%s, %s)" % (pretty(expr.rel), pretty(expr.idx))
+    if isinstance(expr, T.Top):
+        return "top(%s, %s)" % (pretty(expr.rel), pretty(expr.count))
+    if isinstance(expr, T.Pi):
+        cols = ", ".join(_spec(s) for s in expr.fields)
+        return "pi[%s](%s)" % (cols, pretty(expr.rel))
+    if isinstance(expr, T.Sigma):
+        return "sigma[%s](%s)" % (_select_func(expr.pred), pretty(expr.rel))
+    if isinstance(expr, T.Join):
+        cond = _join_func(expr.pred)
+        return "join[%s](%s, %s)" % (cond, pretty(expr.left), pretty(expr.right))
+    if isinstance(expr, T.SumOp):
+        return "sum(%s)" % pretty(expr.rel)
+    if isinstance(expr, T.MaxOp):
+        return "max(%s)" % pretty(expr.rel)
+    if isinstance(expr, T.MinOp):
+        return "min(%s)" % pretty(expr.rel)
+    if isinstance(expr, T.Concat):
+        return "cat(%s, %s)" % (pretty(expr.left), pretty(expr.right))
+    if isinstance(expr, T.Singleton):
+        return "[%s]" % pretty(expr.elem)
+    if isinstance(expr, T.PairLit):
+        return "(%s, %s)" % (pretty(expr.left), pretty(expr.right))
+    if isinstance(expr, T.Append):
+        return "append(%s, %s)" % (pretty(expr.rel), pretty(expr.elem))
+    if isinstance(expr, T.Sort):
+        return "sort[%s](%s)" % (", ".join(expr.fields), pretty(expr.rel))
+    if isinstance(expr, T.Unique):
+        return "unique(%s)" % pretty(expr.rel)
+    if isinstance(expr, T.RemoveFirst):
+        return "remove(%s, %s)" % (pretty(expr.rel), pretty(expr.elem))
+    if isinstance(expr, T.Contains):
+        return "contains(%s, %s)" % (pretty(expr.elem), pretty(expr.rel))
+    if isinstance(expr, T.SelectFunc):
+        return _select_func(expr)
+    if isinstance(expr, T.JoinFunc):
+        return _join_func(expr)
+    return repr(expr)
+
+
+def _spec(spec: T.FieldSpec) -> str:
+    if spec.source == spec.target:
+        return spec.source
+    return "%s as %s" % (spec.source, spec.target)
+
+
+def _select_pred(pred: T.SelectPred) -> str:
+    if isinstance(pred, T.FieldCmpConst):
+        return "x.%s %s %s" % (pred.field, pred.op, pretty(pred.const))
+    if isinstance(pred, T.FieldCmpField):
+        return "x.%s %s x.%s" % (pred.field1, pred.op, pred.field2)
+    if isinstance(pred, T.RecordIn):
+        subject = "x" if pred.field is None else "x.%s" % pred.field
+        return "contains(%s, %s)" % (subject, pretty(pred.rel))
+    return repr(pred)
+
+
+def _select_func(phi: T.SelectFunc) -> str:
+    if not phi.preds:
+        return "True"
+    return " and ".join(_select_pred(p) for p in phi.preds)
+
+
+def _join_func(phi: T.JoinFunc) -> str:
+    if phi.is_true:
+        return "True"
+    return " and ".join(
+        "l.%s %s r.%s" % (p.left_field, p.op, p.right_field) for p in phi.preds
+    )

@@ -1,0 +1,315 @@
+"""Executable semantics of the theory of ordered relations.
+
+This module is a direct transcription of the axioms in Appendix C of the
+paper into a recursive evaluator.  It is used by
+
+* the synthesizer's bounded checker (to test candidate invariants and
+  postconditions on small concrete relations),
+* the validator's large-bound model checker, and
+* the test suite (to cross-check the rewrite engine, ``Trans`` and the
+  SQL generator against the ground-truth semantics).
+
+Evaluation is total over well-typed inputs: ``max([]) = -inf``,
+``min([]) = +inf`` and ``sum([]) = 0`` exactly as the axioms specify;
+``get`` of an out-of-range index raises :class:`EvalError`, mirroring the
+partiality of the ``get`` axioms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.tor import ast as T
+from repro.tor.values import (
+    NEG_INF,
+    POS_INF,
+    PairRow,
+    Record,
+    resolve_path,
+    row_scalar,
+)
+
+#: Type of the database callback handed to :func:`evaluate` — maps a
+#: :class:`~repro.tor.ast.QueryOp` to the relation it denotes.
+DatabaseFn = Callable[[T.QueryOp], tuple]
+
+
+class EvalError(Exception):
+    """Raised when an expression is not defined by the axioms.
+
+    Examples: ``get`` with an out-of-range index, a field access on a
+    non-record value, or an unbound program variable.
+    """
+
+
+def _scalar_binop(op: str, lhs: Any, rhs: Any) -> Any:
+    try:
+        return _scalar_binop_unchecked(op, lhs, rhs)
+    except TypeError as exc:
+        raise EvalError("ill-typed comparison: %s" % exc) from exc
+
+
+def _scalar_binop_unchecked(op: str, lhs: Any, rhs: Any) -> Any:
+    if op == "and":
+        return bool(lhs) and bool(rhs)
+    if op == "or":
+        return bool(lhs) or bool(rhs)
+    if op == "=":
+        return lhs == rhs
+    if op == "!=":
+        return lhs != rhs
+    if op == ">":
+        return lhs > rhs
+    if op == "<":
+        return lhs < rhs
+    if op == ">=":
+        return lhs >= rhs
+    if op == "<=":
+        return lhs <= rhs
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    raise EvalError("unknown operator %r" % op)
+
+
+def eval_select_pred(pred: T.SelectPred, row: Any, env: Dict[str, Any],
+                     db: Optional[DatabaseFn]) -> bool:
+    """Evaluate one atomic selection predicate against a candidate row."""
+    if isinstance(pred, T.FieldCmpConst):
+        lhs = resolve_path(row, pred.field)
+        rhs = evaluate(pred.const, env, db)
+        return bool(_scalar_binop(pred.op, lhs, rhs))
+    if isinstance(pred, T.FieldCmpField):
+        lhs = resolve_path(row, pred.field1)
+        rhs = resolve_path(row, pred.field2)
+        return bool(_scalar_binop(pred.op, lhs, rhs))
+    if isinstance(pred, T.RecordIn):
+        rel = evaluate(pred.rel, env, db)
+        needle = row if pred.field is None else resolve_path(row, pred.field)
+        return any(_contains_match(needle, candidate) for candidate in rel)
+    raise EvalError("unknown selection predicate %r" % (pred,))
+
+
+def _contains_match(needle: Any, candidate: Any) -> bool:
+    """Membership test used by ``contains``.
+
+    A scalar needle matches a single-column record row with the same
+    scalar content — this arises when code checks ``x in ids`` where
+    ``ids`` was projected down to one field.
+    """
+    if needle == candidate:
+        return True
+    if isinstance(candidate, Record) and not isinstance(needle, (Record, PairRow)):
+        if len(candidate.fields) == 1:
+            return candidate[candidate.fields[0]] == needle
+    return False
+
+
+def eval_select_func(phi: T.SelectFunc, row: Any, env: Dict[str, Any],
+                     db: Optional[DatabaseFn]) -> bool:
+    """A selection function is the conjunction of its predicates."""
+    return all(eval_select_pred(p, row, env, db) for p in phi.preds)
+
+
+def eval_join_func(phi: T.JoinFunc, left_row: Any, right_row: Any,
+                   env: Dict[str, Any], db: Optional[DatabaseFn]) -> bool:
+    """A join function compares left-side fields against right-side fields."""
+    for pred in phi.preds:
+        lhs = resolve_path(left_row, pred.left_field)
+        rhs = resolve_path(right_row, pred.right_field)
+        if not _scalar_binop(pred.op, lhs, rhs):
+            return False
+    return True
+
+
+def evaluate(expr: T.TorNode, env: Optional[Dict[str, Any]] = None,
+             db: Optional[DatabaseFn] = None) -> Any:
+    """Evaluate a TOR expression under ``env`` against database ``db``.
+
+    ``env`` maps program variable names to values; ``db`` resolves
+    :class:`~repro.tor.ast.QueryOp` nodes to relations.  Either may be
+    omitted when the expression does not need it.
+    """
+    env = env or {}
+
+    if isinstance(expr, T.Const):
+        return expr.value
+
+    if isinstance(expr, T.EmptyRelation):
+        return ()
+
+    if isinstance(expr, T.Var):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise EvalError("unbound variable %r" % expr.name) from None
+
+    if isinstance(expr, T.FieldAccess):
+        base = evaluate(expr.expr, env, db)
+        try:
+            return resolve_path(base, expr.field)
+        except KeyError as exc:
+            raise EvalError(str(exc)) from None
+
+    if isinstance(expr, T.RecordLit):
+        return Record({name: evaluate(e, env, db) for name, e in expr.items})
+
+    if isinstance(expr, T.BinOp):
+        # `and` / `or` are short-circuiting, like the kernel language.
+        if expr.op == "and":
+            return bool(evaluate(expr.left, env, db)) and bool(
+                evaluate(expr.right, env, db))
+        if expr.op == "or":
+            return bool(evaluate(expr.left, env, db)) or bool(
+                evaluate(expr.right, env, db))
+        return _scalar_binop(expr.op, evaluate(expr.left, env, db),
+                             evaluate(expr.right, env, db))
+
+    if isinstance(expr, T.Not):
+        return not evaluate(expr.expr, env, db)
+
+    if isinstance(expr, T.QueryOp):
+        if db is None:
+            raise EvalError("Query(...) evaluated without a database")
+        return tuple(db(expr))
+
+    if isinstance(expr, T.Size):
+        return len(evaluate(expr.rel, env, db))
+
+    if isinstance(expr, T.Get):
+        rel = evaluate(expr.rel, env, db)
+        idx = evaluate(expr.idx, env, db)
+        if not isinstance(idx, int) or idx < 0 or idx >= len(rel):
+            raise EvalError("get index %r out of range for relation of size %d"
+                            % (idx, len(rel)))
+        return rel[idx]
+
+    if isinstance(expr, T.Top):
+        rel = evaluate(expr.rel, env, db)
+        count = evaluate(expr.count, env, db)
+        if not isinstance(count, int) or count < 0:
+            raise EvalError("top count %r is not a non-negative integer" % (count,))
+        return rel[:count]
+
+    if isinstance(expr, T.Pi):
+        rel = evaluate(expr.rel, env, db)
+        pairs = [(spec.source, spec.target) for spec in expr.fields]
+        out = []
+        for row in rel:
+            projected = {}
+            for source, target in pairs:
+                try:
+                    projected[target] = resolve_path(row, source)
+                except KeyError as exc:
+                    raise EvalError(str(exc)) from None
+            out.append(_normalise_projection(projected))
+        return tuple(out)
+
+    if isinstance(expr, T.Sigma):
+        rel = evaluate(expr.rel, env, db)
+        return tuple(row for row in rel
+                     if eval_select_func(expr.pred, row, env, db))
+
+    if isinstance(expr, T.Join):
+        left = evaluate(expr.left, env, db)
+        right = evaluate(expr.right, env, db)
+        out = []
+        for lrow in left:
+            for rrow in right:
+                if eval_join_func(expr.pred, lrow, rrow, env, db):
+                    out.append(PairRow(lrow, rrow))
+        return tuple(out)
+
+    if isinstance(expr, T.SumOp):
+        rel = evaluate(expr.rel, env, db)
+        return sum(row_scalar(row) for row in rel)
+
+    if isinstance(expr, T.MaxOp):
+        rel = evaluate(expr.rel, env, db)
+        best = NEG_INF
+        for row in rel:
+            value = row_scalar(row)
+            if value > best:
+                best = value
+        return best
+
+    if isinstance(expr, T.MinOp):
+        rel = evaluate(expr.rel, env, db)
+        best = POS_INF
+        for row in rel:
+            value = row_scalar(row)
+            if value < best:
+                best = value
+        return best
+
+    if isinstance(expr, T.Concat):
+        return evaluate(expr.left, env, db) + evaluate(expr.right, env, db)
+
+    if isinstance(expr, T.Singleton):
+        return (evaluate(expr.elem, env, db),)
+
+    if isinstance(expr, T.PairLit):
+        return PairRow(evaluate(expr.left, env, db), evaluate(expr.right, env, db))
+
+    if isinstance(expr, T.Append):
+        rel = evaluate(expr.rel, env, db)
+        elem = evaluate(expr.elem, env, db)
+        return rel + (elem,)
+
+    if isinstance(expr, T.Sort):
+        rel = evaluate(expr.rel, env, db)
+        keys = expr.fields
+        try:
+            if keys == ("__natural__",):
+                return tuple(sorted(rel, key=row_scalar))
+            return tuple(sorted(rel, key=lambda row: tuple(
+                resolve_path(row, f) for f in keys)))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise EvalError("cannot sort by %r: %s" % (keys, exc)) from exc
+
+    if isinstance(expr, T.RemoveFirst):
+        rel = evaluate(expr.rel, env, db)
+        victim = evaluate(expr.elem, env, db)
+        out = []
+        removed = False
+        for row in rel:
+            if not removed and row == victim:
+                removed = True
+                continue
+            out.append(row)
+        return tuple(out)
+
+    if isinstance(expr, T.Unique):
+        rel = evaluate(expr.rel, env, db)
+        seen = set()
+        out = []
+        for row in rel:
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+        return tuple(out)
+
+    if isinstance(expr, T.Contains):
+        elem = evaluate(expr.elem, env, db)
+        rel = evaluate(expr.rel, env, db)
+        return any(_contains_match(elem, row) for row in rel)
+
+    raise EvalError("cannot evaluate %r" % (expr,))
+
+
+def _normalise_projection(projected: Dict[str, Any]) -> Any:
+    """Build the output row of a projection.
+
+    A projection that keeps one *entire* pair side (source ``"left"`` or
+    ``"right"``) under a single target yields that side's row unwrapped —
+    this is how the running example's ``pi_l`` keeps "all the fields from
+    the User class".  Otherwise a flat record is produced.
+    """
+    if len(projected) == 1:
+        (value,) = projected.values()
+        if isinstance(value, (Record, PairRow)):
+            return value
+    return Record(projected)

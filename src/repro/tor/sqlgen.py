@@ -1,0 +1,350 @@
+"""SQL generation from translatable TOR expressions (paper Fig. 8/9).
+
+Input: a postcondition expression (over the fragment's relation
+variables) plus *base bindings* mapping each variable to its defining
+expression at fragment exit (``users -> Query(SELECT * FROM users)``,
+``records -> sort_id(Query(...))`` and so on).  Output: a single SQL
+statement and enough structure for the source transformation to patch
+it back into the application.
+
+Record ordering (the paper's central precision concern) is preserved by
+the ``Order`` function of Fig. 9: every relation-valued query carries an
+ORDER BY built from the sort keys of its subexpressions followed by the
+storage order of each base table.  Storage order is exposed by the
+bundled engine as the hidden ``_rowid`` column, so ``Order(Query(...)) =
+[alias._rowid]`` — no reliance on primary-key conventions.
+
+Aggregates translate per Fig. 8 (``SELECT agg(field) FROM ...``);
+existence checks use the paper's ``SELECT COUNT(*) > 0`` form, which a
+database optimizer may rewrite to EXISTS; ``unique`` at the outermost
+level becomes SELECT DISTINCT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.tor import ast as T
+from repro.tor.trans import NotTranslatableError, normalize
+
+
+@dataclass
+class SQLTranslation:
+    """A generated query plus patch-back metadata."""
+
+    sql: str
+    #: "relation" (list of rows), "scalar" (one value) or "bool".
+    kind: str
+    #: Output column names for relation results.
+    columns: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return self.sql
+
+
+@dataclass
+class _Source:
+    """One FROM-clause entry: a base table or subquery with an alias."""
+
+    alias: str
+    from_sql: str           # "users" or "(SELECT ...)"
+    schema: Tuple[str, ...]
+    order_keys: List[str] = field(default_factory=list)  # qualified
+
+
+def translate(expr: T.TorNode,
+              bindings: Optional[Dict[str, T.TorNode]] = None
+              ) -> SQLTranslation:
+    """Translate a postcondition expression into SQL.
+
+    Raises :class:`NotTranslatableError` for expressions outside the
+    translatable grammar (``append``/``cat`` invariant constructs,
+    deeper join nesting than the grammar allows, non-constant limits).
+    """
+    if bindings:
+        expr = T.substitute(expr, bindings)
+    expr = normalize(expr)
+    return _translate_top(expr)
+
+
+def _translate_top(expr: T.TorNode) -> SQLTranslation:
+    # Existence checks: size(...) op const  ->  SELECT COUNT(*) op const.
+    if isinstance(expr, T.BinOp) and expr.op in T.PREDICATE_OPS:
+        if isinstance(expr.left, T.Size) and isinstance(expr.right, T.Const):
+            inner = _translate_agg("COUNT", None, expr.left.rel)
+            sql = inner.sql.replace("SELECT COUNT(*)",
+                                    "SELECT COUNT(*) %s %s" % (
+                                        expr.op, _sql_literal(expr.right.value)),
+                                    1)
+            return SQLTranslation(sql=sql, kind="bool")
+        raise NotTranslatableError("unsupported boolean postcondition")
+
+    if isinstance(expr, T.Size):
+        return _translate_agg("COUNT", None, expr.rel)
+    if isinstance(expr, T.SumOp):
+        inner, agg_field = _strip_agg_projection(expr.rel)
+        return _translate_agg("SUM", agg_field, inner)
+    if isinstance(expr, T.MaxOp):
+        inner, agg_field = _strip_agg_projection(expr.rel)
+        return _translate_agg("MAX", agg_field, inner)
+    if isinstance(expr, T.MinOp):
+        inner, agg_field = _strip_agg_projection(expr.rel)
+        return _translate_agg("MIN", agg_field, inner)
+
+    distinct = False
+    if isinstance(expr, T.Unique):
+        distinct = True
+        expr = expr.rel
+
+    limit: Optional[int] = None
+    if isinstance(expr, T.Top):
+        if not (isinstance(expr.count, T.Const)
+                and isinstance(expr.count.value, int)):
+            raise NotTranslatableError("LIMIT must be a constant")
+        limit = expr.count.value
+        expr = expr.rel
+
+    sql, columns = _emit_select(expr, distinct=distinct, limit=limit)
+    return SQLTranslation(sql=sql, kind="relation", columns=columns)
+
+
+def _strip_agg_projection(expr: T.TorNode) -> Tuple[T.TorNode, Optional[str]]:
+    """Aggregates over a single projected column: pull the column out."""
+    if isinstance(expr, T.Pi) and len(expr.fields) == 1:
+        return expr.rel, expr.fields[0].source
+    return expr, None
+
+
+def _translate_agg(agg: str, agg_field: Optional[str],
+                   rel: T.TorNode) -> SQLTranslation:
+    sql, _ = _emit_select(rel, distinct=False, limit=None,
+                          agg=(agg, agg_field))
+    return SQLTranslation(sql=sql, kind="scalar")
+
+
+# ---------------------------------------------------------------------------
+# Core SELECT emission
+# ---------------------------------------------------------------------------
+
+
+def _emit_select(expr: T.TorNode, distinct: bool, limit: Optional[int],
+                 agg: Optional[Tuple[str, Optional[str]]] = None
+                 ) -> Tuple[str, Tuple[str, ...]]:
+    """Emit one SELECT for a [pi] [sort] [sigma] (join | base) layering."""
+    pi_specs: Optional[Tuple[T.FieldSpec, ...]] = None
+    sort_fields: Tuple[str, ...] = ()
+    sigma_preds: Tuple[T.SelectPred, ...] = ()
+
+    if isinstance(expr, T.Pi):
+        pi_specs = expr.fields
+        expr = expr.rel
+    if isinstance(expr, T.Sort):
+        sort_fields = expr.fields
+        expr = expr.rel
+    if isinstance(expr, T.Sigma):
+        sigma_preds = expr.pred.preds
+        expr = expr.rel
+    # A second selection layer may sit under the sort (sort(sigma(b))).
+    if isinstance(expr, T.Sigma):
+        sigma_preds = sigma_preds + expr.pred.preds
+        expr = expr.rel
+
+    sources: List[_Source] = []
+    where: List[str] = []
+    alias_of_side: Dict[str, str] = {}
+
+    if isinstance(expr, T.Join):
+        left, lpreds = _strip_sigma(expr.left)
+        right, rpreds = _strip_sigma(expr.right)
+        lsource = _base_source(left, "t0")
+        rsource = _base_source(right, "t1")
+        sources = [lsource, rsource]
+        alias_of_side = {"left": "t0", "right": "t1"}
+        for pred in expr.pred.preds:
+            where.append("%s %s %s" % (
+                _qualify("left." + pred.left_field, alias_of_side, sources),
+                pred.op,
+                _qualify("right." + pred.right_field, alias_of_side, sources)))
+        for pred in lpreds:
+            where.append(_select_pred_sql(pred, "t0", alias_of_side, sources))
+        for pred in rpreds:
+            where.append(_select_pred_sql(pred, "t1", alias_of_side, sources))
+        for pred in sigma_preds:
+            where.append(_select_pred_sql(pred, None, alias_of_side, sources))
+    else:
+        source = _base_source(expr, "t0")
+        sources = [source]
+        for pred in sigma_preds:
+            where.append(_select_pred_sql(pred, "t0", alias_of_side, sources))
+
+    select_list, columns = _select_list(pi_specs, alias_of_side, sources, agg)
+
+    order_keys: List[str] = []
+    if agg is None:
+        for sf in sort_fields:
+            if sf == "__natural__":
+                # Natural ordering of single-column rows sorts by that
+                # column (Collections.sort on a List<Long>).
+                if len(sources) == 1 and len(sources[0].schema) == 1:
+                    sf = sources[0].schema[0]
+                else:
+                    raise NotTranslatableError(
+                        "natural ordering of multi-column rows")
+            elif "." not in sf and sources and sources[0].schema \
+                    and sf not in sources[0].schema \
+                    and sf.split(".")[0] not in alias_of_side:
+                raise NotTranslatableError(
+                    "sort key %r is not a column of the sources" % sf)
+            order_keys.append(_qualify(sf, alias_of_side, sources))
+        for source in sources:
+            order_keys.extend(source.order_keys)
+
+    parts = ["SELECT %s%s" % ("DISTINCT " if distinct else "", select_list)]
+    parts.append("FROM %s" % ", ".join(
+        "%s AS %s" % (s.from_sql, s.alias) for s in sources))
+    if where:
+        parts.append("WHERE %s" % " AND ".join(where))
+    if order_keys:
+        parts.append("ORDER BY %s" % ", ".join(order_keys))
+    if limit is not None:
+        parts.append("LIMIT %d" % limit)
+    return " ".join(parts), columns
+
+
+def _strip_sigma(expr: T.TorNode
+                 ) -> Tuple[T.TorNode, Tuple[T.SelectPred, ...]]:
+    if isinstance(expr, T.Sigma):
+        return expr.rel, expr.pred.preds
+    return expr, ()
+
+
+def _base_source(expr: T.TorNode, alias: str) -> _Source:
+    """Translate a base expression into a FROM entry with order keys."""
+    if isinstance(expr, T.QueryOp):
+        plain = "SELECT * FROM %s" % (expr.table or "")
+        if expr.table is not None and expr.sql.strip().upper() == plain.upper():
+            from_sql = expr.table
+        else:
+            from_sql = "(%s)" % expr.sql
+        return _Source(alias=alias, from_sql=from_sql, schema=expr.schema,
+                       order_keys=["%s._rowid" % alias])
+    if isinstance(expr, T.Sort) and isinstance(expr.rel, T.QueryOp):
+        source = _base_source(expr.rel, alias)
+        fields = list(expr.fields)
+        if fields == ["__natural__"] and len(source.schema) == 1:
+            fields = [source.schema[0]]
+        for f in fields:
+            if source.schema and f not in source.schema:
+                raise NotTranslatableError(
+                    "sort key %r is not a column of the base relation "
+                    "(custom comparators cannot be translated)" % f)
+        source.order_keys = ["%s.%s" % (alias, f) for f in fields] + \
+            source.order_keys
+        return source
+    if isinstance(expr, T.Top):
+        inner = _translate_top(expr)
+        return _Source(alias=alias, from_sql="(%s)" % inner.sql,
+                       schema=inner.columns,
+                       order_keys=["%s._rowid" % alias])
+    raise NotTranslatableError("unsupported base relation %r" % (expr,))
+
+
+def _qualify(path: str, alias_of_side: Dict[str, str],
+             sources: List[_Source]) -> str:
+    """Map a TOR field path to a qualified SQL column reference."""
+    head, _, rest = path.partition(".")
+    if head in alias_of_side:
+        if not rest:
+            raise NotTranslatableError(
+                "whole-side reference %r needs projection handling" % path)
+        return "%s.%s" % (alias_of_side[head], rest)
+    return "%s.%s" % (sources[0].alias, path)
+
+
+def _select_pred_sql(pred: T.SelectPred, side_alias: Optional[str],
+                     alias_of_side: Dict[str, str],
+                     sources: List[_Source]) -> str:
+    def col(path: str) -> str:
+        if side_alias is not None and "." not in path:
+            return "%s.%s" % (side_alias, path)
+        return _qualify(path, alias_of_side, sources)
+
+    if isinstance(pred, T.FieldCmpConst):
+        return "%s %s %s" % (col(pred.field), pred.op,
+                             _const_sql(pred.const))
+    if isinstance(pred, T.FieldCmpField):
+        return "%s %s %s" % (col(pred.field1), pred.op, col(pred.field2))
+    if isinstance(pred, T.RecordIn):
+        subquery = translate(pred.rel)
+        if subquery.kind != "relation":
+            raise NotTranslatableError("IN subquery must yield rows")
+        subject = col(pred.field) if pred.field else (
+            side_alias or sources[0].alias)
+        return "%s IN (%s)" % (subject, subquery.sql)
+    raise NotTranslatableError("unsupported predicate %r" % (pred,))
+
+
+def _const_sql(expr: T.TorNode) -> str:
+    if isinstance(expr, T.Const):
+        return _sql_literal(expr.value)
+    if isinstance(expr, T.Var):
+        # Program variables become query parameters, bound at patch time.
+        return ":%s" % expr.name
+    raise NotTranslatableError("unsupported constant expression %r" % (expr,))
+
+
+def _sql_literal(value) -> str:
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        return "'%s'" % value.replace("'", "''")
+    if isinstance(value, float) and value in (float("inf"), float("-inf")):
+        raise NotTranslatableError("infinite literal")
+    return repr(value)
+
+
+def _select_list(pi_specs: Optional[Tuple[T.FieldSpec, ...]],
+                 alias_of_side: Dict[str, str], sources: List[_Source],
+                 agg: Optional[Tuple[str, Optional[str]]]
+                 ) -> Tuple[str, Tuple[str, ...]]:
+    if agg is not None:
+        agg_name, agg_field = agg
+        if agg_name == "COUNT":
+            return "COUNT(*)", ()
+        if agg_field is None:
+            raise NotTranslatableError("aggregate needs a column")
+        return "%s(%s)" % (agg_name,
+                           _qualify(agg_field, alias_of_side, sources)), ()
+
+    if pi_specs is None:
+        if len(sources) == 1:
+            return "*", sources[0].schema
+        # Unprojected join: expose both sides, qualified.
+        cols = []
+        names: List[str] = []
+        for source in sources:
+            cols.append("%s.*" % source.alias)
+            names.extend(source.schema)
+        return ", ".join(cols), tuple(names)
+
+    cols = []
+    names: List[str] = []
+    for spec in pi_specs:
+        head, _, rest = spec.source.partition(".")
+        if head in alias_of_side and not rest:
+            alias = alias_of_side[head]
+            source = next(s for s in sources if s.alias == alias)
+            cols.append("%s.*" % alias)
+            names.extend(source.schema)
+            continue
+        column = _qualify(spec.source, alias_of_side, sources)
+        target = spec.target
+        base_name = spec.source.rsplit(".", 1)[-1]
+        if target != base_name and target not in ("row",):
+            cols.append("%s AS %s" % (column, target))
+            names.append(target)
+        else:
+            cols.append(column)
+            names.append(base_name)
+    return ", ".join(cols), tuple(names)

@@ -1,0 +1,105 @@
+"""Unit tests for the equational prover and the arithmetic engine."""
+
+import pytest
+
+from repro.core.arith import FactSet, delinearize, linearize
+from repro.core.logic import CmpClause, EqClause, Predicate
+from repro.core.prover import Prover
+from repro.core.vcgen import generate_vcs
+from repro.tor import ast as T
+
+from tests.core.test_checker import (
+    running_example_candidate,
+    selection_candidate,
+)
+from tests.helpers import running_example_fragment, selection_fragment
+
+
+class TestArith:
+    def test_basic_entailments(self):
+        facts = FactSet(int_vars={"i"})
+        size = T.Size(T.Var("r"))
+        facts.add_comparison("<", T.Var("i"), size)
+        # Integer tightening: i < size  entails  i + 1 <= size.
+        assert facts.entails("<=", T.BinOp("+", T.Var("i"), T.Const(1)),
+                             size)
+        assert not facts.entails("=", T.Var("i"), size)
+
+    def test_equality_from_bounds(self):
+        facts = FactSet(int_vars={"j"})
+        size = T.Size(T.Var("r"))
+        facts.add_comparison("<=", T.Var("j"), size)
+        facts.add_comparison(">=", T.Var("j"), size)
+        assert facts.entails("=", T.Var("j"), size)
+
+    def test_size_nonnegativity_implicit(self):
+        facts = FactSet()
+        assert facts.entails(">=", T.Size(T.Var("r")), T.Const(0))
+        assert facts.entails(">", T.BinOp("+", T.Size(T.Var("r")),
+                                          T.Const(1)), T.Const(0))
+
+    def test_refutation(self):
+        facts = FactSet(int_vars={"i"})
+        facts.add_comparison(">=", T.Var("i"), T.Const(5))
+        assert facts.refutes("<", T.Var("i"), T.Const(3))
+
+    def test_no_unsound_entailment(self):
+        facts = FactSet(int_vars={"i", "j"})
+        facts.add_comparison("<=", T.Var("i"), T.Var("j"))
+        assert not facts.entails("<", T.Var("i"), T.Var("j"))
+
+    def test_linearize_roundtrip(self):
+        expr = T.BinOp("-", T.BinOp("+", T.Var("i"), T.Const(3)),
+                       T.Const(2))
+        assert delinearize(linearize(expr)) == \
+            T.BinOp("+", T.Var("i"), T.Const(1))
+
+    def test_known_int_constants(self):
+        facts = FactSet(int_vars={"i"})
+        facts.add_comparison("<=", T.Var("i"), T.Const(10))
+        assert 10 in facts.known_int_constants()
+
+
+class TestProverOnGroundTruth:
+    def test_proves_selection_candidate(self):
+        frag = selection_fragment()
+        vcset = generate_vcs(frag)
+        proof = Prover(vcset).validate(selection_candidate())
+        assert proof.proved, proof.failures
+
+    def test_proves_running_example_candidate(self):
+        frag = running_example_fragment()
+        vcset = generate_vcs(frag)
+        proof = Prover(vcset).validate(running_example_candidate())
+        assert proof.proved, proof.failures
+
+    def test_rejects_wrong_postcondition(self):
+        frag = selection_fragment()
+        vcset = generate_vcs(frag)
+        bad = selection_candidate()
+        bad["pcon"] = Predicate(
+            params=bad["pcon"].params,
+            clauses=(EqClause("result", T.Var("users")),))
+        proof = Prover(vcset).validate(bad)
+        assert not proof.proved
+        assert any("exit" in f for f in proof.failures)
+
+    def test_rejects_non_inductive_invariant(self):
+        frag = selection_fragment()
+        vcset = generate_vcs(frag)
+        bad = selection_candidate()
+        bad["inv_loop0"] = Predicate(
+            params=bad["inv_loop0"].params,
+            clauses=(EqClause("result", T.EmptyRelation()),))
+        proof = Prover(vcset).validate(bad)
+        assert not proof.proved
+
+    def test_failure_messages_name_the_vc(self):
+        frag = selection_fragment()
+        vcset = generate_vcs(frag)
+        bad = selection_candidate()
+        bad["pcon"] = Predicate(
+            params=bad["pcon"].params,
+            clauses=(EqClause("result", T.Var("users")),))
+        proof = Prover(vcset).validate(bad)
+        assert all(":" in failure for failure in proof.failures)

@@ -1,0 +1,86 @@
+"""Tests for verification-condition generation (paper Fig. 11)."""
+
+from repro.core.logic import Bool, PredApp, formula_pred_apps, pretty_formula
+from repro.core.vcgen import generate_vcs
+from repro.tor import ast as T
+
+from tests.helpers import running_example_fragment, selection_fragment
+
+
+class TestSelectionVCs:
+    def test_vc_names_and_count(self):
+        vcset = generate_vcs(selection_fragment())
+        names = [vc.name for vc in vcset.vcs]
+        assert names == ["initialization", "loop0 preservation", "loop0 exit"]
+
+    def test_unknowns_registered(self):
+        vcset = generate_vcs(selection_fragment())
+        assert set(vcset.unknowns) == {"pcon", "inv_loop0"}
+        assert vcset.unknowns["pcon"][0] == "result"
+
+    def test_initialization_substitutes_assignments(self):
+        vcset = generate_vcs(selection_fragment())
+        init = vcset.vcs[0]
+        assert init.hypotheses == ()
+        apps = list(formula_pred_apps(init.conclusion))
+        assert len(apps) == 1
+        app = apps[0]
+        # i := 0, result := [], users := Query(...) all substituted.
+        assert app.arg_for("i") == T.Const(0)
+        assert app.arg_for("result") == T.EmptyRelation()
+        assert isinstance(app.arg_for("users"), T.QueryOp)
+
+    def test_exit_vc_concludes_postcondition(self):
+        vcset = generate_vcs(selection_fragment())
+        exit_vc = vcset.vcs[2]
+        apps = list(formula_pred_apps(exit_vc.conclusion))
+        assert apps[0].name == "pcon"
+
+    def test_preservation_increments_counter(self):
+        vcset = generate_vcs(selection_fragment())
+        pres = vcset.vcs[1]
+        # Both branches of the `if` apply the invariant at i + 1.
+        for app in formula_pred_apps(pres.conclusion):
+            assert app.arg_for("i") == T.BinOp("+", T.Var("i"), T.Const(1))
+
+    def test_preservation_appends_in_then_branch(self):
+        vcset = generate_vcs(selection_fragment())
+        pres = vcset.vcs[1]
+        args = [app.arg_for("result")
+                for app in formula_pred_apps(pres.conclusion)]
+        assert any(isinstance(a, T.Append) for a in args)
+        assert any(a == T.Var("result") for a in args)
+
+
+class TestRunningExampleVCs:
+    def test_vc_structure_matches_fig11(self):
+        vcset = generate_vcs(running_example_fragment())
+        names = [vc.name for vc in vcset.vcs]
+        # initialization, outer preservation (= inner initialization),
+        # inner preservation, inner exit, outer exit.
+        assert "initialization" in names
+        assert "loop0 preservation" in names
+        assert "loop1 preservation" in names
+        assert "loop1 exit" in names
+        assert "loop0 exit" in names
+        assert len(names) == 5
+
+    def test_outer_preservation_enters_inner_invariant_at_zero(self):
+        vcset = generate_vcs(running_example_fragment())
+        outer_pres = next(vc for vc in vcset.vcs
+                          if vc.name == "loop0 preservation")
+        apps = list(formula_pred_apps(outer_pres.conclusion))
+        assert apps[0].name == "inv_loop1"
+        assert apps[0].arg_for("j") == T.Const(0)
+
+    def test_inner_exit_reestablishes_outer_invariant(self):
+        vcset = generate_vcs(running_example_fragment())
+        inner_exit = next(vc for vc in vcset.vcs if vc.name == "loop1 exit")
+        apps = list(formula_pred_apps(inner_exit.conclusion))
+        assert apps[0].name == "inv_loop0"
+        assert apps[0].arg_for("i") == T.BinOp("+", T.Var("i"), T.Const(1))
+
+    def test_vcs_render(self):
+        vcset = generate_vcs(running_example_fragment())
+        text = str(vcset)
+        assert "inv_loop0" in text and "pcon" in text

@@ -1,0 +1,172 @@
+"""Corpus conformance: every fragment's outcome matches Appendix A,
+and every translated fragment's SQL is observationally equivalent to
+the original code on a populated database."""
+
+import pytest
+
+from repro.core.qbs import QBS, QBSStatus
+from repro.core.transform import TransformedFragment, entity_rows
+from repro.corpus import ALL_FRAGMENTS, run_fragment_through_qbs
+from repro.corpus.advanced import create_advanced_database, \
+    make_advanced_service
+from repro.corpus.registry import ADVANCED_FRAGMENTS, ITRACKER_FRAGMENTS, \
+    WILOS_FRAGMENTS
+from repro.corpus.schema import (
+    create_itracker_database,
+    create_wilos_database,
+    populate_itracker,
+    populate_wilos,
+)
+from repro.corpus.itracker import make_itracker_service
+from repro.corpus.wilos import make_wilos_service
+
+
+@pytest.fixture(scope="module")
+def qbs():
+    return QBS()
+
+
+@pytest.fixture(scope="module")
+def results(qbs):
+    return {cf.fragment_id: run_fragment_through_qbs(cf, qbs)
+            for cf in ALL_FRAGMENTS}
+
+
+def test_corpus_has_the_paper_population():
+    assert len(WILOS_FRAGMENTS) == 33
+    assert len(ITRACKER_FRAGMENTS) == 16
+    assert len(ADVANCED_FRAGMENTS) == 4
+
+
+@pytest.mark.parametrize("cf", ALL_FRAGMENTS,
+                         ids=[c.fragment_id for c in ALL_FRAGMENTS])
+def test_fragment_outcome_matches_paper(cf, results):
+    result = results[cf.fragment_id]
+    assert result.status == cf.expected, (
+        "%s: got %s (%s), paper says %s"
+        % (cf.fragment_id, result.status.value, result.reason,
+           cf.expected.value))
+
+
+def test_fig13_totals(results):
+    translated = sum(1 for cf in WILOS_FRAGMENTS + ITRACKER_FRAGMENTS
+                     if results[cf.fragment_id].status
+                     is QBSStatus.TRANSLATED)
+    rejected = sum(1 for cf in WILOS_FRAGMENTS + ITRACKER_FRAGMENTS
+                   if results[cf.fragment_id].status is QBSStatus.REJECTED)
+    failed = sum(1 for cf in WILOS_FRAGMENTS + ITRACKER_FRAGMENTS
+                 if results[cf.fragment_id].status is QBSStatus.FAILED)
+    assert (translated, rejected, failed) == (33, 9, 7)
+
+
+# -- observational equivalence -------------------------------------------------
+
+#: (fragment id, method args) for equivalence runs; every translated
+#: fragment appears.
+WILOS_ARGS = {
+    "w19": (), "w22": (), "w23": (), "w25": (), "w29": ("user3",),
+    "w30": ("user4", 4), "w31": (), "w32": (), "w33": (), "w34": (),
+    "w35": (), "w37": ("proc1",), "w38": (), "w40": (), "w42": (7,),
+    "w43": (7,), "w44": (), "w46": (), "w47": (), "w48": (), "w49": (),
+}
+ITRACKER_ARGS = {
+    "i1": (), "i2": (), "i5": (), "i6": (), "i7": (), "i8": (),
+    "i11": (), "i12": (1,), "i13": (3,), "i14": (), "i15": (), "i16": (),
+}
+
+
+@pytest.fixture(scope="module")
+def wilos_db():
+    db = create_wilos_database()
+    populate_wilos(db, n_users=60, n_roles=10, unfinished_fraction=0.3,
+                   manager_fraction=0.2)
+    # Tables the populator does not fill, needed by some fragments.
+    db.insert_many("workproduct", (
+        {"id": i, "workproduct_name": "wp%d" % i, "state": i % 2,
+         "project_id": i % 5} for i in range(20)))
+    db.insert_many("workproduct_descriptor", (
+        {"id": i, "workproduct_id": i % 25, "process_id": i % 6,
+         "state": i % 2} for i in range(30)))
+    db.insert_many("role_descriptor", (
+        {"id": i, "role_id": i % 10, "process_id": i % 6,
+         "descriptor_name": "rd%d" % i} for i in range(25)))
+    db.insert_many("process", (
+        {"id": i, "process_name": "proc%d" % i, "manager_id": i % 4}
+        for i in range(6)))
+    return db
+
+
+@pytest.fixture(scope="module")
+def itracker_db():
+    db = create_itracker_database()
+    populate_itracker(db, n_issues=80)
+    return db
+
+
+def _params_for(fragment, args):
+    names = [n for n in fragment.inputs]
+    return dict(zip(names, args))
+
+
+@pytest.mark.parametrize("fragment_id", sorted(WILOS_ARGS))
+def test_wilos_equivalence(fragment_id, results, wilos_db):
+    cf = next(f for f in WILOS_FRAGMENTS if f.fragment_id == fragment_id)
+    result = results[fragment_id]
+    assert result.translated
+    service = make_wilos_service(wilos_db)
+    args = WILOS_ARGS[fragment_id]
+    original = getattr(service, cf.method)(*args)
+    transformed = TransformedFragment(result)
+    inferred = transformed.execute(wilos_db,
+                                   _params_for(result.fragment, args))
+    _assert_same(original, inferred)
+
+
+@pytest.mark.parametrize("fragment_id", sorted(ITRACKER_ARGS))
+def test_itracker_equivalence(fragment_id, results, itracker_db):
+    cf = next(f for f in ITRACKER_FRAGMENTS if f.fragment_id == fragment_id)
+    result = results[fragment_id]
+    assert result.translated
+    service = make_itracker_service(itracker_db)
+    args = ITRACKER_ARGS[fragment_id]
+    original = getattr(service, cf.method)(*args)
+    transformed = TransformedFragment(result)
+    inferred = transformed.execute(itracker_db,
+                                   _params_for(result.fragment, args))
+    _assert_same(original, inferred)
+
+
+def test_advanced_equivalence(results):
+    db = create_advanced_database()
+    db.insert_many("r", ({"id": i, "a": i % 7} for i in range(40)))
+    db.insert_many("s", ({"id": i, "b": i % 7} for i in range(25)))
+    db.insert_many("t", ({"id": i} for i in range(30)))
+    service = make_advanced_service(db)
+
+    for fragment_id, method in (("adv_hash", "adv_hash_join"),
+                                ("adv_top10", "adv_sorted_top_ten")):
+        result = results[fragment_id]
+        assert result.translated
+        original = getattr(service, method)()
+        inferred = TransformedFragment(result).execute(db)
+        _assert_same(original, inferred)
+
+
+def _unwrap(row):
+    """Single-column projected records compare as their scalar value."""
+    from repro.tor.values import Record
+
+    if isinstance(row, Record) and len(row.fields) == 1:
+        return row[row.fields[0]]
+    return row
+
+
+def _assert_same(original, inferred):
+    original_rows = entity_rows(original)
+    if isinstance(original, set):
+        assert set(map(_unwrap, original_rows)) == set(map(_unwrap, inferred))
+    elif isinstance(original, (list, tuple)):
+        assert tuple(map(_unwrap, original_rows)) == \
+            tuple(map(_unwrap, inferred))
+    else:
+        assert original == inferred

@@ -1,0 +1,188 @@
+"""Shared test fixtures: hand-built kernel fragments and tiny databases.
+
+These mirror the paper's running example (Fig. 1/2) and a few smaller
+idioms, in kernel form, so the core pipeline can be tested without the
+frontend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.kernel import ast as K
+from repro.kernel.ast import Assign, Fragment, If, Seq, VarInfo, While
+from repro.tor import ast as T
+from repro.tor.values import Record
+
+USERS_SCHEMA = ("id", "name", "role_id")
+ROLES_SCHEMA = ("role_id", "role_name")
+
+USERS_QUERY = T.QueryOp(sql="SELECT * FROM users", table="users",
+                        schema=USERS_SCHEMA)
+ROLES_QUERY = T.QueryOp(sql="SELECT * FROM roles", table="roles",
+                        schema=ROLES_SCHEMA)
+
+
+def sample_db(users=None, roles=None):
+    """A database callback over in-memory user/role tables."""
+    tables = {
+        "users": users if users is not None else (
+            Record(id=1, name="alice", role_id=10),
+            Record(id=2, name="bob", role_id=20),
+            Record(id=3, name="carol", role_id=10),
+        ),
+        "roles": roles if roles is not None else (
+            Record(role_id=10, role_name="admin"),
+            Record(role_id=20, role_name="user"),
+        ),
+    }
+
+    def db(query: T.QueryOp) -> Tuple[Record, ...]:
+        return tables[query.table]
+
+    return db
+
+
+def running_example_fragment() -> Fragment:
+    """Paper Fig. 2: the nested-loop join over users and roles."""
+    inner_body = Seq((
+        If(
+            T.BinOp("=",
+                    T.FieldAccess(T.Get(T.Var("users"), T.Var("i")), "role_id"),
+                    T.FieldAccess(T.Get(T.Var("roles"), T.Var("j")), "role_id")),
+            Assign("listUsers", T.Append(T.Var("listUsers"),
+                                         T.Get(T.Var("users"), T.Var("i")))),
+        ),
+        Assign("j", T.BinOp("+", T.Var("j"), T.Const(1))),
+    ))
+    inner = While(T.BinOp("<", T.Var("j"), T.Size(T.Var("roles"))),
+                  inner_body, loop_id="loop1")
+    outer_body = Seq((
+        Assign("j", T.Const(0)),
+        inner,
+        Assign("i", T.BinOp("+", T.Var("i"), T.Const(1))),
+    ))
+    outer = While(T.BinOp("<", T.Var("i"), T.Size(T.Var("users"))),
+                  outer_body, loop_id="loop0")
+    body = Seq((
+        Assign("listUsers", T.EmptyRelation()),
+        Assign("users", USERS_QUERY),
+        Assign("roles", ROLES_QUERY),
+        Assign("i", T.Const(0)),
+        outer,
+    ))
+    return Fragment(
+        body=body,
+        result_var="listUsers",
+        inputs={},
+        locals={
+            "listUsers": VarInfo("relation", USERS_SCHEMA),
+            "users": VarInfo("relation", USERS_SCHEMA, table="users"),
+            "roles": VarInfo("relation", ROLES_SCHEMA, table="roles"),
+            "i": VarInfo("scalar"),
+            "j": VarInfo("scalar"),
+        },
+        name="running-example/getRoleUser",
+    )
+
+
+def selection_fragment() -> Fragment:
+    """Filter users with role_id = 10 (category A in Appendix A)."""
+    body = Seq((
+        Assign("result", T.EmptyRelation()),
+        Assign("users", USERS_QUERY),
+        Assign("i", T.Const(0)),
+        While(
+            T.BinOp("<", T.Var("i"), T.Size(T.Var("users"))),
+            Seq((
+                If(
+                    T.BinOp("=",
+                            T.FieldAccess(T.Get(T.Var("users"), T.Var("i")),
+                                          "role_id"),
+                            T.Const(10)),
+                    Assign("result", T.Append(T.Var("result"),
+                                              T.Get(T.Var("users"), T.Var("i")))),
+                ),
+                Assign("i", T.BinOp("+", T.Var("i"), T.Const(1))),
+            )),
+            loop_id="loop0",
+        ),
+    ))
+    return Fragment(
+        body=body,
+        result_var="result",
+        inputs={},
+        locals={
+            "result": VarInfo("relation", USERS_SCHEMA),
+            "users": VarInfo("relation", USERS_SCHEMA, table="users"),
+            "i": VarInfo("scalar"),
+        },
+        name="test/selection",
+    )
+
+
+def count_fragment() -> Fragment:
+    """Count users with role_id = 10 (category J / aggregation)."""
+    body = Seq((
+        Assign("n", T.Const(0)),
+        Assign("users", USERS_QUERY),
+        Assign("i", T.Const(0)),
+        While(
+            T.BinOp("<", T.Var("i"), T.Size(T.Var("users"))),
+            Seq((
+                If(
+                    T.BinOp("=",
+                            T.FieldAccess(T.Get(T.Var("users"), T.Var("i")),
+                                          "role_id"),
+                            T.Const(10)),
+                    Assign("n", T.BinOp("+", T.Var("n"), T.Const(1))),
+                ),
+                Assign("i", T.BinOp("+", T.Var("i"), T.Const(1))),
+            )),
+            loop_id="loop0",
+        ),
+    ))
+    return Fragment(
+        body=body,
+        result_var="n",
+        inputs={},
+        locals={
+            "n": VarInfo("scalar"),
+            "users": VarInfo("relation", USERS_SCHEMA, table="users"),
+            "i": VarInfo("scalar"),
+        },
+        name="test/count",
+    )
+
+
+def exists_fragment() -> Fragment:
+    """Existence check: is there a user with id = wanted? (category H)."""
+    body = Seq((
+        Assign("found", T.Const(False)),
+        Assign("users", USERS_QUERY),
+        Assign("i", T.Const(0)),
+        While(
+            T.BinOp("<", T.Var("i"), T.Size(T.Var("users"))),
+            Seq((
+                If(
+                    T.BinOp("=",
+                            T.FieldAccess(T.Get(T.Var("users"), T.Var("i")), "id"),
+                            T.Var("wanted")),
+                    Assign("found", T.Const(True)),
+                ),
+                Assign("i", T.BinOp("+", T.Var("i"), T.Const(1))),
+            )),
+            loop_id="loop0",
+        ),
+    ))
+    return Fragment(
+        body=body,
+        result_var="found",
+        inputs={"wanted": VarInfo("scalar")},
+        locals={
+            "found": VarInfo("scalar"),
+            "users": VarInfo("relation", USERS_SCHEMA, table="users"),
+            "i": VarInfo("scalar"),
+        },
+        name="test/exists",
+    )

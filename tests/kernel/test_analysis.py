@@ -1,0 +1,68 @@
+"""Unit tests for kernel fragment structural analysis."""
+
+from repro.kernel.analysis import analyze_loops, query_assignments, scope_vars
+from repro.kernel.ast import Assign, Seq, VarInfo, While, Fragment
+from repro.tor import ast as T
+
+from tests.helpers import running_example_fragment, selection_fragment
+
+
+class TestAnalyzeLoops:
+    def test_selection_loop_facts(self):
+        frag = selection_fragment()
+        infos = analyze_loops(frag)
+        assert set(infos) == {"loop0"}
+        info = infos["loop0"]
+        assert info.counter == "i"
+        assert info.scanned == T.Var("users")
+        assert info.depth == 0
+        assert info.accumulators == ("result",)
+
+    def test_nested_loops_facts(self):
+        frag = running_example_fragment()
+        infos = analyze_loops(frag)
+        outer, inner = infos["loop0"], infos["loop1"]
+        assert outer.counter == "i" and outer.scanned == T.Var("users")
+        assert inner.counter == "j" and inner.scanned == T.Var("roles")
+        assert inner.parent == "loop0"
+        assert outer.inner_loops == ("loop1",)
+        # j is an inner counter, not an accumulator of the outer loop.
+        assert outer.accumulators == ("listUsers",)
+        assert inner.accumulators == ("listUsers",)
+
+    def test_non_canonical_guard_yields_no_counter(self):
+        # while (get(r, i).id < 10) — the Sec 7.3 failing idiom.
+        guard = T.BinOp("<",
+                        T.FieldAccess(T.Get(T.Var("r"), T.Var("i")), "id"),
+                        T.Const(10))
+        loop = While(guard, Assign("i", T.BinOp("+", T.Var("i"), T.Const(1))),
+                     loop_id="loop0")
+        frag = Fragment(body=loop, result_var="i",
+                        locals={"i": VarInfo("scalar"),
+                                "r": VarInfo("relation", ("id",))})
+        info = analyze_loops(frag)["loop0"]
+        assert info.counter is None
+        assert info.scanned is None
+
+    def test_non_unit_increment_rejected(self):
+        guard = T.BinOp("<", T.Var("i"), T.Size(T.Var("r")))
+        loop = While(guard, Assign("i", T.BinOp("+", T.Var("i"), T.Const(2))),
+                     loop_id="loop0")
+        frag = Fragment(body=loop, result_var="i",
+                        locals={"i": VarInfo("scalar"),
+                                "r": VarInfo("relation", ("id",))})
+        assert analyze_loops(frag)["loop0"].counter is None
+
+
+class TestScopeAndQueries:
+    def test_scope_vars_cover_loop_locals(self):
+        frag = running_example_fragment()
+        loop = frag.loops()[0]
+        names = scope_vars(frag, loop)
+        assert set(names) >= {"listUsers", "users", "roles", "i", "j"}
+
+    def test_query_assignments(self):
+        frag = running_example_fragment()
+        queries = query_assignments(frag)
+        assert set(queries) == {"users", "roles"}
+        assert queries["users"].table == "users"

@@ -1,0 +1,148 @@
+"""Unit tests for the kernel-language interpreter."""
+
+import pytest
+
+from repro.kernel.ast import (
+    Assert,
+    Assign,
+    Fragment,
+    If,
+    KernelValidationError,
+    Seq,
+    Skip,
+    VarInfo,
+    While,
+    modified_vars,
+    seq,
+    validate_expression,
+)
+from repro.kernel.interp import ExecutionError, execute, run_fragment
+from repro.tor import ast as T
+from repro.tor.values import Record
+
+from tests.helpers import (
+    count_fragment,
+    exists_fragment,
+    running_example_fragment,
+    sample_db,
+    selection_fragment,
+)
+
+
+class TestBasicCommands:
+    def test_skip_leaves_env(self):
+        env = {"x": 1}
+        assert execute(Skip(), env) == {"x": 1}
+
+    def test_assign(self):
+        env = execute(Assign("x", T.Const(5)), {})
+        assert env["x"] == 5
+
+    def test_seq_order(self):
+        cmd = Seq((Assign("x", T.Const(1)),
+                   Assign("x", T.BinOp("+", T.Var("x"), T.Const(2)))))
+        assert execute(cmd, {})["x"] == 3
+
+    def test_if_branches(self):
+        cmd = If(T.BinOp(">", T.Var("x"), T.Const(0)),
+                 Assign("sign", T.Const(1)), Assign("sign", T.Const(-1)))
+        assert execute(cmd, {"x": 5})["sign"] == 1
+        assert execute(cmd, {"x": -5})["sign"] == -1
+
+    def test_while_counts(self):
+        cmd = Seq((
+            Assign("i", T.Const(0)),
+            While(T.BinOp("<", T.Var("i"), T.Const(4)),
+                  Assign("i", T.BinOp("+", T.Var("i"), T.Const(1))),
+                  loop_id="loop0"),
+        ))
+        assert execute(cmd, {})["i"] == 4
+
+    def test_assert_pass_and_fail(self):
+        execute(Assert(T.Const(True)), {})
+        with pytest.raises(ExecutionError):
+            execute(Assert(T.Const(False)), {})
+
+    def test_fuel_exhaustion(self):
+        cmd = While(T.Const(True), Skip(), loop_id="loop0")
+        with pytest.raises(ExecutionError):
+            execute(cmd, {}, fuel=100)
+
+    def test_seq_smart_constructor(self):
+        assert seq() == Skip()
+        assert seq(Skip(), Skip()) == Skip()
+        single = Assign("x", T.Const(1))
+        assert seq(single) == single
+        nested = seq(seq(single, single), single)
+        assert len(nested.commands) == 3
+
+
+class TestTraceHook:
+    def test_trace_fires_at_loop_heads(self):
+        states = []
+        cmd = Seq((
+            Assign("i", T.Const(0)),
+            While(T.BinOp("<", T.Var("i"), T.Const(2)),
+                  Assign("i", T.BinOp("+", T.Var("i"), T.Const(1))),
+                  loop_id="L"),
+        ))
+        execute(cmd, {}, trace=lambda lid, env: states.append((lid, env["i"])))
+        # Fires at i=0, 1 and the final test at i=2.
+        assert states == [("L", 0), ("L", 1), ("L", 2)]
+
+    def test_trace_snapshots_are_isolated(self):
+        snaps = []
+        cmd = Seq((
+            Assign("i", T.Const(0)),
+            While(T.BinOp("<", T.Var("i"), T.Const(1)),
+                  Assign("i", T.BinOp("+", T.Var("i"), T.Const(1))),
+                  loop_id="L"),
+        ))
+        execute(cmd, {}, trace=lambda lid, env: snaps.append(env))
+        assert snaps[0]["i"] == 0  # not mutated by later iterations
+
+
+class TestFragments:
+    def test_running_example_joins(self):
+        result = run_fragment(running_example_fragment(), db=sample_db())
+        assert [u.name for u in result] == ["alice", "bob", "carol"]
+
+    def test_running_example_no_matches(self):
+        db = sample_db(roles=(Record(role_id=99, role_name="ghost"),))
+        assert run_fragment(running_example_fragment(), db=db) == ()
+
+    def test_selection_fragment(self):
+        result = run_fragment(selection_fragment(), db=sample_db())
+        assert [u.id for u in result] == [1, 3]
+
+    def test_count_fragment(self):
+        assert run_fragment(count_fragment(), db=sample_db()) == 2
+
+    def test_exists_fragment_input_binding(self):
+        frag = exists_fragment()
+        assert run_fragment(frag, db=sample_db(), inputs={"wanted": 2}) is True
+        assert run_fragment(frag, db=sample_db(), inputs={"wanted": 99}) is False
+
+    def test_missing_result_var_raises(self):
+        frag = Fragment(body=Skip(), result_var="nope", name="broken")
+        with pytest.raises(ExecutionError):
+            run_fragment(frag)
+
+
+class TestValidation:
+    def test_kernel_subset_accepts_fig4_constructs(self):
+        expr = T.Append(T.Unique(T.Var("r")), T.Get(T.Var("r"), T.Const(0)))
+        validate_expression(expr)
+
+    def test_kernel_subset_rejects_relational_operators(self):
+        bad = T.Sigma(T.SelectFunc(()), T.Var("r"))
+        with pytest.raises(KernelValidationError):
+            validate_expression(bad)
+        with pytest.raises(KernelValidationError):
+            validate_expression(T.Pi((T.FieldSpec("id", "id"),), T.Var("r")))
+
+    def test_modified_vars_order(self):
+        cmd = Seq((Assign("a", T.Const(1)),
+                   If(T.Const(True), Assign("b", T.Const(2)), Skip()),
+                   Assign("a", T.Const(3))))
+        assert modified_vars(cmd) == ("a", "b")

@@ -1,0 +1,94 @@
+"""Unit tests for the ORM session: hydration, lazy/eager associations."""
+
+import pytest
+
+from repro.orm import Association, EntityType, Session
+from repro.orm.mapping import MappingRegistry
+from repro.sql.database import Database
+
+
+@pytest.fixture
+def setup():
+    db = Database()
+    db.create_table("users", ("id", "name", "role_id"))
+    db.create_table("roles", ("role_id", "role_name"))
+    db.create_index("roles", "role_id")
+    db.insert_many("users", [
+        {"id": 1, "name": "alice", "role_id": 10},
+        {"id": 2, "name": "bob", "role_id": 20},
+    ])
+    db.insert_many("roles", [
+        {"role_id": 10, "role_name": "admin"},
+        {"role_id": 20, "role_name": "user"},
+    ])
+    registry = MappingRegistry()
+    registry.register(EntityType(
+        "User", "users", ("id", "name", "role_id"),
+        associations=(Association("role", "Role", "role_id", "role_id"),)))
+    registry.register(EntityType("Role", "roles",
+                                 ("role_id", "role_name")))
+    return db, registry
+
+
+class TestLazyFetching:
+    def test_load_all_hydrates_every_row(self, setup):
+        db, registry = setup
+        session = Session(db, registry, fetch="lazy")
+        users = session.load_all("User")
+        assert [u.name for u in users] == ["alice", "bob"]
+        assert session.objects_hydrated == 2
+        assert session.queries_issued == 1  # no association queries yet
+
+    def test_association_resolved_on_first_access(self, setup):
+        db, registry = setup
+        session = Session(db, registry, fetch="lazy")
+        users = session.load_all("User")
+        assert session.queries_issued == 1
+        assert users[0].role.role_name == "admin"
+        assert session.queries_issued == 2
+        # Cached on second access.
+        assert users[0].role.role_name == "admin"
+        assert session.queries_issued == 2
+
+
+class TestEagerFetching:
+    def test_associations_loaded_at_hydration(self, setup):
+        db, registry = setup
+        session = Session(db, registry, fetch="eager")
+        users = session.load_all("User")
+        queries_after_load = session.queries_issued
+        assert queries_after_load == 1 + len(users)  # N+1 pattern
+        assert users[1].role.role_name == "user"
+        assert session.queries_issued == queries_after_load
+
+    def test_eager_hydrates_more_objects_than_lazy(self, setup):
+        db, registry = setup
+        lazy = Session(db, registry, fetch="lazy")
+        lazy.load_all("User")
+        eager = Session(db, registry, fetch="eager")
+        eager.load_all("User")
+        assert eager.objects_hydrated > lazy.objects_hydrated
+
+
+class TestEntity:
+    def test_attribute_access_and_equality(self, setup):
+        db, registry = setup
+        session = Session(db, registry)
+        users = session.load_all("User")
+        assert users[0].id == 1
+        assert users[0] == Session(db, registry).load_all("User")[0]
+        with pytest.raises(AttributeError):
+            users[0].nope
+        with pytest.raises(AttributeError):
+            users[0].id = 5
+
+    def test_scalar_query_unwraps_single_column(self, setup):
+        db, registry = setup
+        session = Session(db, registry)
+        ids = session.query("SELECT id FROM users AS t0 ORDER BY t0._rowid")
+        assert ids == [1, 2]
+
+    def test_invalid_fetch_mode(self, setup):
+        db, registry = setup
+        with pytest.raises(ValueError):
+            Session(db, registry, fetch="psychic")

@@ -1,0 +1,270 @@
+"""Unit tests for the TOR evaluator against the Appendix C axioms."""
+
+import pytest
+
+from repro.tor import ast as T
+from repro.tor.semantics import EvalError, evaluate
+from repro.tor.values import NEG_INF, POS_INF, PairRow, Record
+
+USERS = (
+    Record(id=1, name="alice", role_id=10),
+    Record(id=2, name="bob", role_id=20),
+    Record(id=3, name="carol", role_id=10),
+)
+ROLES = (
+    Record(role_id=10, role_name="admin"),
+    Record(role_id=20, role_name="user"),
+)
+ENV = {"users": USERS, "roles": ROLES}
+
+
+def users():
+    return T.Var("users")
+
+
+def roles():
+    return T.Var("roles")
+
+
+class TestScalars:
+    def test_const(self):
+        assert evaluate(T.Const(42)) == 42
+
+    def test_var_lookup(self):
+        assert evaluate(T.Var("users"), ENV) == USERS
+
+    def test_unbound_var_raises(self):
+        with pytest.raises(EvalError):
+            evaluate(T.Var("nope"), {})
+
+    @pytest.mark.parametrize(
+        "op,l,r,expected",
+        [
+            ("and", True, False, False),
+            ("or", False, True, True),
+            (">", 3, 2, True),
+            ("=", 3, 3, True),
+            ("<", 3, 2, False),
+            (">=", 2, 2, True),
+            ("<=", 1, 2, True),
+            ("!=", 1, 2, True),
+            ("+", 1, 2, 3),
+            ("-", 5, 2, 3),
+            ("*", 4, 3, 12),
+        ],
+    )
+    def test_binops(self, op, l, r, expected):
+        assert evaluate(T.BinOp(op, T.Const(l), T.Const(r))) == expected
+
+    def test_not(self):
+        assert evaluate(T.Not(T.Const(False))) is True
+
+    def test_record_literal_and_field_access(self):
+        rec = T.RecordLit((("a", T.Const(1)), ("b", T.Const(2))))
+        assert evaluate(rec) == Record(a=1, b=2)
+        assert evaluate(T.FieldAccess(rec, "b")) == 2
+
+
+class TestListAxioms:
+    def test_size(self):
+        assert evaluate(T.Size(users()), ENV) == 3
+        assert evaluate(T.Size(T.EmptyRelation())) == 0
+
+    def test_get(self):
+        assert evaluate(T.Get(users(), T.Const(1)), ENV) == USERS[1]
+
+    def test_get_out_of_range(self):
+        with pytest.raises(EvalError):
+            evaluate(T.Get(users(), T.Const(5)), ENV)
+        with pytest.raises(EvalError):
+            evaluate(T.Get(users(), T.Const(-1)), ENV)
+
+    def test_top_prefix(self):
+        assert evaluate(T.Top(users(), T.Const(2)), ENV) == USERS[:2]
+
+    def test_top_zero_and_overflow(self):
+        assert evaluate(T.Top(users(), T.Const(0)), ENV) == ()
+        assert evaluate(T.Top(users(), T.Const(99)), ENV) == USERS
+
+    def test_append(self):
+        extra = Record(id=9, name="zed", role_id=30)
+        out = evaluate(T.Append(users(), T.Const(extra)), ENV)
+        assert out == USERS + (extra,)
+
+    def test_unique_keeps_first_occurrence(self):
+        rel = (Record(a=1), Record(a=2), Record(a=1))
+        out = evaluate(T.Unique(T.Var("r")), {"r": rel})
+        assert out == (Record(a=1), Record(a=2))
+
+    def test_sort_is_stable(self):
+        rel = (Record(k=2, tag="x"), Record(k=1, tag="y"), Record(k=1, tag="z"))
+        out = evaluate(T.Sort(("k",), T.Var("r")), {"r": rel})
+        assert out == (Record(k=1, tag="y"), Record(k=1, tag="z"), Record(k=2, tag="x"))
+
+
+class TestProjection:
+    def test_projection_keeps_listed_fields(self):
+        pi = T.Pi((T.FieldSpec("id", "id"),), users())
+        assert evaluate(pi, ENV) == (Record(id=1), Record(id=2), Record(id=3))
+
+    def test_projection_replicates_fields(self):
+        pi = T.Pi((T.FieldSpec("id", "a"), T.FieldSpec("id", "b")), users())
+        assert evaluate(pi, ENV)[0] == Record(a=1, b=1)
+
+    def test_projection_of_pair_side(self):
+        join = T.Join(
+            T.JoinFunc((T.JoinFieldCmp("role_id", "=", "role_id"),)),
+            users(), roles(),
+        )
+        pi = T.Pi((T.FieldSpec("left", "u"),), join)
+        assert evaluate(pi, ENV) == USERS  # every user matches some role
+
+
+class TestSelection:
+    def test_field_const_selection(self):
+        sel = T.Sigma(
+            T.SelectFunc((T.FieldCmpConst("role_id", "=", T.Const(10)),)),
+            users(),
+        )
+        assert evaluate(sel, ENV) == (USERS[0], USERS[2])
+
+    def test_selection_preserves_order(self):
+        sel = T.Sigma(
+            T.SelectFunc((T.FieldCmpConst("id", ">", T.Const(1)),)), users()
+        )
+        assert evaluate(sel, ENV) == (USERS[1], USERS[2])
+
+    def test_conjunction_of_predicates(self):
+        sel = T.Sigma(
+            T.SelectFunc(
+                (
+                    T.FieldCmpConst("role_id", "=", T.Const(10)),
+                    T.FieldCmpConst("id", ">", T.Const(1)),
+                )
+            ),
+            users(),
+        )
+        assert evaluate(sel, ENV) == (USERS[2],)
+
+    def test_field_field_predicate(self):
+        rel = (Record(a=1, b=1), Record(a=1, b=2))
+        sel = T.Sigma(T.SelectFunc((T.FieldCmpField("a", "=", "b"),)), T.Var("r"))
+        assert evaluate(sel, {"r": rel}) == (Record(a=1, b=1),)
+
+    def test_contains_predicate(self):
+        sel = T.Sigma(
+            T.SelectFunc((T.RecordIn(T.Var("allowed"), field="role_id"),)),
+            users(),
+        )
+        env = dict(ENV, allowed=(Record(role_id=20),))
+        assert evaluate(sel, env) == (USERS[1],)
+
+    def test_const_in_predicate_reads_program_vars(self):
+        sel = T.Sigma(
+            T.SelectFunc((T.FieldCmpConst("id", "=", T.Var("wanted")),)),
+            users(),
+        )
+        assert evaluate(sel, dict(ENV, wanted=2)) == (USERS[1],)
+
+
+class TestJoin:
+    def test_join_orders_left_major(self):
+        join = T.Join(
+            T.JoinFunc((T.JoinFieldCmp("role_id", "=", "role_id"),)),
+            users(), roles(),
+        )
+        out = evaluate(join, ENV)
+        assert out == (
+            PairRow(USERS[0], ROLES[0]),
+            PairRow(USERS[1], ROLES[1]),
+            PairRow(USERS[2], ROLES[0]),
+        )
+
+    def test_cross_product(self):
+        join = T.Join(T.JoinFunc(()), users(), roles())
+        out = evaluate(join, ENV)
+        assert len(out) == 6
+        assert out[0] == PairRow(USERS[0], ROLES[0])
+        assert out[1] == PairRow(USERS[0], ROLES[1])
+
+    def test_join_empty_either_side(self):
+        join = T.Join(T.JoinFunc(()), users(), T.EmptyRelation())
+        assert evaluate(join, ENV) == ()
+        join = T.Join(T.JoinFunc(()), T.EmptyRelation(), roles())
+        assert evaluate(join, ENV) == ()
+
+
+class TestAggregates:
+    def test_sum(self):
+        rel = (Record(v=1), Record(v=2), Record(v=3))
+        assert evaluate(T.SumOp(T.Var("r")), {"r": rel}) == 6
+
+    def test_sum_empty_is_zero(self):
+        assert evaluate(T.SumOp(T.EmptyRelation())) == 0
+
+    def test_max_min(self):
+        rel = (3, 1, 2)
+        assert evaluate(T.MaxOp(T.Var("r")), {"r": rel}) == 3
+        assert evaluate(T.MinOp(T.Var("r")), {"r": rel}) == 1
+
+    def test_max_min_empty_identities(self):
+        assert evaluate(T.MaxOp(T.EmptyRelation())) == NEG_INF
+        assert evaluate(T.MinOp(T.EmptyRelation())) == POS_INF
+
+    def test_aggregate_rejects_wide_records(self):
+        rel = (Record(a=1, b=2),)
+        with pytest.raises(ValueError):
+            evaluate(T.SumOp(T.Var("r")), {"r": rel})
+
+
+class TestContainsExpression:
+    def test_contains_record(self):
+        assert evaluate(T.Contains(T.Const(USERS[0]), users()), ENV) is True
+
+    def test_contains_scalar_in_projected_column(self):
+        pi = T.Pi((T.FieldSpec("id", "id"),), users())
+        assert evaluate(T.Contains(T.Const(2), pi), ENV) is True
+        assert evaluate(T.Contains(T.Const(9), pi), ENV) is False
+
+
+class TestQueryOp:
+    def test_query_resolves_through_db(self):
+        q = T.QueryOp(sql="SELECT * FROM users", table="users",
+                      schema=("id", "name", "role_id"))
+
+        def db(node):
+            assert node.table == "users"
+            return USERS
+
+        assert evaluate(q, {}, db) == USERS
+
+    def test_query_without_db_raises(self):
+        with pytest.raises(EvalError):
+            evaluate(T.QueryOp(sql="SELECT 1"))
+
+
+class TestTreeUtilities:
+    def test_substitute(self):
+        expr = T.Size(T.Var("xs"))
+        out = T.substitute(expr, {"xs": T.Var("ys")})
+        assert out == T.Size(T.Var("ys"))
+
+    def test_substitute_inside_predicates(self):
+        sel = T.Sigma(
+            T.SelectFunc((T.FieldCmpConst("id", "=", T.Var("w")),)), T.Var("r")
+        )
+        out = T.substitute(sel, {"w": T.Const(3)})
+        assert out.pred.preds[0].const == T.Const(3)
+
+    def test_free_vars(self):
+        expr = T.Join(T.JoinFunc(()), T.Var("a"), T.Top(T.Var("b"), T.Var("i")))
+        assert T.free_vars(expr) == {"a", "b", "i"}
+
+    def test_size_metric(self):
+        assert T.Var("x").size() == 1
+        assert T.Size(T.Var("x")).size() == 2
+
+    def test_uses_operator(self):
+        expr = T.Append(T.Var("r"), T.Const(1))
+        assert T.uses_operator(expr, T.Append)
+        assert not T.uses_operator(expr, T.Unique)

@@ -1,0 +1,125 @@
+"""Unit tests for Trans normalisation and SQL generation."""
+
+import pytest
+
+from repro.tor import ast as T
+from repro.tor.sqlgen import translate
+from repro.tor.trans import NotTranslatableError, normalize
+
+USERS = T.QueryOp(sql="SELECT * FROM users", table="users",
+                  schema=("id", "name", "role_id"))
+ROLES = T.QueryOp(sql="SELECT * FROM roles", table="roles",
+                  schema=("role_id", "role_name"))
+
+
+def sel(field, value, rel):
+    return T.Sigma(T.SelectFunc((T.FieldCmpConst(field, "=",
+                                                 T.Const(value)),)), rel)
+
+
+class TestTranslatable:
+    def test_plain_query(self):
+        out = translate(USERS)
+        assert out.kind == "relation"
+        assert out.sql == "SELECT * FROM users AS t0 ORDER BY t0._rowid"
+
+    def test_selection(self):
+        out = translate(sel("role_id", 10, USERS))
+        assert "WHERE t0.role_id = 10" in out.sql
+
+    def test_projection_renames(self):
+        out = translate(T.Pi((T.FieldSpec("id", "uid"),), USERS))
+        assert "t0.id AS uid" in out.sql
+        assert out.columns == ("uid",)
+
+    def test_join_with_whole_side_projection(self):
+        join = T.Join(T.JoinFunc((T.JoinFieldCmp("role_id", "=",
+                                                 "role_id"),)),
+                      USERS, ROLES)
+        out = translate(T.Pi((T.FieldSpec("left", "row"),), join))
+        assert out.sql.startswith("SELECT t0.* FROM users AS t0, roles AS t1")
+        assert "ORDER BY t0._rowid, t1._rowid" in out.sql
+
+    def test_aggregates(self):
+        assert translate(T.Size(USERS)).sql == \
+            "SELECT COUNT(*) FROM users AS t0"
+        out = translate(T.MaxOp(T.Pi((T.FieldSpec("id", "id"),), USERS)))
+        assert out.sql == "SELECT MAX(t0.id) FROM users AS t0"
+        assert out.kind == "scalar"
+
+    def test_exists_form(self):
+        expr = T.BinOp(">", T.Size(sel("id", 3, USERS)), T.Const(0))
+        out = translate(expr)
+        assert out.kind == "bool"
+        assert out.sql.startswith("SELECT COUNT(*) > 0")
+
+    def test_distinct(self):
+        out = translate(T.Unique(T.Pi((T.FieldSpec("id", "id"),), USERS)))
+        assert out.sql.startswith("SELECT DISTINCT")
+
+    def test_limit(self):
+        out = translate(T.Top(USERS, T.Const(10)))
+        assert out.sql.endswith("LIMIT 10")
+
+    def test_sorted_base_orders_before_rowid(self):
+        out = translate(T.Top(T.Sort(("id",), USERS), T.Const(5)))
+        assert "ORDER BY t0.id, t0._rowid" in out.sql
+
+    def test_parameter_reference(self):
+        expr = T.Sigma(T.SelectFunc((T.FieldCmpConst(
+            "id", "=", T.Var("wanted")),)), USERS)
+        assert ":wanted" in translate(expr).sql
+
+    def test_in_subquery(self):
+        ids = T.QueryOp(sql="SELECT role_id FROM roles", table="roles",
+                        schema=("role_id",))
+        expr = T.Sigma(T.SelectFunc((T.RecordIn(ids, "role_id"),)), USERS)
+        out = translate(expr)
+        assert "IN (" in out.sql
+
+    def test_bindings_substituted(self):
+        expr = sel("role_id", 10, T.Var("users"))
+        out = translate(expr, {"users": USERS})
+        assert "FROM users" in out.sql
+
+
+class TestNotTranslatable:
+    def test_append_rejected(self):
+        with pytest.raises(NotTranslatableError):
+            translate(T.Append(USERS, T.Const(1)))
+
+    def test_concat_rejected(self):
+        with pytest.raises(NotTranslatableError):
+            translate(T.Concat(USERS, USERS))
+
+    def test_non_constant_limit_rejected(self):
+        with pytest.raises(NotTranslatableError):
+            translate(T.Top(USERS, T.Var("k")))
+
+    def test_custom_sort_key_rejected(self):
+        with pytest.raises(NotTranslatableError):
+            translate(T.Top(T.Sort(("__custom_comparator__",), USERS),
+                            T.Const(5)))
+
+    def test_get_rejected(self):
+        with pytest.raises(NotTranslatableError):
+            translate(T.Get(USERS, T.Const(0)))
+
+
+class TestNormalize:
+    def test_sigma_slides_through_pi(self):
+        expr = T.Sigma(
+            T.SelectFunc((T.FieldCmpConst("uid", "=", T.Const(1)),)),
+            T.Pi((T.FieldSpec("id", "uid"),), T.Var("r")))
+        out = normalize(expr)
+        assert isinstance(out, T.Pi)
+        assert isinstance(out.rel, T.Sigma)
+        assert out.rel.pred.preds[0].field == "id"
+
+    def test_tops_merge(self):
+        out = normalize(T.Top(T.Top(T.Var("r"), T.Const(5)), T.Const(3)))
+        assert out == T.Top(T.Var("r"), T.Const(3))
+
+    def test_unique_idempotent(self):
+        out = normalize(T.Unique(T.Unique(T.Var("r"))))
+        assert out == T.Unique(T.Var("r"))
