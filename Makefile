@@ -1,0 +1,28 @@
+# Developer entry points.  Everything runs against the in-tree sources
+# (PYTHONPATH=src); nothing needs to be installed.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke bench-synthesis bench
+
+# Tier-1 verification: the full unit/property/regression suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Fast perf canary: the synthesis-speed comparison with a single
+# timing repeat.  Fails (non-zero exit) when the optimized engine
+# drops below 2x wall-clock or 3x evaluator-call reduction vs. the
+# seed implementation, so perf regressions surface in seconds.
+bench-smoke:
+	$(PYTHON) benchmarks/bench_synthesis_speed.py --smoke
+
+# Full synthesis-speed table (per-fragment rows, best of 3 repeats).
+bench-synthesis:
+	$(PYTHON) benchmarks/bench_synthesis_speed.py
+
+# The complete paper-figure benchmark suite (pytest-benchmark).
+# Files are passed explicitly: they use the bench_* naming scheme,
+# which directory collection would skip.
+bench:
+	$(PYTHON) -m pytest benchmarks/bench_*.py -q

@@ -15,7 +15,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.core.synthesizer import SynthesisOptions, Synthesizer
 from repro.core.transform import TransformedFragment
+from repro.kernel import ast as K
 from repro.sql.database import Database
 
 
@@ -108,4 +110,88 @@ def speedup_table(measurements: List[PageLoadMeasurement]) -> Dict[int, float]:
         if "inferred" in bucket and "original_lazy" in bucket \
                 and bucket["inferred"] > 0:
             out[size] = bucket["original_lazy"] / bucket["inferred"]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Synthesis-search speed (the engine itself, not the generated queries)
+# ---------------------------------------------------------------------------
+
+
+def seed_synthesis_options(**overrides) -> SynthesisOptions:
+    """The seed search engine: eager enumeration, tree-walking evaluator."""
+    return SynthesisOptions(lazy_enumeration=False, compiled_eval=False,
+                            **overrides)
+
+
+@dataclass
+class SynthesisSpeedMeasurement:
+    """One fragment synthesized under one engine mode."""
+
+    fragment_id: str
+    mode: str                   # "seed" | "optimized"
+    seconds: float
+    eval_requests: int          # evaluations the search asked for
+    eval_executed: int          # evaluations actually run (= requests
+                                # under the seed engine; fewer with
+                                # memoization and state pre-filtering)
+    eval_memo_hits: int
+    combinations_checked: int
+    enum_peak_frontier: int     # peak heap size of lazy enumeration
+    succeeded: bool
+
+    def row(self) -> str:
+        return ("%-16s %-9s %9.2f ms  exec=%-8d req=%-8d "
+                "combos=%-5d frontier=%-5d %s" % (
+                    self.fragment_id, self.mode, self.seconds * 1e3,
+                    self.eval_executed, self.eval_requests,
+                    self.combinations_checked, self.enum_peak_frontier,
+                    "ok" if self.succeeded else "--"))
+
+
+def measure_synthesis(fragment_id: str, fragment: K.Fragment, mode: str,
+                      options: Optional[SynthesisOptions] = None,
+                      repeats: int = 1) -> SynthesisSpeedMeasurement:
+    """Synthesize one fragment, reporting wall-clock and evaluator work.
+
+    Counters come from the best (fastest) run; they are identical
+    across repeats because the search is deterministic.
+    """
+    if options is None:
+        options = SynthesisOptions() if mode == "optimized" \
+            else seed_synthesis_options()
+    best = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = Synthesizer(fragment, options).synthesize()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[0]:
+            best = (elapsed, result)
+    elapsed, result = best
+    stats = result.stats
+    return SynthesisSpeedMeasurement(
+        fragment_id=fragment_id, mode=mode, seconds=elapsed,
+        eval_requests=stats.eval_requests,
+        eval_executed=stats.eval_executed,
+        eval_memo_hits=stats.eval_memo_hits,
+        combinations_checked=stats.combinations_checked,
+        enum_peak_frontier=stats.enum_peak_frontier,
+        succeeded=result.succeeded)
+
+
+def synthesis_speedup(measurements: List[SynthesisSpeedMeasurement]
+                      ) -> Dict[str, float]:
+    """Aggregate seed-vs-optimized ratios over a measurement set."""
+    totals: Dict[str, Dict[str, float]] = {}
+    for m in measurements:
+        bucket = totals.setdefault(m.mode, {"seconds": 0.0, "executed": 0})
+        bucket["seconds"] += m.seconds
+        bucket["executed"] += m.eval_executed
+    out: Dict[str, float] = {}
+    seed = totals.get("seed")
+    optimized = totals.get("optimized")
+    if seed and optimized and optimized["seconds"] > 0 \
+            and optimized["executed"] > 0:
+        out["wall_clock"] = seed["seconds"] / optimized["seconds"]
+        out["eval_calls"] = seed["executed"] / optimized["executed"]
     return out

@@ -22,7 +22,7 @@ from its defining expression instead of being enumerated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 from repro.tor import ast as T
 from repro.tor.pretty import pretty
@@ -229,19 +229,24 @@ class Predicate:
         return self.holds_env(self.binding(args), db)
 
     def holds_env(self, env: Dict[str, Any],
-                  db: Optional[DatabaseFn] = None) -> bool:
+                  db: Optional[DatabaseFn] = None,
+                  eval_fn: Optional[Callable] = None) -> bool:
         """Evaluate the predicate under a name -> value environment.
 
         Robust to parameter-order differences between this predicate and
         the :class:`PredApp` it is checked against, since binding is by
-        name.
+        name.  ``eval_fn`` substitutes a different evaluation strategy
+        (the checker passes its compiled evaluator); it must match
+        :func:`repro.tor.semantics.evaluate`'s signature and semantics.
         """
+        if eval_fn is None:
+            eval_fn = evaluate
         for clause in self.clauses:
             if isinstance(clause, EqClause):
-                if env[clause.var] != evaluate(clause.expr, env, db):
+                if env[clause.var] != eval_fn(clause.expr, env, db):
                     return False
             elif isinstance(clause, CmpClause):
-                if not evaluate(clause.expr, env, db):
+                if not eval_fn(clause.expr, env, db):
                     return False
         return True
 
@@ -249,18 +254,20 @@ class Predicate:
         """Parameters defined by an equality clause (derivable)."""
         return tuple(c.var for c in self.clauses if isinstance(c, EqClause))
 
-    def derive(self, env: Dict[str, Any], db: Optional[DatabaseFn] = None
-               ) -> Dict[str, Any]:
+    def derive(self, env: Dict[str, Any], db: Optional[DatabaseFn] = None,
+               eval_fn: Optional[Callable] = None) -> Dict[str, Any]:
         """Extend ``env`` with values for every pinned parameter.
 
         ``env`` must provide all un-pinned parameters.  Returns a new
         environment; raises ``EvalError`` when a defining expression is
         outside the axioms' domain.
         """
+        if eval_fn is None:
+            eval_fn = evaluate
         out = dict(env)
         for clause in self.clauses:
             if isinstance(clause, EqClause):
-                out[clause.var] = evaluate(clause.expr, out, db)
+                out[clause.var] = eval_fn(clause.expr, out, db)
         return out
 
     def as_formula_on(self, app: PredApp) -> "Formula":

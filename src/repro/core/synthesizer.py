@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.checker import BoundedChecker, Counterexample, eval_formula
+from repro.core.enumerate import EnumerationStats, best_first_product
 from repro.core.features import extract_features
 from repro.core.logic import (
     And,
@@ -58,7 +59,8 @@ from repro.core.worlds import World, generate_worlds
 from repro.kernel import ast as K
 from repro.kernel.interp import ExecutionError, execute
 from repro.tor import ast as T
-from repro.tor.semantics import EvalError, evaluate
+from repro.tor.compile import Evaluator
+from repro.tor.semantics import EvalError
 
 
 @dataclass
@@ -73,6 +75,15 @@ class SynthesisStats:
     combinations_checked: int = 0
     houdini_drops: int = 0
     elapsed_seconds: float = 0.0
+    # Evaluator work (see repro.tor.compile.EvalStats): how many TOR
+    # evaluations were requested vs. actually executed vs. answered
+    # from the per-state memo.
+    eval_requests: int = 0
+    eval_executed: int = 0
+    eval_memo_hits: int = 0
+    # Candidate-enumeration memory: peak heap size of the best-first
+    # enumerator (0 when eager enumeration was used).
+    enum_peak_frontier: int = 0
 
 
 @dataclass
@@ -97,6 +108,14 @@ class SynthesisOptions:
     extra_random_worlds: int = 6
     houdini_rounds: int = 12
     max_combinations: int = 2000
+    #: enumerate candidate combinations lazily in best-first order
+    #: (O(frontier) memory) instead of sorting the full product.
+    lazy_enumeration: bool = True
+    #: evaluate TOR expressions through compiled, state-memoized
+    #: closures; also enables the checker's state pre-indexing and
+    #: CEGIS cache management.  Disabling both flags reproduces the
+    #: seed implementation (the benchmarks' "seed" mode).
+    compiled_eval: bool = True
 
 
 class Synthesizer:
@@ -111,7 +130,14 @@ class Synthesizer:
         self.worlds: List[World] = generate_worlds(
             fragment, max_size=self.options.world_max_size,
             extra_random=self.options.extra_random_worlds)
-        self.checker = BoundedChecker(self.vcset, self.worlds)
+        # One evaluator for the whole search: its compile cache and
+        # per-state memo are shared by the dynamic filters, the bounded
+        # checker and Houdini blame analysis, so a clause reused across
+        # levels or combinations is evaluated once per state.
+        self.evaluator = Evaluator(compiled=self.options.compiled_eval)
+        self.checker = BoundedChecker(self.vcset, self.worlds,
+                                      evaluator=self.evaluator,
+                                      optimized=self.options.compiled_eval)
         self._loop_states: Dict[str, List[Dict[str, Any]]] = {}
         self._final_envs: List[Tuple[World, Dict[str, Any]]] = []
         self._collect_traces()
@@ -120,6 +146,13 @@ class Synthesizer:
 
     def _collect_traces(self) -> None:
         """Execute the fragment on every world, recording loop states."""
+        # Compiled closures speed up trace collection too; they bypass
+        # the evaluator's counters in both modes (trace execution was
+        # never billed as candidate-evaluation work).
+        eval_fn = None
+        if self.options.compiled_eval:
+            fn_of = self.evaluator.fn
+            eval_fn = lambda e, env, db: fn_of(e)(env, db)  # noqa: E731
         for world in self.worlds:
             env: Dict[str, Any] = dict(world.inputs)
             for name, info in self.fragment.inputs.items():
@@ -128,7 +161,7 @@ class Synthesizer:
             try:
                 execute(self.fragment.body, env, world.db,
                         trace=lambda lid, snap: states.append((lid, snap)),
-                        fuel=200_000)
+                        fuel=200_000, eval_fn=eval_fn)
             except ExecutionError:
                 continue  # world outside the fragment's domain
             for loop_id, snap in states:
@@ -148,12 +181,21 @@ class Synthesizer:
                                  ) -> List[T.TorNode]:
         """Keep expressions that reproduce the observed results."""
         result_var = self.fragment.result_var
+        memoized = self.options.compiled_eval
         out = []
         for expr in exprs:
             ok = True
-            for world, env in self._final_envs:
+            for idx, (world, env) in enumerate(self._final_envs):
+                # Final environments are collected once and never
+                # mutated, so ("final", idx) soundly names this state
+                # for the evaluator's memo — an expression that reaches
+                # the same state again (the memo is per node object)
+                # re-reads the cached verdict.
                 try:
-                    if evaluate(expr, env, world.db) != env.get(result_var):
+                    value = self.evaluator.eval(
+                        expr, env, world.db,
+                        key=("final", idx) if memoized else None)
+                    if value != env.get(result_var):
                         ok = False
                         break
                 except EvalError:
@@ -165,16 +207,17 @@ class Synthesizer:
 
     def _clause_survives_traces(self, loop_id: str, clause: Clause) -> bool:
         """A clause must hold at every observed head state of its loop."""
-        for world, _ in self._final_envs:
-            pass  # states already carry everything needed
-        for snap in self._loop_states.get(loop_id, ()):  # may be empty
+        memoized = self.options.compiled_eval
+        for idx, snap in enumerate(self._loop_states.get(loop_id, ())):
+            key = ("snap", loop_id, idx) if memoized else None
             try:
                 if isinstance(clause, EqClause):
-                    if snap.get(clause.var, _MISSING) != evaluate(
-                            clause.expr, snap, self._db_for(snap)):
+                    if snap.get(clause.var, _MISSING) != self.evaluator.eval(
+                            clause.expr, snap, self._db_for(snap), key=key):
                         return False
                 else:
-                    if not evaluate(clause.expr, snap, self._db_for(snap)):
+                    if not self.evaluator.eval(
+                            clause.expr, snap, self._db_for(snap), key=key):
                         return False
             except EvalError:
                 return False
@@ -204,7 +247,7 @@ class Synthesizer:
             # evaluate, which only survives on empty tables): there is
             # no evidence to filter candidates with, and accepting one
             # vacuously would be unsound.
-            stats.elapsed_seconds = time.time() - start
+            self._finalize_stats(stats, start)
             return SynthesisResult(
                 assignment=None, postcondition_expr=None, stats=stats,
                 failure_reason="fragment is not executable on any "
@@ -214,15 +257,22 @@ class Synthesizer:
             stats.level = level
             result = self._synthesize_at_level(level, stats, accept)
             if result is not None:
-                stats.elapsed_seconds = time.time() - start
+                self._finalize_stats(stats, start)
                 return SynthesisResult(assignment=result[0],
                                        postcondition_expr=result[1],
                                        stats=stats)
             failure = ("no valid candidate at any level up to %d"
                        % self.options.max_level)
-        stats.elapsed_seconds = time.time() - start
+        self._finalize_stats(stats, start)
         return SynthesisResult(assignment=None, postcondition_expr=None,
                                stats=stats, failure_reason=failure)
+
+    def _finalize_stats(self, stats: SynthesisStats, start: float) -> None:
+        stats.elapsed_seconds = time.time() - start
+        evs = self.evaluator.stats
+        stats.eval_requests = evs.requests
+        stats.eval_executed = evs.executed
+        stats.eval_memo_hits = evs.memo_hits
 
     def _synthesize_at_level(self, level: int, stats: SynthesisStats,
                              accept=None
@@ -282,13 +332,35 @@ class Synthesizer:
             for var in required[loop_id]:
                 choice_axes.append((loop_id, var, eq_pools[loop_id][var]))
 
-        combos = itertools.product(pcon_survivors,
-                                   *[axis[2] for axis in choice_axes])
-        scored = sorted(
-            combos,
-            key=lambda combo: sum(e.size() for e in combo),
-        )[: self.options.max_combinations]
+        axes = [pcon_survivors] + [axis[2] for axis in choice_axes]
+        if self.options.lazy_enumeration:
+            # Best-first k-way merge: combinations arrive in the same
+            # nondecreasing-total-size order as sort-then-slice, but
+            # only the search frontier is ever materialized — memory is
+            # bounded by the combinations actually consumed, not by the
+            # product size or by ``max_combinations``.
+            enum_stats = EnumerationStats()
+            scored = itertools.islice(
+                best_first_product(axes, stats=enum_stats),
+                self.options.max_combinations)
+        else:
+            enum_stats = None
+            scored = sorted(
+                itertools.product(*axes),
+                key=lambda combo: sum(e.size() for e in combo),
+            )[: self.options.max_combinations]
 
+        try:
+            return self._check_combinations(scored, choice_axes, cmp_clauses,
+                                            stats, accept)
+        finally:
+            if enum_stats is not None:
+                stats.enum_peak_frontier = max(stats.enum_peak_frontier,
+                                               enum_stats.peak_frontier)
+
+    def _check_combinations(self, scored, choice_axes, cmp_clauses,
+                            stats: SynthesisStats, accept
+                            ) -> Optional[Tuple[Assignment, T.TorNode]]:
         for combo in scored:
             stats.combinations_checked += 1
             pcon_expr = combo[0]
@@ -370,7 +442,8 @@ class Synthesizer:
                     bound = {p: env[a.name]
                              for p, a in zip(app.params, app.args)
                              if isinstance(a, T.Var) and a.name in env}
-                    derived = predicate.derive(bound, db)
+                    derived = predicate.derive(bound, db,
+                                               eval_fn=self.evaluator)
                     for param, arg in zip(app.params, app.args):
                         if isinstance(arg, T.Var) and param in derived:
                             env[arg.name] = derived[param]
@@ -383,6 +456,7 @@ class Synthesizer:
                        ) -> Optional[List[Tuple[str, Clause]]]:
         """Clauses of conclusion predicate applications that evaluate false."""
         out: List[Tuple[str, Clause]] = []
+        eval_fn = self.evaluator
 
         def visit(f: Formula) -> None:
             if isinstance(f, And):
@@ -390,24 +464,25 @@ class Synthesizer:
                     visit(part)
             elif isinstance(f, Implies):
                 try:
-                    if eval_formula(f.antecedent, env, db, assignment):
+                    if eval_formula(f.antecedent, env, db, assignment,
+                                    eval_fn):
                         visit(f.consequent)
                 except EvalError:
                     pass
             elif isinstance(f, PredApp):
                 predicate = assignment[f.name]
                 try:
-                    values = {p: evaluate(a, env, db)
+                    values = {p: eval_fn(a, env, db)
                               for p, a in zip(f.params, f.args)}
                 except EvalError:
                     return
                 for clause in predicate.clauses:
                     try:
                         if isinstance(clause, EqClause):
-                            ok = values[clause.var] == evaluate(
+                            ok = values[clause.var] == eval_fn(
                                 clause.expr, values, db)
                         else:
-                            ok = bool(evaluate(clause.expr, values, db))
+                            ok = bool(eval_fn(clause.expr, values, db))
                     except EvalError:
                         ok = False
                     if not ok:

@@ -36,17 +36,21 @@ class ExecutionError(Exception):
 def execute(cmd: K.Command, env: Dict[str, Any],
             db: Optional[DatabaseFn] = None,
             trace: Optional[TraceFn] = None,
-            fuel: int = DEFAULT_FUEL) -> Dict[str, Any]:
+            fuel: int = DEFAULT_FUEL,
+            eval_fn: Optional[Callable] = None) -> Dict[str, Any]:
     """Execute ``cmd``, mutating and returning ``env``.
 
     ``env`` maps variable names to TOR runtime values.  ``db`` resolves
     ``Query`` expressions.  ``trace`` is invoked at every loop-head
     evaluation (including the final one whose condition is false),
     *before* the condition is tested, mirroring where a loop invariant
-    must hold.
+    must hold.  ``eval_fn`` substitutes a different TOR evaluation
+    strategy (the synthesizer passes compiled closures for its trace
+    collection); it must match :func:`repro.tor.semantics.evaluate` in
+    signature and semantics.
     """
     budget = [fuel]
-    _exec(cmd, env, db, trace, budget)
+    _exec(cmd, env, db, trace, budget, eval_fn or evaluate)
     return env
 
 
@@ -57,32 +61,33 @@ def _spend(budget, amount: int = 1) -> None:
                              "within the configured budget")
 
 
-def _eval(expr: T.TorNode, env: Dict[str, Any], db: Optional[DatabaseFn]) -> Any:
+def _eval(expr: T.TorNode, env: Dict[str, Any], db: Optional[DatabaseFn],
+          eval_fn: Callable) -> Any:
     try:
-        return evaluate(expr, env, db)
+        return eval_fn(expr, env, db)
     except EvalError as exc:
         raise ExecutionError(str(exc)) from exc
 
 
 def _exec(cmd: K.Command, env: Dict[str, Any], db: Optional[DatabaseFn],
-          trace: Optional[TraceFn], budget) -> None:
+          trace: Optional[TraceFn], budget, eval_fn: Callable) -> None:
     if isinstance(cmd, K.Skip):
         return
 
     if isinstance(cmd, K.Assign):
-        env[cmd.var] = _eval(cmd.expr, env, db)
+        env[cmd.var] = _eval(cmd.expr, env, db, eval_fn)
         return
 
     if isinstance(cmd, K.Seq):
         for sub in cmd.commands:
-            _exec(sub, env, db, trace, budget)
+            _exec(sub, env, db, trace, budget, eval_fn)
         return
 
     if isinstance(cmd, K.If):
-        if _eval(cmd.cond, env, db):
-            _exec(cmd.then_branch, env, db, trace, budget)
+        if _eval(cmd.cond, env, db, eval_fn):
+            _exec(cmd.then_branch, env, db, trace, budget, eval_fn)
         else:
-            _exec(cmd.else_branch, env, db, trace, budget)
+            _exec(cmd.else_branch, env, db, trace, budget, eval_fn)
         return
 
     if isinstance(cmd, K.While):
@@ -90,13 +95,13 @@ def _exec(cmd: K.Command, env: Dict[str, Any], db: Optional[DatabaseFn],
             _spend(budget)
             if trace is not None:
                 trace(cmd.loop_id, dict(env))
-            if not _eval(cmd.cond, env, db):
+            if not _eval(cmd.cond, env, db, eval_fn):
                 break
-            _exec(cmd.body, env, db, trace, budget)
+            _exec(cmd.body, env, db, trace, budget, eval_fn)
         return
 
     if isinstance(cmd, K.Assert):
-        if not _eval(cmd.expr, env, db):
+        if not _eval(cmd.expr, env, db, eval_fn):
             raise ExecutionError("assertion failed: %r" % (cmd.expr,))
         return
 

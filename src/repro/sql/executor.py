@@ -19,6 +19,7 @@ collected per query so benchmarks can report work alongside time.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -98,7 +99,15 @@ class Executor:
         if _has_aggregate(select.items):
             return self._aggregate_result(select, envs, params, stats)
 
-        envs = self._order(select.order_by, envs, scanned)
+        if select.order_by and select.limit is not None \
+                and not select.distinct:
+            # ORDER BY + LIMIT: a top-k heap selection is O(n log k)
+            # instead of a full O(n log n) sort.  DISTINCT must see the
+            # whole ordered set (duplicates are dropped before LIMIT),
+            # so it keeps the full sort.
+            envs = self._top_k(select.order_by, envs, scanned, select.limit)
+        else:
+            envs = self._order(select.order_by, envs, scanned)
         rows, columns = self._project(select.items, envs, scanned, params,
                                       stats)
         if select.distinct:
@@ -271,13 +280,25 @@ class Executor:
             buckets.setdefault(record[build_expr.column], []).append(
                 (rowid, record))
 
+        build_alias = source.alias
         out: List[Env] = []
+        append = out.append
         for env in envs:
             value = self._eval(probe_expr, env, params, stats)
-            for row in buckets.get(value, ()):
-                merged = dict(env)
-                merged[source.alias] = row
-                out.append(merged)
+            rows = buckets.get(value)
+            if not rows:
+                continue
+            if len(env) == 1:
+                # Single-alias probe side: build the two-entry env
+                # directly instead of copying the probe env per match.
+                ((probe_alias, probe_row),) = env.items()
+                for row in rows:
+                    append({probe_alias: probe_row, build_alias: row})
+            else:
+                for row in rows:
+                    merged = dict(env)
+                    merged[build_alias] = row
+                    append(merged)
         return out
 
     # -- ordering / projection -------------------------------------------------------------
@@ -295,6 +316,26 @@ class Executor:
             return tuple(parts)
 
         return sorted(envs, key=key)
+
+    def _top_k(self, order_by: Tuple[S.OrderItem, ...], envs: List[Env],
+               scanned: List["_ScannedSource"], limit: int) -> List[Env]:
+        """The first ``limit`` envs of the ORDER BY order, heap-selected.
+
+        Appending the input position to the key makes the selection
+        stable, so the result matches ``sorted(...)[:limit]`` exactly
+        (``heapq.nsmallest`` alone does not preserve tie order).
+        """
+        def key(pair):
+            idx, env = pair
+            parts = []
+            for item in order_by:
+                value = self._order_value(item.column, env, scanned)
+                parts.append(_ReverseAware(value, item.descending))
+            parts.append(idx)
+            return tuple(parts)
+
+        return [env for _, env in
+                heapq.nsmallest(limit, enumerate(envs), key=key)]
 
     def _order_value(self, column: S.ColumnRef, env: Env,
                      scanned: List["_ScannedSource"]) -> Any:

@@ -1,0 +1,107 @@
+"""Property tests for the lazy best-first candidate enumerator.
+
+The synthesizer's contract: :func:`best_first_product` yields exactly
+the sequence the seed implementation produced with
+``sorted(itertools.product(*axes), key=total_size)`` — including the
+order of equal-size ties (stable sort leaves them in product order) —
+while materializing only the search frontier.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.enumerate import EnumerationStats, best_first_product
+
+
+class Item:
+    """A stand-in for a TOR expression: something with a size."""
+
+    def __init__(self, size, tag):
+        self._size = size
+        self.tag = tag
+
+    def size(self):
+        return self._size
+
+    def __repr__(self):
+        return "Item(%d, %r)" % (self._size, self.tag)
+
+
+def _axes_from_sizes(size_lists):
+    return [[Item(size, (axis, idx)) for idx, size in enumerate(sizes)]
+            for axis, sizes in enumerate(size_lists)]
+
+
+def _tags(combos):
+    return [tuple(item.tag for item in combo) for combo in combos]
+
+
+axes_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=5), min_size=0, max_size=6),
+    min_size=0, max_size=4)
+
+
+@settings(max_examples=300, deadline=None)
+@given(size_lists=axes_strategy)
+def test_matches_sort_then_slice_exactly(size_lists):
+    """Lazy enumeration equals the eager sort, ties included."""
+    axes = _axes_from_sizes(size_lists)
+    expected = sorted(itertools.product(*axes),
+                      key=lambda combo: sum(e.size() for e in combo))
+    got = list(best_first_product(axes))
+    assert _tags(got) == _tags(expected)
+
+
+@settings(max_examples=200, deadline=None)
+@given(size_lists=axes_strategy, n=st.integers(min_value=0, max_value=20))
+def test_first_n_matches_seed_truncation(size_lists, n):
+    """islice(lazy, n) equals the seed's sort-then-slice prefix."""
+    axes = _axes_from_sizes(size_lists)
+    expected = sorted(itertools.product(*axes),
+                      key=lambda combo: sum(e.size() for e in combo))[:n]
+    got = list(itertools.islice(best_first_product(axes), n))
+    assert _tags(got) == _tags(expected)
+
+
+def test_no_axes_yields_single_empty_combination():
+    assert list(best_first_product([])) == [()]
+
+
+def test_empty_axis_yields_nothing():
+    axes = _axes_from_sizes([[1, 2], []])
+    assert list(best_first_product(axes)) == []
+
+
+def test_sizes_are_nondecreasing():
+    axes = _axes_from_sizes([[3, 1, 2], [2, 2, 5], [4, 1]])
+    totals = [sum(e.size() for e in combo)
+              for combo in best_first_product(axes)]
+    assert totals == sorted(totals)
+
+
+def test_frontier_memory_independent_of_product_size():
+    """Consuming k combinations keeps the heap near O(k * axes), far
+    below the full product size — the seed materialized all of it."""
+    axes = _axes_from_sizes([[i % 5 for i in range(10)] for _ in range(6)])
+    product_size = 10 ** 6
+    stats = EnumerationStats()
+    consumed = list(itertools.islice(best_first_product(axes, stats=stats),
+                                     50))
+    assert len(consumed) == 50
+    assert stats.peak_frontier < 50 * len(axes)
+    assert stats.pushed < product_size / 1000
+
+
+def test_frontier_independent_of_truncation_cap():
+    """The cap (max_combinations) does not affect memory: only the
+    number of combinations actually consumed does."""
+    axes = _axes_from_sizes([[i % 4 for i in range(8)] for _ in range(5)])
+    peaks = []
+    for cap in (10, 1000, 10 ** 9):
+        stats = EnumerationStats()
+        list(itertools.islice(best_first_product(axes, stats=stats), 10))
+        assert cap  # the cap never reaches the enumerator
+        peaks.append(stats.peak_frontier)
+    assert peaks[0] == peaks[1] == peaks[2]

@@ -1,0 +1,68 @@
+"""Regression: the optimized search engine never changes synthesis outcomes.
+
+The lazy best-first enumerator and the compiled/memoized evaluation
+pipeline are pure performance work — for every corpus fragment they
+must produce exactly the seed implementation's result: same success
+status, same chosen invariants, same postcondition expression.
+"""
+
+import pytest
+
+from repro.core.synthesizer import SynthesisOptions, Synthesizer
+from repro.corpus.registry import ALL_FRAGMENTS, compile_fragment
+from repro.frontend import FrontendRejection
+
+
+def _compilable_fragments():
+    out = []
+    for cf in ALL_FRAGMENTS:
+        try:
+            out.append((cf.fragment_id, compile_fragment(cf)))
+        except FrontendRejection:
+            continue
+    return out
+
+
+FRAGMENTS = _compilable_fragments()
+
+
+def _outcome(fragment, options):
+    result = Synthesizer(fragment, options).synthesize()
+    assignment = None
+    if result.assignment is not None:
+        assignment = {name: str(pred)
+                      for name, pred in result.assignment.items()}
+    return (result.succeeded, assignment, result.postcondition_expr)
+
+
+@pytest.mark.parametrize("fragment_id,fragment", FRAGMENTS,
+                         ids=[fid for fid, _ in FRAGMENTS])
+def test_optimized_modes_match_seed_outcome(fragment_id, fragment):
+    seed = _outcome(fragment, SynthesisOptions(
+        lazy_enumeration=False, compiled_eval=False))
+    optimized = _outcome(fragment, SynthesisOptions())
+    assert optimized == seed
+
+
+def test_each_flag_is_independently_safe():
+    """Either optimization alone also reproduces the seed outcome."""
+    for fragment_id, fragment in FRAGMENTS[:6]:
+        seed = _outcome(fragment, SynthesisOptions(
+            lazy_enumeration=False, compiled_eval=False))
+        assert _outcome(fragment, SynthesisOptions(
+            lazy_enumeration=True, compiled_eval=False)) == seed
+        assert _outcome(fragment, SynthesisOptions(
+            lazy_enumeration=False, compiled_eval=True)) == seed
+
+
+def test_optimized_mode_reports_memo_and_frontier_stats():
+    fragment = next(frag for fid, frag in FRAGMENTS if fid == "w19")
+    result = Synthesizer(fragment, SynthesisOptions()).synthesize()
+    stats = result.stats
+    assert stats.eval_requests > 0
+    assert stats.eval_executed <= stats.eval_requests
+    seed_result = Synthesizer(fragment, SynthesisOptions(
+        lazy_enumeration=False, compiled_eval=False)).synthesize()
+    assert seed_result.stats.eval_executed == seed_result.stats.eval_requests
+    # The optimized engine does strictly less evaluation work.
+    assert stats.eval_executed < seed_result.stats.eval_executed
