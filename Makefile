@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-synthesis bench
+.PHONY: test bench-smoke bench-synthesis bench bench-parallel serve-smoke
 
 # Tier-1 verification: the full unit/property/regression suite.
 test:
@@ -20,6 +20,25 @@ bench-smoke:
 # Full synthesis-speed table (per-fragment rows, best of 3 repeats).
 bench-synthesis:
 	$(PYTHON) benchmarks/bench_synthesis_speed.py
+
+# Sequential-vs-parallel corpus service comparison.  Outcome identity
+# and warm-cache behaviour are asserted everywhere; the 1.8x speedup
+# floor at 4 workers is asserted when >= 4 cores are usable.
+bench-parallel:
+	$(PYTHON) benchmarks/bench_qbs_parallel.py
+
+# Service smoke: the CLI over a 3-fragment slice with 2 workers, twice
+# against a throwaway cache — the second run must be answered entirely
+# from it (--expect-cached), and --check makes outcome mismatches and
+# failed jobs exit non-zero.
+serve-smoke:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(PYTHON) -m repro.service.cli run --fragments w40,w42,i2 \
+		--workers 2 --check --cache-dir "$$dir" && \
+	$(PYTHON) -m repro.service.cli run --fragments w40,w42,i2 \
+		--workers 2 --check --expect-cached --cache-dir "$$dir" && \
+	$(PYTHON) -m repro.service.cli status --fragments w40,w42,i2 \
+		--cache-dir "$$dir"
 
 # The complete paper-figure benchmark suite (pytest-benchmark).
 # Files are passed explicitly: they use the bench_* naming scheme,

@@ -1,0 +1,133 @@
+"""Parallel QBS service: sequential vs. worker-pool corpus runs.
+
+The per-fragment QBS pipeline is embarrassingly parallel — each
+Fig. 13 / Sec. 7.3 fragment is an independent synthesize-prove-
+translate job — so the service scheduler fans the corpus out over a
+``multiprocessing`` pool.  This benchmark measures three claims:
+
+* **outcome identity** (asserted unconditionally): the parallel run
+  produces, fragment for fragment, the same ``QBSStatus``, Appendix-A
+  marker and SQL text as the sequential run;
+* **wall-clock speedup** (asserted where the hardware can express it):
+  >= 1.8x at 4 workers over the full corpus.  The assertion needs
+  >= 4 usable cores — on smaller machines the measured ratio is
+  reported and the floor is skipped, because four CPU-bound workers
+  cannot beat one on a single core;
+* **cache effectiveness** (asserted unconditionally): a warm-cache
+  re-run answers every fragment from disk, recomputing nothing.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_qbs_parallel.py
+    PYTHONPATH=src python benchmarks/bench_qbs_parallel.py --smoke
+
+(``--smoke`` uses one timing repeat), or through pytest with the rest
+of the benchmark suite.
+"""
+
+import os
+import shutil
+import sys
+import tempfile
+
+from repro.bench.harness import (
+    corpus_outcome_fingerprint,
+    corpus_speedup,
+    measure_corpus_run,
+)
+from repro.corpus.registry import ALL_FRAGMENTS
+from repro.service.cache import ResultCache
+
+#: Acceptance thresholds (ISSUE 2).
+MIN_PARALLEL_SPEEDUP = 1.8
+PARALLEL_WORKERS = 4
+#: cores the speedup floor needs before it is enforced.
+MIN_CORES_FOR_FLOOR = 4
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run_comparison(repeats=3):
+    """Sequential, parallel and warm-cache corpus runs."""
+    fragments = list(ALL_FRAGMENTS)
+    sequential = measure_corpus_run(fragments, "sequential", workers=1,
+                                    repeats=repeats)
+    parallel = measure_corpus_run(fragments, "parallel",
+                                  workers=PARALLEL_WORKERS,
+                                  repeats=repeats)
+    cache_dir = tempfile.mkdtemp(prefix="qbs-bench-cache-")
+    try:
+        cache = ResultCache(cache_dir)
+        measure_corpus_run(fragments, "warmup", workers=1, cache=cache)
+        cached = measure_corpus_run(fragments, "cached", workers=1,
+                                    cache=cache, repeats=repeats)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return sequential, parallel, cached
+
+
+def check(sequential, parallel, cached, verbose=True):
+    """Evaluate the three claims; returns (ok, lines)."""
+    lines = []
+    for measurement in (sequential, parallel, cached):
+        lines.append("  " + measurement.row())
+
+    identical = (corpus_outcome_fingerprint(sequential)
+                 == corpus_outcome_fingerprint(parallel)
+                 == corpus_outcome_fingerprint(cached))
+    lines.append("outcome identity (status/marker/SQL x%d fragments): %s"
+                 % (len(sequential.outcomes),
+                    "identical" if identical else "MISMATCH"))
+
+    all_cached = all(o.from_cache for o in cached.outcomes)
+    lines.append("warm-cache run: %s"
+                 % ("all %d from cache" % len(cached.outcomes)
+                    if all_cached else "RECOMPUTED SOMETHING"))
+
+    speedup = corpus_speedup(sequential, parallel)
+    cores = usable_cores()
+    floor_applies = cores >= MIN_CORES_FOR_FLOOR
+    lines.append("parallel speedup at %d workers: %.2fx (floor %.1fx, "
+                 "%d usable core%s%s)"
+                 % (PARALLEL_WORKERS, speedup, MIN_PARALLEL_SPEEDUP,
+                    cores, "s" if cores != 1 else "",
+                    "" if floor_applies else
+                    " — floor skipped, needs >= %d" % MIN_CORES_FOR_FLOOR))
+
+    ok = identical and all_cached and (
+        not floor_applies or speedup >= MIN_PARALLEL_SPEEDUP)
+    if verbose:
+        for line in lines:
+            print(line)
+    return ok, lines
+
+
+def test_parallel_corpus_service(benchmark):
+    sequential, parallel, cached = benchmark.pedantic(
+        run_comparison, kwargs={"repeats": 1}, rounds=1, iterations=1)
+    assert corpus_outcome_fingerprint(sequential) \
+        == corpus_outcome_fingerprint(parallel)
+    assert corpus_outcome_fingerprint(sequential) \
+        == corpus_outcome_fingerprint(cached)
+    assert all(o.from_cache for o in cached.outcomes)
+    if usable_cores() >= MIN_CORES_FOR_FLOOR:
+        assert corpus_speedup(sequential, parallel) >= MIN_PARALLEL_SPEEDUP
+    ok, _ = check(sequential, parallel, cached, verbose=True)
+    assert ok
+
+
+def main(argv):
+    repeats = 1 if "--smoke" in argv else 3
+    sequential, parallel, cached = run_comparison(repeats=repeats)
+    ok, _ = check(sequential, parallel, cached, verbose=True)
+    print("RESULT: %s" % ("PASS" if ok else "FAIL"))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

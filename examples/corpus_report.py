@@ -12,9 +12,6 @@ from collections import Counter
 from repro.core.qbs import QBS, QBSStatus
 from repro.corpus import ALL_FRAGMENTS, run_fragment_through_qbs
 
-MARKERS = {QBSStatus.TRANSLATED: "X", QBSStatus.FAILED: "*",
-           QBSStatus.REJECTED: "t"}
-
 
 def main() -> None:
     qbs = QBS()
@@ -25,12 +22,12 @@ def main() -> None:
     for cf in ALL_FRAGMENTS:
         result = run_fragment_through_qbs(cf, qbs)
         counts.setdefault(cf.app, Counter())[result.status] += 1
-        marker = MARKERS[result.status]
+        marker = result.status.marker
         sql = result.sql.sql if result.sql else result.reason
         print("%-5s %-40s %-3s %-3s %6.2fs  %s" % (
             cf.fragment_id, "%s:%d" % (cf.java_class, cf.line),
             cf.category, marker, result.elapsed_seconds, sql[:70]))
-        expected = MARKERS[cf.expected]
+        expected = cf.expected.marker
         if marker != expected:
             print("      ^^ MISMATCH: paper reports %s" % expected)
 

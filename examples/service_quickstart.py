@@ -1,0 +1,53 @@
+"""Service quickstart: the corpus pipeline behind the async facade.
+
+Submits a handful of fragments to :class:`repro.service.QBSService`,
+streams outcomes as they complete, then re-gathers the same batch to
+show the persistent cache answering instead of the synthesizer.
+
+Run:  PYTHONPATH=src python examples/service_quickstart.py
+"""
+
+import asyncio
+import shutil
+import tempfile
+
+from repro.service import QBSService, ResultCache
+
+FRAGMENTS = ["w46", "w40", "i2", "adv_top10", "adv_joincnt"]
+
+
+async def demo(cache: ResultCache) -> None:
+    service = QBSService(workers=2, cache=cache)
+
+    print("streaming first run (computes everything):")
+    for fragment_id in FRAGMENTS:
+        await service.submit(fragment_id)
+    async for outcome in service.stream():
+        result = outcome.result
+        if result is None:
+            print("  %-12s ! job failed: %s" % (outcome.job.fragment_id,
+                                                outcome.error))
+            continue
+        print("  %-12s %s %-10s %s" % (
+            outcome.job.fragment_id, result.status.marker,
+            result.status.value,
+            result.sql.sql if result.sql else result.reason[:50]))
+
+    print("second run (answered from %s):" % cache.root)
+    outcomes = await service.run(FRAGMENTS)
+    for outcome in outcomes:
+        print("  %-12s from_cache=%s  %.3fs" % (
+            outcome.job.fragment_id, outcome.from_cache,
+            outcome.elapsed_seconds))
+
+
+def main() -> None:
+    cache_dir = tempfile.mkdtemp(prefix="qbs-quickstart-")
+    try:
+        asyncio.run(demo(ResultCache(cache_dir)))
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

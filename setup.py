@@ -1,5 +1,18 @@
 """Setuptools shim for environments without PEP 660 editable support."""
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-qbs",
+    version="0.2.0",
+    description="QBS (PLDI'13) reproduction: ORM loops to SQL by "
+                "invariant synthesis, servable corpus pipeline included",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    entry_points={
+        "console_scripts": [
+            "repro-qbs=repro.service.cli:main",
+        ],
+    },
+)

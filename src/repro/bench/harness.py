@@ -179,6 +179,61 @@ def measure_synthesis(fragment_id: str, fragment: K.Fragment, mode: str,
         succeeded=result.succeeded)
 
 
+# ---------------------------------------------------------------------------
+# Corpus service runs (sequential vs. worker-pool, bench_qbs_parallel)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CorpusRunMeasurement:
+    """One full corpus run through the service scheduler."""
+
+    mode: str                   # "sequential" | "parallel" | "cached"
+    workers: int
+    seconds: float
+    outcomes: list              # List[JobOutcome], submission order
+
+    def row(self) -> str:
+        done = sum(1 for o in self.outcomes if o.ok)
+        cached = sum(1 for o in self.outcomes if o.from_cache)
+        return "%-10s workers=%-2d %8.2f ms  jobs=%-3d ok=%-3d cached=%d" % (
+            self.mode, self.workers, self.seconds * 1e3,
+            len(self.outcomes), done, cached)
+
+
+def measure_corpus_run(fragments, mode: str, workers: int = 1,
+                       cache=None, options=None, job_timeout=None,
+                       repeats: int = 1) -> CorpusRunMeasurement:
+    """Run the corpus through a fresh scheduler; keep the fastest repeat."""
+    from repro.service.scheduler import Scheduler
+
+    best = None
+    for _ in range(max(1, repeats)):
+        scheduler = Scheduler(workers=workers, job_timeout=job_timeout,
+                              cache=cache, options=options)
+        report = scheduler.run(list(fragments))
+        if best is None or report.wall_seconds < best.wall_seconds:
+            best = report
+    return CorpusRunMeasurement(mode=mode, workers=workers,
+                                seconds=best.wall_seconds,
+                                outcomes=best.outcomes)
+
+
+def corpus_outcome_fingerprint(measurement: CorpusRunMeasurement) -> List[tuple]:
+    """Everything two runs must agree on, fragment for fragment:
+    QBS status, Appendix-A marker, and the SQL text (None when absent)."""
+    from repro.service.scheduler import outcome_fingerprint
+
+    return outcome_fingerprint(measurement.outcomes)
+
+
+def corpus_speedup(sequential: CorpusRunMeasurement,
+                   parallel: CorpusRunMeasurement) -> float:
+    if parallel.seconds <= 0:
+        return float("inf")
+    return sequential.seconds / parallel.seconds
+
+
 def synthesis_speedup(measurements: List[SynthesisSpeedMeasurement]
                       ) -> Dict[str, float]:
     """Aggregate seed-vs-optimized ratios over a measurement set."""

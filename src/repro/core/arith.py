@@ -146,17 +146,34 @@ class FactSet:
         self.constraints: List[Constraint] = []
         self.int_vars: Set[str] = set(int_vars or ())
         self._contradictory = False
+        # Content signature, used by the prover's normal-form cache.
+        # Entailment is a function of the ingested comparisons (plus
+        # int_vars), so two FactSets with equal signatures answer every
+        # query identically.
+        self._sig_entries: List[Tuple[str, T.TorNode, T.TorNode]] = []
+        self._sig: Optional[Tuple] = None
 
     def copy(self) -> "FactSet":
         out = FactSet(self.int_vars)
         out.constraints = list(self.constraints)
         out._contradictory = self._contradictory
+        out._sig_entries = list(self._sig_entries)
+        out._sig = self._sig
         return out
+
+    def signature(self) -> Tuple:
+        """Hashable content fingerprint (order-insensitive)."""
+        if self._sig is None:
+            self._sig = (frozenset(self._sig_entries),
+                         frozenset(self.int_vars))
+        return self._sig
 
     # -- fact ingestion ------------------------------------------------------
 
     def add_comparison(self, op: str, left: T.TorNode, right: T.TorNode) -> None:
         """Record ``left op right`` as a fact."""
+        self._sig_entries.append((op, left, right))
+        self._sig = None
         l, r = linearize(left), linearize(right)
         if op == "=":
             self.constraints.append(Constraint(r - l, strict=False))

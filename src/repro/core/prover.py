@@ -69,18 +69,31 @@ class _BoolFacts:
     def __init__(self):
         self.true: Set[T.TorNode] = set()
         self.false: Set[T.TorNode] = set()
+        self._sig: Optional[Tuple] = None
 
     def copy(self) -> "_BoolFacts":
         out = _BoolFacts()
         out.true = set(self.true)
         out.false = set(self.false)
+        out._sig = self._sig
         return out
+
+    def add(self, expr: T.TorNode, positive: bool) -> None:
+        (self.true if positive else self.false).add(expr)
+        self._sig = None
+
+    def signature(self) -> Tuple:
+        """Hashable content fingerprint for the normal-form cache."""
+        if self._sig is None:
+            self._sig = (frozenset(self.true), frozenset(self.false))
+        return self._sig
 
 
 class Prover:
     """Equational/inductive validation of a candidate assignment."""
 
-    def __init__(self, vcset: VCSet, max_rewrite_passes: int = 60):
+    def __init__(self, vcset: VCSet, max_rewrite_passes: int = 60,
+                 nf_cache: bool = True):
         self.vcset = vcset
         self.max_rewrite_passes = max_rewrite_passes
         # Integer-typed variables for the arithmetic engine: loop
@@ -90,6 +103,16 @@ class Prover:
         loops = analyze_loops(vcset.fragment)
         self.int_vars = {info.counter for info in loops.values()
                          if info.counter is not None}
+        # Normal-form memo: (expr, facts signature, bools signature) ->
+        # normalized expr.  Normalization is a pure function of the
+        # expression and the fact context, so results are shared across
+        # VCs, candidate assignments and case splits whose contexts
+        # coincide — and across the repeated re-normalization of stable
+        # subterms within a single fixpoint loop.
+        self.use_nf_cache = nf_cache
+        self._nf_cache: Dict[Tuple, T.TorNode] = {}
+        self.nf_cache_hits = 0
+        self.nf_cache_misses = 0
 
     # -- public API ----------------------------------------------------------
 
@@ -222,13 +245,12 @@ class Prover:
             op = expr.op if positive else NEGATED_OP[expr.op]
             if op != "!=":
                 facts.add_comparison(op, expr.left, expr.right)
-            store = bools.true if positive else bools.false
-            store.add(expr)
+            bools.add(expr, positive)
             if op in ("=", "!="):
                 flipped = T.BinOp(expr.op, expr.right, expr.left)
-                store.add(flipped)
+                bools.add(flipped, positive)
             return
-        (bools.true if positive else bools.false).add(expr)
+        bools.add(expr, positive)
 
     # -- goal proving ------------------------------------------------------------
 
@@ -356,12 +378,22 @@ class Prover:
     def _normalize(self, expr: T.TorNode, facts: FactSet,
                    bools: _BoolFacts) -> T.TorNode:
         """Rewrite to normal form under the current facts."""
+        key = None
+        if self.use_nf_cache:
+            key = (expr, facts.signature(), bools.signature())
+            cached = self._nf_cache.get(key)
+            if cached is not None:
+                self.nf_cache_hits += 1
+                return cached
+            self.nf_cache_misses += 1
         current = expr
         for _ in range(self.max_rewrite_passes):
             rewritten = self._rewrite(current, facts, bools)
             if rewritten == current:
-                return current
+                break
             current = rewritten
+        if key is not None:
+            self._nf_cache[key] = current
         return current
 
     def _rewrite(self, expr: T.TorNode, facts: FactSet,

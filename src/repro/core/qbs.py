@@ -19,10 +19,11 @@ Sec. 5), optionally after enlarging the bounded-checking relations.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.core.logic import Assignment
 from repro.core.prover import Prover
@@ -49,7 +50,7 @@ class QBSStatus(enum.Enum):
 
     @property
     def marker(self) -> str:
-        return {"translated": "X", "failed": "*", "rejected": "+"}[self.value]
+        return {"translated": "X", "failed": "*", "rejected": "†"}[self.value]
 
 
 @dataclass
@@ -64,10 +65,63 @@ class QBSResult:
     stats: Optional[SynthesisStats] = None
     reason: str = ""
     elapsed_seconds: float = 0.0
+    #: pretty-printed postcondition and fragment name for results
+    #: rebuilt from JSON (the ASTs themselves do not cross
+    #: serialization boundaries).
+    postcondition_text: str = ""
+    fragment_name: Optional[str] = None
 
     @property
     def translated(self) -> bool:
         return self.status is QBSStatus.TRANSLATED
+
+    # -- serialization (the service layer ships results as JSON) ----------
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """A JSON-safe payload carrying everything the service reports.
+
+        The kernel fragment and the predicate assignment stay behind:
+        they are only meaningful in the process that synthesized them.
+        """
+        from repro.tor.pretty import pretty as pretty_tor
+
+        postcondition = self.postcondition_text
+        if self.postcondition_expr is not None:
+            postcondition = pretty_tor(self.postcondition_expr)
+        return {
+            "fragment_name": (self.fragment.name if self.fragment
+                              else self.fragment_name),
+            "status": self.status.value,
+            "marker": self.status.marker,
+            "sql": ({"sql": self.sql.sql, "kind": self.sql.kind,
+                     "columns": list(self.sql.columns)}
+                    if self.sql is not None else None),
+            "postcondition": postcondition or None,
+            "stats": (dataclasses.asdict(self.stats)
+                      if self.stats is not None else None),
+            "reason": self.reason,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "QBSResult":
+        """Rebuild a result from :meth:`to_json_dict` output."""
+        sql = None
+        if payload.get("sql") is not None:
+            sql = SQLTranslation(sql=payload["sql"]["sql"],
+                                 kind=payload["sql"]["kind"],
+                                 columns=tuple(payload["sql"]["columns"]))
+        stats = None
+        if payload.get("stats") is not None:
+            stats = SynthesisStats(**payload["stats"])
+        return cls(fragment=None,
+                   status=QBSStatus(payload["status"]),
+                   sql=sql,
+                   stats=stats,
+                   reason=payload.get("reason", ""),
+                   elapsed_seconds=payload.get("elapsed_seconds", 0.0),
+                   postcondition_text=payload.get("postcondition") or "",
+                   fragment_name=payload.get("fragment_name"))
 
 
 @dataclass

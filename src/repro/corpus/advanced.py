@@ -14,6 +14,17 @@ Four synthetic fragments probing the limits of the approach:
 * **sorted scan bounded by the id value** — equivalent to top-10 only
   because ``id`` is a dense primary key, a schema fact outside the
   axioms.  Fails, as the paper reports.
+
+Beyond the paper's set, three aggregation-heavy / multi-join fragments
+probe the same machinery on workloads the corpus under-covers:
+
+* **join count** — a nested-loop join folded into a counter; the
+  aggregate distributes over the join, giving ``SELECT COUNT(*)`` over
+  a two-table product.  Translates.
+* **filtered sum** — a running sum guarded by a selection predicate;
+  translates to ``SELECT SUM(..) .. WHERE``.
+* **join sum** — a running sum over the matching pairs of a nested-loop
+  join; translates to ``SELECT SUM(..)`` over the join.
 """
 
 from __future__ import annotations
@@ -108,6 +119,37 @@ class AdvancedService:
             results.append(records[i])
             i = i + 1
         return results
+
+    # Aggregation over a join: COUNT(*) over the matching pairs.
+    def adv_join_count(self):
+        rs = self.r_dao.get_rs()
+        ss = self.s_dao.get_ss()
+        count = 0
+        for r in rs:
+            for s in ss:
+                if r.a == s.b:
+                    count = count + 1
+        return count
+
+    # Filtered running sum: SUM(a) over a selection.
+    def adv_sum_filtered(self):
+        rs = self.r_dao.get_rs()
+        total = 0
+        for r in rs:
+            if r.a > 3:
+                total = total + r.a
+        return total
+
+    # Running sum over the matching pairs of a nested-loop join.
+    def adv_join_sum(self):
+        rs = self.r_dao.get_rs()
+        ss = self.s_dao.get_ss()
+        total = 0
+        for r in rs:
+            for s in ss:
+                if r.a == s.b:
+                    total = total + r.id
+        return total
 
 
 def advanced_mappings() -> MappingRegistry:

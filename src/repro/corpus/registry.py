@@ -213,6 +213,15 @@ ADVANCED_FRAGMENTS: List[CorpusFragment] = [
     CorpusFragment("adv_idscan", "advanced", "SortedIdScan", 0,
                    "sorted-scan", F, None, "adv_sorted_scan_by_id",
                    "sorted scan bounded by the id value (fails)"),
+    CorpusFragment("adv_joincnt", "advanced", "JoinCount", 0, "agg-join",
+                   X, None, "adv_join_count",
+                   "COUNT(*) over a nested-loop join"),
+    CorpusFragment("adv_sumsel", "advanced", "FilteredSum", 0, "agg", X,
+                   None, "adv_sum_filtered",
+                   "running SUM over a selection"),
+    CorpusFragment("adv_joinsum", "advanced", "JoinSum", 0, "agg-join",
+                   X, None, "adv_join_sum",
+                   "running SUM over a nested-loop join"),
 ]
 
 ALL_FRAGMENTS: List[CorpusFragment] = (
@@ -221,6 +230,36 @@ ALL_FRAGMENTS: List[CorpusFragment] = (
 
 def fragments_for(app: str) -> List[CorpusFragment]:
     return [f for f in ALL_FRAGMENTS if f.app == app]
+
+
+def fragment_by_id(fragment_id: str) -> CorpusFragment:
+    """Look one corpus fragment up by its paper id (service job model)."""
+    for cf in ALL_FRAGMENTS:
+        if cf.fragment_id == fragment_id:
+            return cf
+    raise KeyError("unknown corpus fragment %r" % fragment_id)
+
+
+def select_fragments(app: str = "all",
+                     ids: Optional[List[str]] = None) -> List[CorpusFragment]:
+    """Enumerate the fragments a service run covers, in corpus order.
+
+    ``app`` filters by application (``all`` keeps everything); ``ids``
+    further restricts to an explicit fragment-id list.
+    """
+    out = ALL_FRAGMENTS if app == "all" else fragments_for(app)
+    if ids is not None:
+        wanted = set(ids)
+        # Validate against the app-filtered scope, so an id that exists
+        # but belongs to another app is an error, not a silently empty
+        # selection.
+        unknown = wanted - {cf.fragment_id for cf in out}
+        if unknown:
+            raise KeyError("unknown corpus fragments%s: %s"
+                           % ("" if app == "all" else " in app %r" % app,
+                              ", ".join(sorted(unknown))))
+        out = [cf for cf in out if cf.fragment_id in wanted]
+    return list(out)
 
 
 _REGISTRY_CACHE: Dict[str, AppRegistry] = {}

@@ -1,0 +1,30 @@
+"""The QBS service layer: parallel, cached, async-facing corpus runs.
+
+Modules:
+
+* :mod:`repro.service.jobs` — content-addressed job model and JSON
+  result transport;
+* :mod:`repro.service.cache` — persistent on-disk result store;
+* :mod:`repro.service.scheduler` — worker-pool fan-out with per-job
+  timeouts and an in-process fallback;
+* :mod:`repro.service.facade` — ``submit``/``gather``/``stream``
+  coroutines for event-loop callers;
+* :mod:`repro.service.cli` — the ``repro-qbs`` command.
+"""
+
+from repro.service.cache import ResultCache, default_cache_dir
+from repro.service.facade import QBSService
+from repro.service.jobs import QBSJob, job_for, jobs_for
+from repro.service.scheduler import JobOutcome, RunReport, Scheduler
+
+__all__ = [
+    "JobOutcome",
+    "QBSJob",
+    "QBSService",
+    "ResultCache",
+    "RunReport",
+    "Scheduler",
+    "default_cache_dir",
+    "job_for",
+    "jobs_for",
+]

@@ -1,0 +1,172 @@
+"""Persistent, content-addressed store for QBS results.
+
+One JSON file per job key, sharded by the key's first two hex digits
+so the directory stays navigable at corpus scale::
+
+    <root>/ab/abcdef....json
+
+Because keys hash the compiled kernel fragment *and* the full option
+fingerprint (see :mod:`repro.service.jobs`), invalidation is free:
+changed fragments or options simply miss.  Entries are written
+atomically (tempfile + rename), so a killed worker never leaves a
+half-written entry behind, and a corrupt entry reads as a miss rather
+than an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional
+
+from repro.service.jobs import JOB_SCHEMA_VERSION, QBSJob
+
+#: environment override for the cache location.
+CACHE_DIR_ENV = "REPRO_QBS_CACHE_DIR"
+#: default: per-user cache directory, not the working tree.
+DEFAULT_CACHE_DIR = os.path.join("~", ".cache", "repro-qbs")
+
+
+def default_cache_dir() -> str:
+    return os.path.expanduser(os.environ.get(CACHE_DIR_ENV,
+                                             DEFAULT_CACHE_DIR))
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ResultCache:
+    """Disk-backed result store keyed by job content hash."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = os.path.abspath(root or default_cache_dir())
+        self.stats = CacheStats()
+
+    # -- paths ------------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    # -- lookup / store ----------------------------------------------------
+
+    def load(self, job: QBSJob) -> Optional[Dict[str, Any]]:
+        """The stored result payload for a job, or None on miss.
+
+        Anything unreadable — bad JSON, or valid JSON of the wrong
+        shape — is a miss, never an error.
+        """
+        path = self._path(job.key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        result = entry.get("result") if isinstance(entry, dict) else None
+        if not isinstance(result, dict) \
+                or entry.get("version") != JOB_SCHEMA_VERSION \
+                or entry.get("key") != job.key:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def store(self, job: QBSJob, result_payload: Dict[str, Any]) -> str:
+        """Persist one result; returns the entry path."""
+        path = self._path(job.key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {
+            "version": JOB_SCHEMA_VERSION,
+            "key": job.key,
+            "fragment_id": job.fragment_id,
+            "app": job.app,
+            "kernel_sha": job.kernel_sha,
+            "options": json.loads(job.options_json),
+            "created_at": time.time(),
+            "result": result_payload,
+        }
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True, indent=1)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self.stats.stores += 1
+        return path
+
+    # -- maintenance -------------------------------------------------------
+
+    def entries(self) -> Iterator[Dict[str, Any]]:
+        """Every readable, well-shaped entry, unordered."""
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(".json"):
+                    continue
+                try:
+                    with open(os.path.join(shard_dir, name), "r",
+                              encoding="utf-8") as handle:
+                        entry = json.load(handle)
+                except (OSError, ValueError):
+                    continue
+                if isinstance(entry, dict) \
+                        and isinstance(entry.get("result"), dict):
+                    yield entry
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return removed
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in os.listdir(shard_dir):
+                if name.endswith(".json"):
+                    os.unlink(os.path.join(shard_dir, name))
+                    removed += 1
+            try:
+                os.rmdir(shard_dir)
+            except OSError:
+                pass
+        return removed
+
+    def info(self) -> Dict[str, Any]:
+        """Summary used by the CLI's ``cache info`` / ``status``."""
+        count = 0
+        bytes_total = 0
+        by_app: Dict[str, int] = {}
+        by_status: Dict[str, int] = {}
+        for entry in self.entries():
+            count += 1
+            by_app[entry.get("app", "?")] = \
+                by_app.get(entry.get("app", "?"), 0) + 1
+            status = (entry.get("result") or {}).get("status", "?")
+            by_status[status] = by_status.get(status, 0) + 1
+        if os.path.isdir(self.root):
+            for dirpath, _dirnames, filenames in os.walk(self.root):
+                for name in filenames:
+                    try:
+                        bytes_total += os.path.getsize(
+                            os.path.join(dirpath, name))
+                    except OSError:
+                        pass
+        return {"root": self.root, "entries": count,
+                "bytes": bytes_total, "by_app": by_app,
+                "by_status": by_status}

@@ -1,0 +1,249 @@
+"""``repro-qbs`` — drive the QBS corpus as a service.
+
+Subcommands::
+
+    repro-qbs run     # run fragments through the scheduler + cache
+    repro-qbs status  # corpus coverage of the current cache
+    repro-qbs cache   # cache maintenance: info | list | clear
+
+``run`` prints the Appendix-A style marker table (X translated,
+* failed, † rejected) with per-fragment timing, cache provenance and
+the inferred SQL, then the Fig. 13 summary counts.  ``--check`` makes
+mismatches against the paper's expected outcomes (and failed jobs)
+exit non-zero, which is what ``make serve-smoke`` relies on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from typing import List, Optional
+
+from repro.core.qbs import QBSOptions
+from repro.corpus.registry import select_fragments
+from repro.service.cache import ResultCache, default_cache_dir
+from repro.service.jobs import job_for
+from repro.service.scheduler import Scheduler
+
+
+def _add_selection_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--app", default="all",
+                        choices=("all", "wilos", "itracker", "advanced"),
+                        help="restrict to one application's fragments")
+    parser.add_argument("--fragments", default=None, metavar="ID[,ID...]",
+                        help="comma-separated fragment ids (e.g. w46,i2)")
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return number
+
+
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="result cache location (default: %s, or "
+                             "$REPRO_QBS_CACHE_DIR)" % default_cache_dir())
+    parser.add_argument("--no-cache", action="store_true",
+                        help="run without reading or writing the cache")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-qbs",
+        description="Run the QBS corpus pipeline as a parallel, "
+                    "cached service.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run fragments through QBS")
+    _add_selection_args(run)
+    _add_cache_args(run)
+    run.add_argument("--workers", type=_positive_int, default=1,
+                     metavar="N",
+                     help="worker processes (1 = in-process, no pool)")
+    run.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                     help="per-job timeout; timed-out jobs fail, the "
+                          "batch continues (needs --workers >= 2)")
+    run.add_argument("--refresh", action="store_true",
+                     help="recompute even on cache hit")
+    run.add_argument("--check", action="store_true",
+                     help="exit non-zero on failed jobs or outcomes "
+                          "that disagree with the paper's table")
+    run.add_argument("--expect-cached", action="store_true",
+                     help="exit non-zero if anything had to be "
+                          "computed (cache-regression canary)")
+    run.add_argument("--quiet", action="store_true",
+                     help="summary only, no per-fragment table")
+
+    status = sub.add_parser("status",
+                            help="cache coverage of the corpus")
+    _add_selection_args(status)
+    _add_cache_args(status)
+
+    cache = sub.add_parser("cache", help="cache maintenance")
+    cache.add_argument("action", choices=("info", "list", "clear"))
+    _add_cache_args(cache)
+    return parser
+
+
+class SelectionError(Exception):
+    """Bad --app/--fragments combination."""
+
+
+def _selected(args) -> List:
+    ids = None
+    if args.fragments is not None:
+        ids = [part.strip() for part in args.fragments.split(",")
+               if part.strip()]
+        if not ids:
+            # An explicitly empty --fragments is a mistake, not a
+            # request for the whole corpus (or for a 0-fragment run
+            # that would green-light --check without checking anything).
+            raise SelectionError("--fragments was given but names no "
+                                 "fragment ids")
+    try:
+        return select_fragments(app=args.app, ids=ids)
+    except KeyError as exc:
+        raise SelectionError(exc.args[0] if exc.args else str(exc))
+
+
+def _cache_for(args) -> Optional[ResultCache]:
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(args.cache_dir)
+
+
+def cmd_run(args) -> int:
+    fragments = _selected(args)
+    cache = _cache_for(args)
+    if args.timeout is not None and args.workers == 1:
+        print("warning: --timeout has no effect with --workers 1 "
+              "(the in-process path cannot preempt a job)",
+              file=sys.stderr)
+    scheduler = Scheduler(workers=args.workers, job_timeout=args.timeout,
+                          cache=cache, options=QBSOptions(),
+                          refresh=args.refresh)
+    report = scheduler.run(fragments)
+
+    if not args.quiet:
+        print("%-12s %-30s %-10s %-2s %-6s %8s  %s" % (
+            "id", "class:line", "category", "st", "src", "time", "SQL"))
+        print("-" * 100)
+    mismatches = 0
+    counts = {}
+    for corpus_fragment, outcome in zip(fragments, report.outcomes):
+        if outcome.ok:
+            status = outcome.result.status
+            marker = status.marker
+            detail = outcome.result.sql.sql if outcome.result.sql \
+                else outcome.result.reason
+            counts.setdefault(corpus_fragment.app,
+                              Counter())[status.value] += 1
+            if status is not corpus_fragment.expected:
+                mismatches += 1
+                detail += "   << paper says %s" % \
+                    corpus_fragment.expected.marker
+        else:
+            marker = "!"
+            detail = outcome.error
+            counts.setdefault(corpus_fragment.app,
+                              Counter())["job-failed"] += 1
+        if not args.quiet:
+            print("%-12s %-30s %-10s %-2s %-6s %7.2fs  %s" % (
+                corpus_fragment.fragment_id,
+                "%s:%d" % (corpus_fragment.java_class,
+                           corpus_fragment.line),
+                corpus_fragment.category, marker,
+                "cache" if outcome.from_cache else
+                ("w%d" % args.workers if args.workers > 1 else "local"),
+                outcome.elapsed_seconds, detail[:60]))
+
+    print()
+    print("Run: %d fragments in %.2fs  (%d computed, %d from cache, "
+          "%d failed jobs, workers=%d)" % (
+              len(report.outcomes), report.wall_seconds, report.computed,
+              report.cache_hits, report.failed, args.workers))
+    for app in sorted(counts):
+        line = "  %-9s" % app
+        for status, count in sorted(counts[app].items()):
+            line += " %s=%d" % (status, count)
+        print(line)
+    if mismatches:
+        print("  %d outcome(s) disagree with the paper's table" % mismatches)
+    if args.check and (mismatches or report.failed):
+        return 1
+    if args.expect_cached and report.cache_hits < len(report.outcomes):
+        print("  expected a fully cached run, but %d fragment(s) were "
+              "computed" % (len(report.outcomes) - report.cache_hits))
+        return 1
+    return 0
+
+
+def _print_cache_info(info) -> None:
+    print("cache root   : %s" % info["root"])
+    print("entries      : %d (%.1f KiB)" % (info["entries"],
+                                            info["bytes"] / 1024.0))
+    for label, bucket in (("by app", info["by_app"]),
+                          ("by status", info["by_status"])):
+        if bucket:
+            print("%-13s: %s" % (label, ", ".join(
+                "%s=%d" % kv for kv in sorted(bucket.items()))))
+
+
+def cmd_status(args) -> int:
+    fragments = _selected(args)
+    cache = _cache_for(args)
+    if cache is None:
+        print("status needs a cache (drop --no-cache)")
+        return 2
+    _print_cache_info(cache.info())
+    options = QBSOptions()
+    hit, miss = [], []
+    for corpus_fragment in fragments:
+        payload = cache.load(job_for(corpus_fragment, options))
+        (hit if payload is not None else miss).append(
+            corpus_fragment.fragment_id)
+    print("corpus cover : %d/%d fragments cached under current options"
+          % (len(hit), len(hit) + len(miss)))
+    if miss:
+        print("uncached     : %s" % ", ".join(miss))
+    return 0
+
+
+def cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "info":
+        _print_cache_info(cache.info())
+        return 0
+    if args.action == "list":
+        for entry in sorted(cache.entries(),
+                            key=lambda e: e.get("fragment_id", "")):
+            result = entry.get("result") or {}
+            print("%-12s %-10s %s  %s" % (
+                entry.get("fragment_id", "?"),
+                result.get("status", "?"),
+                entry.get("key", "")[:12],
+                (result.get("sql") or {}).get("sql", "") or
+                result.get("reason", "")[:50]))
+        return 0
+    removed = cache.clear()
+    print("removed %d cache entr%s from %s"
+          % (removed, "y" if removed == 1 else "ies", cache.root))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {"run": cmd_run, "status": cmd_status,
+               "cache": cmd_cache}[args.command]
+    try:
+        return handler(args)
+    except SelectionError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,382 @@
+"""Fan QBS jobs out over a multiprocessing worker pool.
+
+Fragments are independent jobs (the engine is deterministic per
+fragment), so the scheduler's only obligations are
+
+* **outcome identity** — a parallel run must produce, fragment for
+  fragment, the same status / SQL / marker a sequential run produces.
+  Workers return JSON payloads (no AST crosses the process boundary)
+  and the sequential path round-trips through the same serialization,
+  so both modes yield results of identical shape and content;
+* **order stability** — outcomes are delivered in submission order
+  regardless of completion order;
+* **graceful degradation** — ``workers=1`` runs in-process with no
+  multiprocessing machinery at all, and a worker that exceeds the
+  per-job timeout surfaces as a *failed job* while the rest of the
+  batch completes.
+
+Results are read through / written to a :class:`ResultCache` when one
+is attached, which is what makes corpus re-runs incremental.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _connection_wait
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.core.qbs import QBSOptions, QBSResult
+from repro.corpus.registry import CorpusFragment
+from repro.service.cache import ResultCache
+from repro.service.jobs import (
+    QBSJob,
+    execute_job,
+    job_for,
+    options_payload,
+    result_from_payload,
+)
+
+#: worker entry indirection: tests (and embedders) can swap the runner;
+#: fork-started workers inherit the swap.
+_JOB_RUNNER = execute_job
+
+
+def _worker_main(conn, options_dict):
+    """Worker process: serve explicitly-assigned jobs until the parent
+    sends the ``None`` shutdown sentinel (or terminates us).
+
+    Jobs arrive and results return over this worker's own duplex pipe —
+    no channel is shared between workers, so terminating one worker
+    can never corrupt another's results.  The sentinel, not pipe EOF,
+    ends the loop: under fork, sibling workers inherit copies of each
+    other's pipe fds, so the parent closing its end does not reliably
+    produce EOF here.
+    """
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        index, fragment_id = item
+        try:
+            payload = _JOB_RUNNER(fragment_id, options_dict)
+        except Exception as exc:
+            reply = (index, False, "%s: %s" % (type(exc).__name__, exc))
+        else:
+            reply = (index, True, payload)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _WorkerHandle:
+    """Parent-side view of one worker and the job it currently holds."""
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.index: Optional[int] = None   # assigned job, None when idle
+        self.assigned_at = 0.0
+
+    def assign(self, index: int, fragment_id: str) -> None:
+        self.index = index
+        self.assigned_at = time.perf_counter()
+        self.conn.send((index, fragment_id))
+
+    def shutdown(self, kill: bool) -> None:
+        if kill:
+            self.process.terminate()
+        else:
+            try:
+                self.conn.send(None)    # shutdown sentinel
+            except (BrokenPipeError, OSError):
+                pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():  # pragma: no cover - last resort
+            self.process.kill()
+            self.process.join()
+
+
+@dataclass
+class JobOutcome:
+    """What the scheduler reports for one job."""
+
+    job: QBSJob
+    state: str                        # "done" | "failed"
+    result: Optional[QBSResult] = None
+    from_cache: bool = False
+    elapsed_seconds: float = 0.0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.state == "done"
+
+
+def outcome_fingerprint(outcomes: List["JobOutcome"]) -> List[tuple]:
+    """The identity contract runs are judged on, one tuple per job:
+    (fragment id, QBS status, Appendix-A marker, SQL text).
+
+    Parallel, sequential and cache-served runs of the same batch must
+    produce equal fingerprints; the benchmark and the test suite both
+    assert through this single definition.
+    """
+    out = []
+    for outcome in outcomes:
+        result = outcome.result
+        out.append((outcome.job.fragment_id,
+                    result.status.value if result else "job-failed",
+                    result.status.marker if result else "!",
+                    result.sql.sql if result and result.sql else None))
+    return out
+
+
+@dataclass
+class RunReport:
+    """Aggregate accounting for one scheduler run."""
+
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.from_cache)
+
+    @property
+    def computed(self) -> int:
+        return sum(1 for o in self.outcomes
+                   if o.ok and not o.from_cache)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for o in self.outcomes if not o.ok)
+
+
+class Scheduler:
+    """Run corpus fragments through QBS, optionally in parallel."""
+
+    def __init__(self, workers: int = 1,
+                 job_timeout: Optional[float] = None,
+                 cache: Optional[ResultCache] = None,
+                 options: Optional[QBSOptions] = None,
+                 refresh: bool = False):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.job_timeout = job_timeout
+        self.cache = cache
+        self.options = options or QBSOptions()
+        #: recompute even on cache hit (results are re-stored).
+        self.refresh = refresh
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, fragments: List[CorpusFragment]) -> RunReport:
+        """Run a batch; outcomes come back in submission order."""
+        start = time.perf_counter()
+        outcomes = list(self.run_iter(fragments))
+        return RunReport(outcomes=outcomes,
+                         wall_seconds=time.perf_counter() - start)
+
+    def run_iter(self, fragments: List[CorpusFragment],
+                 stop_event: Optional[threading.Event] = None
+                 ) -> Iterator[JobOutcome]:
+        """Yield outcomes in submission order as they become available.
+
+        ``stop_event`` (settable from another thread, e.g. the async
+        facade's cancelled stream) makes the run wind down early: no
+        new jobs start, workers are reclaimed, and the iterator ends
+        without yielding the remaining outcomes.
+        """
+        jobs = [job_for(cf, self.options) for cf in fragments]
+        cached: Dict[int, JobOutcome] = {}
+        pending: List[int] = []
+        for index, job in enumerate(jobs):
+            payload = None
+            if self.cache is not None and not self.refresh:
+                payload = self.cache.load(job)
+            if payload is not None:
+                cached[index] = JobOutcome(
+                    job=job, state="done",
+                    result=result_from_payload(payload),
+                    from_cache=True,
+                    elapsed_seconds=payload.get("elapsed_seconds", 0.0))
+            else:
+                pending.append(index)
+
+        if not pending:
+            yield from (cached[i] for i in range(len(jobs)))
+            return
+
+        if self.workers == 1:
+            compute = self._run_inline(jobs, pending, stop_event)
+        else:
+            compute = self._run_pool(jobs, pending, stop_event)
+
+        # Interleave back into submission order.  The pool path computes
+        # lazily, so streaming consumers see outcomes as soon as the
+        # next in-order job finishes.
+        try:
+            for index in range(len(jobs)):
+                if index in cached:
+                    yield cached[index]
+                else:
+                    yield next(compute)
+        except StopIteration:   # compute wound down early (stop_event)
+            return
+
+    # -- execution strategies ---------------------------------------------
+
+    def _run_inline(self, jobs: List[QBSJob], pending: List[int],
+                    stop_event: Optional[threading.Event]
+                    ) -> Iterator[JobOutcome]:
+        """In-process fallback: no pool, no pickling overhead."""
+        opts = options_payload(self.options)
+        for index in pending:
+            if stop_event is not None and stop_event.is_set():
+                return
+            job = jobs[index]
+            start = time.perf_counter()
+            try:
+                payload = _JOB_RUNNER(job.fragment_id, opts)
+            except Exception as exc:  # job bugs become failed jobs
+                yield JobOutcome(job=job, state="failed",
+                                 elapsed_seconds=time.perf_counter() - start,
+                                 error="%s: %s" % (type(exc).__name__, exc))
+                continue
+            yield self._finish(job, payload,
+                               time.perf_counter() - start)
+
+    #: parent poll interval while waiting on workers.
+    _POLL_SECONDS = 0.02
+
+    def _run_pool(self, jobs: List[QBSJob], pending: List[int],
+                  stop_event: Optional[threading.Event]
+                  ) -> Iterator[JobOutcome]:
+        """Worker processes with explicit job assignment.
+
+        The parent hands each idle worker one job at a time over that
+        worker's own duplex pipe, so it always knows which job a worker
+        holds and when that job *actually started*.  That is what makes
+        per-job timeouts honest: a job is only reported as timed out if
+        it ran past the budget, never because it sat queued behind
+        someone else's hung job.  Timed-out (or crashed) workers are
+        terminated and replaced, so the rest of the batch always
+        completes — and because no channel is shared, reclaiming one
+        worker cannot disturb another's results.
+        """
+        opts = options_payload(self.options)
+        context = self._context()
+
+        def spawn() -> _WorkerHandle:
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main, args=(child_conn, opts), daemon=True)
+            process.start()
+            child_conn.close()
+            return _WorkerHandle(process, parent_conn)
+
+        remaining = deque(pending)
+        outcomes: Dict[int, JobOutcome] = {}
+        next_pos = 0
+        workers = [spawn() for _ in range(min(self.workers, len(pending)))]
+        try:
+            while next_pos < len(pending):
+                if stop_event is not None and stop_event.is_set():
+                    return
+                # Hand jobs to idle workers; a worker that died while
+                # idle shows up as a broken pipe and is replaced, with
+                # the job going back to the front of the queue.
+                for position, worker in enumerate(workers):
+                    if worker.index is None and remaining:
+                        index = remaining.popleft()
+                        try:
+                            worker.assign(index, jobs[index].fragment_id)
+                        except (BrokenPipeError, OSError):
+                            remaining.appendleft(index)
+                            worker.shutdown(kill=False)
+                            workers[position] = spawn()
+                # Collect results from whichever workers have them.
+                busy = [w for w in workers if w.index is not None]
+                ready = _connection_wait([w.conn for w in busy],
+                                         timeout=self._POLL_SECONDS) \
+                    if busy else ()
+                for conn in ready:
+                    position, worker = next(
+                        (p, w) for p, w in enumerate(workers)
+                        if w.conn is conn)
+                    elapsed = time.perf_counter() - worker.assigned_at
+                    try:
+                        index, ok, payload = conn.recv()
+                    except Exception:
+                        # EOF/partial message: the worker died mid-job.
+                        worker.shutdown(kill=False)
+                        outcomes[worker.index] = JobOutcome(
+                            job=jobs[worker.index], state="failed",
+                            elapsed_seconds=elapsed,
+                            error="worker died (exit code %s)"
+                                  % worker.process.exitcode)
+                        worker.index = None
+                        if remaining:
+                            workers[position] = spawn()
+                        continue
+                    worker.index = None
+                    if ok:
+                        outcomes[index] = self._finish(jobs[index],
+                                                       payload, elapsed)
+                    else:
+                        outcomes[index] = JobOutcome(
+                            job=jobs[index], state="failed",
+                            elapsed_seconds=elapsed, error=payload)
+                # Reclaim workers whose job ran past the budget.
+                if self.job_timeout is not None:
+                    now = time.perf_counter()
+                    for position, worker in enumerate(workers):
+                        if worker.index is None:
+                            continue
+                        busy_for = now - worker.assigned_at
+                        if busy_for > self.job_timeout:
+                            outcomes[worker.index] = JobOutcome(
+                                job=jobs[worker.index], state="failed",
+                                elapsed_seconds=busy_for,
+                                error="timeout after %.3gs"
+                                      % self.job_timeout)
+                            worker.index = None
+                            worker.shutdown(kill=True)
+                            if remaining:
+                                workers[position] = spawn()
+                # Yield the finished in-order prefix.
+                while next_pos < len(pending) \
+                        and pending[next_pos] in outcomes:
+                    yield outcomes.pop(pending[next_pos])
+                    next_pos += 1
+        finally:
+            for worker in workers:
+                worker.shutdown(kill=worker.index is not None)
+
+    @staticmethod
+    def _context():
+        """Fork where available: workers inherit warm module state."""
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return multiprocessing.get_context()
+
+    def _finish(self, job: QBSJob, payload: Dict[str, Any],
+                elapsed: float) -> JobOutcome:
+        if self.cache is not None:
+            self.cache.store(job, payload)
+        return JobOutcome(job=job, state="done",
+                          result=result_from_payload(payload),
+                          elapsed_seconds=elapsed)

@@ -1,0 +1,64 @@
+"""Appendix-A marker agreement and the prover's normal-form memo."""
+
+import repro.core.qbs as qbs_module
+from repro.core.prover import Prover
+from repro.core.qbs import QBSStatus
+from repro.core.synthesizer import Synthesizer
+from repro.corpus.registry import compile_fragment, fragment_by_id
+
+
+def test_markers_match_appendix_a():
+    # Paper Appendix A: X translated, * failed, † rejected.
+    assert QBSStatus.TRANSLATED.marker == "X"
+    assert QBSStatus.FAILED.marker == "*"
+    assert QBSStatus.REJECTED.marker == "†"
+    assert len({status.marker for status in QBSStatus}) == len(QBSStatus)
+
+
+def test_markers_agree_with_module_docstring():
+    doc = qbs_module.__doc__
+    assert "**rejected** (``†``)" in doc
+    assert "**failed** (``*``)" in doc
+    assert "**translated** (``X``)" in doc
+
+
+def _synthesized(fragment_id):
+    fragment = compile_fragment(fragment_by_id(fragment_id))
+    synthesizer = Synthesizer(fragment)
+    result = synthesizer.synthesize()
+    assert result.succeeded
+    return synthesizer, result
+
+
+def test_prover_nf_cache_changes_nothing():
+    synthesizer, result = _synthesized("w46")
+    with_cache = Prover(synthesizer.vcset)
+    without = Prover(synthesizer.vcset, nf_cache=False)
+    assert with_cache.validate(result.assignment).proved
+    assert without.validate(result.assignment).proved
+    assert with_cache.nf_cache_hits > 0
+    assert without.nf_cache_hits == 0
+
+
+def test_prover_nf_cache_reused_across_validations():
+    synthesizer, result = _synthesized("w46")
+    prover = Prover(synthesizer.vcset)
+    assert prover.validate(result.assignment).proved
+    hits_after_first = prover.nf_cache_hits
+    misses_after_first = prover.nf_cache_misses
+    # The same assignment revalidates almost entirely from the memo:
+    # identical VCs produce identical fact contexts.
+    assert prover.validate(result.assignment).proved
+    assert prover.nf_cache_hits > hits_after_first
+    assert prover.nf_cache_misses == misses_after_first
+
+
+def test_prover_rejects_bogus_assignment_with_cache():
+    # The memo must not convert failures into successes: a wrong
+    # candidate still fails under the cached prover.
+    synthesizer, good = _synthesized("w40")
+    other_synth, other = _synthesized("w46")
+    prover = Prover(synthesizer.vcset)
+    assert prover.validate(good.assignment).proved
+    outcome = prover.validate(other.assignment)
+    assert not outcome.proved

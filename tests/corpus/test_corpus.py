@@ -35,7 +35,7 @@ def results(qbs):
 def test_corpus_has_the_paper_population():
     assert len(WILOS_FRAGMENTS) == 33
     assert len(ITRACKER_FRAGMENTS) == 16
-    assert len(ADVANCED_FRAGMENTS) == 4
+    assert len(ADVANCED_FRAGMENTS) == 7
 
 
 @pytest.mark.parametrize("cf", ALL_FRAGMENTS,
@@ -144,7 +144,10 @@ def test_advanced_equivalence(results):
     service = make_advanced_service(db)
 
     for fragment_id, method in (("adv_hash", "adv_hash_join"),
-                                ("adv_top10", "adv_sorted_top_ten")):
+                                ("adv_top10", "adv_sorted_top_ten"),
+                                ("adv_joincnt", "adv_join_count"),
+                                ("adv_sumsel", "adv_sum_filtered"),
+                                ("adv_joinsum", "adv_join_sum")):
         result = results[fragment_id]
         assert result.translated
         original = getattr(service, method)()

@@ -1,0 +1,87 @@
+"""The async facade: submit/gather/stream over the scheduler."""
+
+import asyncio
+
+from repro.service.facade import QBSService
+from repro.service.scheduler import Scheduler, outcome_fingerprint
+from repro.corpus.registry import fragment_by_id
+
+IDS = ["w40", "w42", "i2", "adv_top10"]
+
+_fingerprint = outcome_fingerprint
+
+
+def test_submit_then_gather_matches_scheduler():
+    async def drive():
+        service = QBSService(workers=1)
+        jobs = [await service.submit(fragment_id) for fragment_id in IDS]
+        assert [job.fragment_id for job in jobs] == IDS
+        return await service.gather()
+
+    outcomes = asyncio.run(drive())
+    direct = Scheduler(workers=1).run([fragment_by_id(i) for i in IDS])
+    assert _fingerprint(outcomes) == _fingerprint(direct.outcomes)
+
+
+def test_gather_without_submissions_is_empty():
+    async def drive():
+        service = QBSService(workers=1)
+        return await service.gather()
+
+    assert asyncio.run(drive()) == []
+
+
+def test_stream_yields_each_outcome_in_submission_order():
+    async def drive():
+        service = QBSService(workers=2)
+        for fragment_id in IDS:
+            await service.submit(fragment_id)
+        seen = []
+        async for outcome in service.stream():
+            seen.append(outcome)
+        # Pending was drained: a second stream yields nothing.
+        again = [outcome async for outcome in service.stream()]
+        return seen, again
+
+    seen, again = asyncio.run(drive())
+    assert [o.job.fragment_id for o in seen] == IDS
+    assert all(o.ok for o in seen)
+    assert again == []
+
+
+def test_abandoned_stream_stops_the_run(monkeypatch):
+    from repro.service import scheduler as scheduler_module
+    from repro.service.jobs import execute_job
+
+    calls = []
+
+    def counting(fragment_id, options_dict):
+        calls.append(fragment_id)
+        return execute_job(fragment_id, options_dict)
+
+    monkeypatch.setattr(scheduler_module, "_JOB_RUNNER", counting)
+
+    async def drive():
+        service = QBSService(workers=1)
+        for fragment_id in IDS:
+            await service.submit(fragment_id)
+        stream = service.stream()
+        async for _outcome in stream:
+            break               # abandon after the first outcome
+        await stream.aclose()   # prompt cleanup (contextlib.aclosing)
+
+    asyncio.run(drive())
+    # The scheduler wound down instead of computing the whole batch.
+    assert len(calls) < len(IDS)
+
+
+def test_run_convenience_batches():
+    async def drive():
+        service = QBSService(workers=1)
+        return await service.run(IDS)
+
+    outcomes = asyncio.run(drive())
+    assert [o.job.fragment_id for o in outcomes] == IDS
+    statuses = {o.job.fragment_id: o.result.status.value for o in outcomes}
+    assert statuses["w40"] == "translated"
+    assert statuses["adv_top10"] == "translated"

@@ -1,0 +1,120 @@
+"""Job identity and the persistent result cache."""
+
+import json
+import os
+
+from repro.core.qbs import QBSOptions, QBSResult, QBSStatus
+from repro.core.synthesizer import SynthesisOptions
+from repro.corpus.registry import fragment_by_id, run_fragment_through_qbs
+from repro.service.cache import ResultCache
+from repro.service.jobs import (
+    execute_job,
+    job_for,
+    options_from_payload,
+    options_payload,
+)
+
+
+def test_job_key_is_stable():
+    cf = fragment_by_id("w46")
+    assert job_for(cf).key == job_for(cf).key
+    assert job_for(cf, QBSOptions()).key == job_for(cf).key
+
+
+def test_job_key_distinguishes_fragments_and_options():
+    keys = {job_for(fragment_by_id(fid)).key for fid in ("w46", "w40", "i2")}
+    assert len(keys) == 3
+    cf = fragment_by_id("w46")
+    tweaked = QBSOptions(synthesis=SynthesisOptions(max_level=2))
+    assert job_for(cf, tweaked).key != job_for(cf).key
+    assert job_for(cf, QBSOptions(formal_validation=False)).key \
+        != job_for(cf).key
+    # Option changes do not touch the kernel hash, only the job key.
+    assert job_for(cf, tweaked).kernel_sha == job_for(cf).kernel_sha
+
+
+def test_rejected_fragments_still_get_keys():
+    # w18 is rejected by the frontend (no kernel form exists); the job
+    # key hashes the rejection instead of a kernel rendering.
+    cf = fragment_by_id("w18")
+    job = job_for(cf)
+    assert job.key and job.kernel_sha
+    assert job.key == job_for(cf).key
+
+
+def test_options_payload_roundtrip():
+    options = QBSOptions(synthesis=SynthesisOptions(max_level=2,
+                                                    world_max_size=2),
+                         require_translatable=False)
+    assert options_from_payload(options_payload(options)) == options
+
+
+def test_result_json_roundtrip_translated():
+    result = run_fragment_through_qbs(fragment_by_id("w46"))
+    assert result.status is QBSStatus.TRANSLATED
+    payload = result.to_json_dict()
+    json.dumps(payload)  # actually JSON-safe
+    rebuilt = QBSResult.from_json_dict(payload)
+    assert rebuilt.status is QBSStatus.TRANSLATED
+    assert rebuilt.sql.sql == result.sql.sql
+    assert rebuilt.sql.columns == result.sql.columns
+    assert rebuilt.stats == result.stats
+    assert rebuilt.postcondition_text  # pretty-printed postcondition
+    assert rebuilt.to_json_dict() == payload
+
+
+def test_result_json_roundtrip_rejected_and_failed():
+    for fragment_id, status in (("w17", QBSStatus.REJECTED),
+                                ("w20", QBSStatus.FAILED)):
+        result = run_fragment_through_qbs(fragment_by_id(fragment_id))
+        assert result.status is status
+        payload = result.to_json_dict()
+        rebuilt = QBSResult.from_json_dict(payload)
+        assert rebuilt.status is status
+        assert rebuilt.reason == result.reason
+        assert rebuilt.to_json_dict() == payload
+
+
+def test_cache_store_load_clear(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    cf = fragment_by_id("w40")
+    job = job_for(cf)
+    assert cache.load(job) is None
+
+    payload = execute_job(job.fragment_id, options_payload(QBSOptions()))
+    path = cache.store(job, payload)
+    assert os.path.exists(path)
+    assert cache.load(job) == payload
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    info = cache.info()
+    assert info["entries"] == 1
+    assert info["by_app"] == {"wilos": 1}
+    assert cache.clear() == 1
+    assert cache.load(job) is None
+
+
+def test_cache_misses_when_options_change(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cf = fragment_by_id("w40")
+    payload = execute_job(cf.fragment_id, options_payload(QBSOptions()))
+    cache.store(job_for(cf), payload)
+    tweaked = QBSOptions(synthesis=SynthesisOptions(max_level=1))
+    assert cache.load(job_for(cf, tweaked)) is None
+    assert cache.load(job_for(cf)) == payload
+
+
+def test_cache_tolerates_corrupt_entries(tmp_path):
+    # Bad JSON and well-formed JSON of the wrong shape are both
+    # misses, never errors — for load(), entries() and info().
+    for shape, bad in enumerate(("{ not json", "null", "[]", '"a string"',
+                                 '{"version": 1, "key": "x"}')):
+        cache = ResultCache(str(tmp_path / ("shape%d" % shape)))
+        job = job_for(fragment_by_id("w40"))
+        path = cache._path(job.key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(bad)
+        assert cache.load(job) is None
+        assert list(cache.entries()) == []
+        assert cache.info()["entries"] == 0
