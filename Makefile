@@ -4,18 +4,26 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-synthesis bench bench-parallel serve-smoke
+.PHONY: test bench-smoke bench-synthesis bench bench-parallel \
+	bench-planner serve-smoke
 
 # Tier-1 verification: the full unit/property/regression suite.
 test:
 	$(PYTHON) -m pytest -x -q
 
 # Fast perf canary: the synthesis-speed comparison with a single
-# timing repeat.  Fails (non-zero exit) when the optimized engine
-# drops below 2x wall-clock or 3x evaluator-call reduction vs. the
-# seed implementation, so perf regressions surface in seconds.
+# timing repeat (fails below 2x wall-clock / 3x evaluator-call
+# reduction vs. the seed implementation), then the query-planner
+# floors (>= 3x for the hash-join chain on the three-table corpus
+# fragment and for index scans vs. full scans).  Perf regressions
+# surface in seconds.
 bench-smoke:
 	$(PYTHON) benchmarks/bench_synthesis_speed.py --smoke
+	$(PYTHON) benchmarks/bench_planner.py --smoke
+
+# Query-planner comparison at full size (best of 3 repeats).
+bench-planner:
+	$(PYTHON) benchmarks/bench_planner.py
 
 # Full synthesis-speed table (per-fragment rows, best of 3 repeats).
 bench-synthesis:

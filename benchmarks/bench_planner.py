@@ -1,0 +1,154 @@
+"""Query-planner speed: hash-join chains and index scans vs. baselines.
+
+The planner (`repro.sql.plan`) makes the engine's access-path and join
+decisions explicit and rule-driven.  This benchmark measures the two
+rules' asymptotic payoffs on the three-table corpus workload and
+asserts regression floors:
+
+* **hash-join chain vs. nested loops** — the `adv_chain` corpus
+  fragment's inferred SQL (``r ⋈ s ⋈ u``) under the default optimizer
+  (two build/probe hash joins) against ``hash_joins=False`` (cross
+  products + residual filters).  Floor: >= 3x wall-clock.
+* **index scan vs. full scan** — a selective indexed equality probe
+  under ``index_scans=False``.  Floor: >= 3x wall-clock.
+
+Both comparisons assert row-identical results, and the planned engine
+is additionally checked row-identical to the seed single-pass pipeline
+(``ExecutorOptions(planner=False)``) on the same workload.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_planner.py
+    PYTHONPATH=src python benchmarks/bench_planner.py --smoke
+
+(``--smoke`` is the CI canary: one timing repeat, smaller tables,
+non-zero exit when a floor regresses.)
+"""
+
+import sys
+import time
+
+from repro.corpus.registry import fragment_by_id, run_fragment_through_qbs
+from repro.sql.database import Database
+from repro.sql.executor import ExecutorOptions
+from repro.corpus.advanced import ADVANCED_TABLES
+
+#: Acceptance floors (ISSUE 3).
+MIN_HASH_CHAIN_SPEEDUP = 3.0
+MIN_INDEX_SCAN_SPEEDUP = 3.0
+
+
+def build_database(options, n_r, n_s, n_u):
+    db = Database(options)
+    for table, columns in ADVANCED_TABLES.items():
+        db.create_table(table, columns)
+    db.create_index("r", "a")
+    db.create_index("s", "b")
+    db.create_index("u", "c")
+    db.insert_many("r", ({"id": i, "a": i % 97} for i in range(n_r)))
+    db.insert_many("s", ({"id": i, "b": i % 97} for i in range(n_s)))
+    db.insert_many("u", ({"id": i, "c": i % (n_s or 1)}
+                         for i in range(n_u)))
+    # A dedicated point-lookup table: large enough that the full-scan
+    # baseline is dominated by scanning, not by per-query overhead.
+    db.create_table("pt", ("id", "k"))
+    db.create_index("pt", "k")
+    db.insert_many("pt", ({"id": i, "k": i % 500} for i in range(4000)))
+    return db
+
+
+def chain_sql():
+    """The three-table join SQL QBS infers for ``adv_chain``."""
+    result = run_fragment_through_qbs(fragment_by_id("adv_chain"))
+    assert result.translated, result.reason
+    return result.sql.sql
+
+
+def timed(db, sql, repeats, params=None):
+    best = None
+    rows = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        rows = list(db.execute(sql, params).rows)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, rows
+
+
+def compare(label, sql, fast_db, slow_db, repeats, floor, params=None,
+            slow_repeats=1):
+    fast_time, fast_rows = timed(fast_db, sql, repeats, params)
+    slow_time, slow_rows = timed(slow_db, sql, slow_repeats, params)
+    assert fast_rows == slow_rows, "%s: modes disagree on rows" % label
+    speedup = slow_time / fast_time if fast_time > 0 else float("inf")
+    print("%-28s %8.2fms vs %9.2fms   %6.1fx  (floor %.1fx)"
+          % (label, fast_time * 1e3, slow_time * 1e3, speedup, floor))
+    return speedup, fast_rows
+
+
+def run(smoke=False):
+    repeats = 1 if smoke else 3
+    n_r, n_s, n_u = (60, 40, 30) if smoke else (120, 90, 60)
+
+    planned = build_database(ExecutorOptions(), n_r, n_s, n_u)
+    catalog = planned.catalog
+
+    def share(options):
+        db = Database(options)
+        db.catalog = catalog
+        db.executor.catalog = catalog
+        return db
+
+    no_hash = share(ExecutorOptions(hash_joins=False, index_scans=False))
+    no_index = share(ExecutorOptions(index_scans=False))
+    legacy = share(ExecutorOptions(planner=False))
+
+    sql = chain_sql()
+    print("three-table corpus SQL: %s" % sql)
+    print(planned.explain(sql))
+    explain = planned.explain(sql)
+    assert explain.count("HashJoin") == 2, "expected a hash-join chain"
+
+    print()
+    chain_speedup, chain_rows = compare(
+        "hash-join chain vs nested", sql, planned, no_hash, repeats,
+        MIN_HASH_CHAIN_SPEEDUP)
+    assert chain_rows, "chain workload returned no rows"
+
+    # The seed pipeline also hash-joins; planner must not regress it.
+    legacy_time, legacy_rows = timed(legacy, sql, repeats)
+    assert legacy_rows == chain_rows, "planner disagrees with seed"
+
+    point_sql = "SELECT t0.id FROM pt AS t0 WHERE t0.k = 13"
+    point_repeats = repeats * (50 if smoke else 200)
+    index_speedup, _ = compare(
+        "index scan vs full scan", point_sql, planned, no_index,
+        point_repeats, MIN_INDEX_SCAN_SPEEDUP,
+        slow_repeats=point_repeats)
+
+    failures = []
+    if chain_speedup < MIN_HASH_CHAIN_SPEEDUP:
+        failures.append("hash-join chain speedup %.2fx < %.1fx"
+                        % (chain_speedup, MIN_HASH_CHAIN_SPEEDUP))
+    if index_speedup < MIN_INDEX_SCAN_SPEEDUP:
+        failures.append("index-scan speedup %.2fx < %.1fx"
+                        % (index_speedup, MIN_INDEX_SCAN_SPEEDUP))
+    print()
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure)
+        return 1
+    print("planner floors hold (chain %.1fx, index %.1fx)"
+          % (chain_speedup, index_speedup))
+    return 0
+
+
+def test_planner_floors(benchmark):
+    """pytest-benchmark flavor (part of ``make bench``)."""
+    code = benchmark.pedantic(run, kwargs={"smoke": True}, rounds=1,
+                              iterations=1)
+    assert code == 0
+
+
+if __name__ == "__main__":
+    sys.exit(run(smoke="--smoke" in sys.argv[1:]))

@@ -29,6 +29,10 @@ from repro.tor import ast as T
 #: Negation of each predicate operator, for `else`-branch guard atoms.
 NEGATED_OP = {"=": "!=", "!=": "=", "<": ">=", ">=": "<", ">": "<=", "<=": ">"}
 
+#: Operand-swap image of each predicate operator (``a op b`` = ``b op' a``).
+FLIPPED_OP = {"=": "=", "!=": "!=", "<": ">", ">": "<", "<=": ">=",
+              ">=": "<="}
+
 
 @dataclass(frozen=True)
 class ScanRef:
@@ -219,8 +223,7 @@ def atomize_condition(cond: T.TorNode, fragment: K.Fragment,
                     return
             elif right_ref is not None and right_ref.field is not None:
                 if _is_loop_free_scalar(expr.left, fragment, modified):
-                    flipped = {"<": ">", ">": "<", "<=": ">=",
-                               ">=": "<=", "=": "=", "!=": "!="}[op]
+                    flipped = FLIPPED_OP[op]
                     sel.append(SelAtom(right_ref.rel_var, T.FieldCmpConst(
                         right_ref.field, flipped, expr.left)))
                     return
@@ -320,6 +323,36 @@ def extract_features(fragment: K.Fragment) -> Features:
 
     walk(fragment.body, None, ())
     return features
+
+
+def field_path_expr(base: T.TorNode, path: str) -> T.TorNode:
+    """``base.f`` (or ``base.f.g`` for dotted paths) as field accesses."""
+    expr = base
+    for part in path.split("."):
+        expr = T.FieldAccess(expr, part)
+    return expr
+
+
+def group_match_sigma(pred: T.JoinFunc, elem: T.TorNode,
+                      right: T.TorNode) -> T.Sigma:
+    """The matching rows of one left row, as a selection over ``right``.
+
+    ``join([e], r, phi)``'s right-side participants equal
+    ``sigma[r.f op' e.f'](r)`` with each join predicate flipped onto the
+    right side and the left field read from ``elem``.  A selection
+    already wrapping ``right`` folds into the same conjunction, so the
+    template generator and the prover build byte-identical shapes (the
+    prover matches them syntactically against invariant facts).
+    """
+    extra: Tuple[T.SelectPred, ...] = ()
+    if isinstance(right, T.Sigma):
+        extra = right.pred.preds
+        right = right.rel
+    bound = tuple(
+        T.FieldCmpConst(p.right_field, FLIPPED_OP[p.op],
+                        field_path_expr(elem, p.left_field))
+        for p in pred.preds)
+    return T.Sigma(T.SelectFunc(bound + extra), right)
 
 
 def element_projection(elem: T.TorNode,

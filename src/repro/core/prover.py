@@ -371,7 +371,7 @@ class Prover:
     def _relation_valued(expr: T.TorNode) -> bool:
         return isinstance(expr, (
             T.EmptyRelation, T.Concat, T.Singleton, T.Top, T.Pi, T.Sigma,
-            T.Join, T.Sort, T.Unique, T.Append, T.QueryOp))
+            T.Join, T.GroupAgg, T.Sort, T.Unique, T.Append, T.QueryOp))
 
     # -- the rewrite engine ---------------------------------------------------------
 
@@ -544,6 +544,19 @@ class Prover:
                     return T.EmptyRelation()
             return expr
 
+        # --- grouped aggregation -----------------------------------------------------
+        if isinstance(expr, T.GroupAgg):
+            left = expr.left
+            if isinstance(left, T.EmptyRelation):
+                return T.EmptyRelation()
+            if isinstance(left, T.Concat):
+                # Exact homomorphism: grouping is per left-row occurrence.
+                return T.Concat(self._regroup(expr, left.left),
+                                self._regroup(expr, left.right))
+            if isinstance(left, T.Singleton):
+                return self._group_singleton(expr, left.elem, facts, bools)
+            return expr
+
         # --- aggregates ---------------------------------------------------------------
         if isinstance(expr, T.Size):
             rel = expr.rel
@@ -676,6 +689,47 @@ class Prover:
         if any(r is False for r in results):
             return False
         return None
+
+    @staticmethod
+    def _regroup(group: T.GroupAgg, left: T.TorNode) -> T.GroupAgg:
+        """The same grouped aggregation over a different left operand."""
+        return T.GroupAgg(fields=group.fields, agg=group.agg,
+                          agg_field=group.agg_field, out=group.out,
+                          pred=group.pred, left=left, right=group.right)
+
+    def _group_singleton(self, group: T.GroupAgg, elem: T.TorNode,
+                         facts: FactSet, bools: _BoolFacts) -> T.TorNode:
+        """``group([e], r)``: one group, or nothing, per the match count.
+
+        The matching rows are the selection
+        :func:`repro.core.features.group_match_sigma` builds — the same
+        shape the template generator pins the inner count accumulator
+        to, so the facts decide the group's presence (``size > 0`` /
+        ``= 0``) and its aggregate value syntactically.
+        """
+        from repro.core.features import group_match_sigma
+
+        matches = group_match_sigma(group.pred, elem, group.right)
+        size_n = self._normalize(T.Size(matches), facts, bools)
+        if self._holds(T.BinOp(">", size_n, T.Const(0)), facts,
+                       bools) is True:
+            if group.agg == "count":
+                value: T.TorNode = size_n
+            else:
+                value = self._normalize(
+                    T.SumOp(T.Pi((T.FieldSpec(group.agg_field,
+                                              group.agg_field),),
+                                 matches)), facts, bools)
+            items = tuple(
+                (spec.target,
+                 self._normalize(self._path_access(elem, spec.source),
+                                 facts, bools))
+                for spec in group.fields) + ((group.out, value),)
+            return T.Singleton(T.RecordLit(items))
+        if self._holds(T.BinOp("=", size_n, T.Const(0)), facts,
+                       bools) is True:
+            return T.EmptyRelation()
+        return self._regroup(group, T.Singleton(elem))
 
     @staticmethod
     def _prefix_select(phi: T.SelectFunc, side: str) -> T.SelectFunc:

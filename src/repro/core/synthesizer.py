@@ -324,6 +324,12 @@ class Synthesizer:
                     return None
                 if eq_pools[loop_id].get(var):
                     needed.append(var)
+            # Templates may pin variables beyond the loop's own
+            # accumulators (a grouped accumulation frozen during its
+            # inner scan); include those choice axes too.
+            for var in eq_pools[loop_id]:
+                if var not in needed and eq_pools[loop_id][var]:
+                    needed.append(var)
             required[loop_id] = needed
 
         # Enumerate combinations, simplest first.

@@ -43,8 +43,10 @@ from repro.core.features import (
     JoinAtom,
     SelAtom,
     Update,
+    _as_scan_ref,
     element_projection,
     extract_features,
+    group_match_sigma,
 )
 from repro.core.logic import CmpClause, EqClause
 from repro.kernel import ast as K
@@ -91,6 +93,38 @@ class LoopTemplate:
     cmp_clauses: List[CmpClause] = field(default_factory=list)
     #: accumulator variable -> candidate defining expressions.
     eq_choices: Dict[str, List[T.TorNode]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """A recognised GROUP BY-shaped accumulation (see ``_group_update``).
+
+    The fragment shape::
+
+        for l in r1:                 # outer scan (counter1)
+            acc = 0
+            for r in r2:             # inner scan (counter2)
+                if phi_join(l, r) [and phi_sel2(r)]:
+                    acc = acc + 1        # or acc + r.f
+            if acc > 0:
+                result.append({keys(l)..., out: acc})
+
+    is the image of ``GroupAgg(keys, agg, phi_join, r1, sigma(r2))``.
+    """
+
+    outer_loop: str
+    inner_loop: str
+    r1: str
+    r2: str
+    counter1: str
+    counter2: str
+    acc: str
+    agg: str                       # "count" | "sum"
+    agg_field: Optional[str]
+    out: str
+    key_specs: Tuple[T.FieldSpec, ...]
+    join_preds: Tuple[T.JoinFieldCmp, ...]
+    sel2: Tuple[T.SelectPred, ...]
 
 
 def _subsets(atoms: Sequence, max_size: int, min_size: int = 0):
@@ -146,6 +180,10 @@ class TemplateGenerator:
         The returned expressions describe the accumulator's value after
         the scan completes, in terms of the base relation variables.
         """
+        group = self._group_update(update)
+        if group is not None:
+            return self._group_exprs(update, group)
+
         if update.opaque_guards:
             minmax = self._minmax_exprs(update)
             return minmax if minmax is not None else []
@@ -160,6 +198,8 @@ class TemplateGenerator:
             return self._single_exprs(update, chain[0])
         if len(chain) == 2:
             return self._join_exprs(update, chain[0], chain[1])
+        if len(chain) == 3:
+            return self._join_exprs3(update, chain)
         return []  # deeper nests are outside the template space
 
     # -- single-relation shapes ----------------------------------------------
@@ -226,6 +266,215 @@ class TemplateGenerator:
                     joined = T.Join(T.JoinFunc(tuple(join_preds)), left, right)
                     out.extend(self._finish(update, joined, side_of))
         return out
+
+    def _join_exprs3(self, update: Update, chain: List[str]
+                     ) -> List[T.TorNode]:
+        """Candidates for a three-deep scan nest: a left-deep join chain.
+
+        The shape is ``join(join(r1, r2), r3)``; predicates between the
+        outer pair feed the inner join, predicates reaching ``r3`` feed
+        the outer join with their left fields qualified through the
+        pair's side (``left.f`` for ``r1`` fields, ``right.f`` for
+        ``r2`` fields).  Both connecting predicates are required below
+        level 2 (partial cross products only enter with the wider
+        budget, mirroring the two-deep generator).
+        """
+        (c1, r1), (c2, r2), (c3, r3) = [self._scan_of(lid) for lid in chain]
+        if len({r1, r2, r3}) != 3:
+            return []
+
+        pools = {(r1, r2): [], (r1, r3): [], (r2, r3): []}
+        for atom in update.join_atoms:
+            key = (atom.left_var, atom.right_var)
+            if key not in pools:
+                return []
+            pools[key].append(atom.pred)
+        sel = {r: [] for r in (r1, r2, r3)}
+        for atom in update.sel_atoms:
+            if atom.rel_var not in sel:
+                return []
+            sel[atom.rel_var].append(atom.pred)
+        if update.contains_atoms:
+            return []
+
+        out: List[T.TorNode] = []
+        budget = self.level + 1
+        for preds12 in _subsets(pools[(r1, r2)], self.level):
+            for preds13 in _subsets(pools[(r1, r3)], self.level):
+                for preds23 in _subsets(pools[(r2, r3)], self.level):
+                    total = len(preds12) + len(preds13) + len(preds23)
+                    if total > budget:
+                        continue
+                    connected = bool(preds12) and bool(preds13 or preds23)
+                    if self.level < 2 and not connected:
+                        continue
+                    sel_budget = max(0, budget - max(2, total))
+                    inner_preds = tuple(preds12)
+                    outer_preds = tuple(
+                        T.JoinFieldCmp("left.%s" % p.left_field, p.op,
+                                       p.right_field) for p in preds13
+                    ) + tuple(
+                        T.JoinFieldCmp("right.%s" % p.left_field, p.op,
+                                       p.right_field) for p in preds23)
+                    for p1 in _subsets(sel[r1], sel_budget):
+                        for p2 in _subsets(sel[r2], sel_budget):
+                            for p3 in _subsets(sel[r3], sel_budget):
+                                inner = T.Join(T.JoinFunc(inner_preds),
+                                               _sigma(tuple(p1), T.Var(r1)),
+                                               _sigma(tuple(p2), T.Var(r2)))
+                                joined = T.Join(T.JoinFunc(outer_preds),
+                                                inner,
+                                                _sigma(tuple(p3),
+                                                       T.Var(r3)))
+                                side_of = {r1: "left.left",
+                                           r2: "left.right", r3: "right"}
+                                out.extend(self._finish(update, joined,
+                                                        side_of))
+        return out
+
+    # -- grouped aggregation ----------------------------------------------------
+
+    def _scoped_aggregate(self, var: str
+                          ) -> Optional[Tuple[Update, Update]]:
+        """Match the per-outer-row accumulator pair (reset + inner agg).
+
+        Returns ``(agg_update, reset_update)`` when ``var`` is reset to
+        zero in an outer scanning loop and counted/summed in a directly
+        nested inner scan — the accumulator of a GROUP BY-shaped nest.
+        """
+        updates = self.features.updates_for(var)
+        if len(updates) != 2:
+            return None
+        # ``n = 0`` classifies as a flag reset (0 == False); a literal
+        # ``track`` of Const(0) never survives that check, so both
+        # spellings of the zero reset are accepted here.
+        resets = [u for u in updates
+                  if not u.guards
+                  and (u.kind == "flag_false"
+                       or (u.kind == "track" and u.elem == T.Const(0)))]
+        aggs = [u for u in updates if u.kind in ("count", "sum")]
+        if len(resets) != 1 or len(aggs) != 1:
+            return None
+        reset, agg = resets[0], aggs[0]
+        agg_chain = self._loop_chain(agg.loop_id)
+        if len(agg_chain) != 2 or agg_chain[0] != reset.loop_id:
+            return None
+        if any(self._scan_of(lid) is None for lid in agg_chain):
+            return None
+        return agg, reset
+
+    def _group_update(self, update: Update) -> Optional[GroupSpec]:
+        """Recognise the GROUP BY accumulation pattern (see GroupSpec)."""
+        if update.kind != "append" or update.join_atoms \
+                or update.contains_atoms:
+            return None
+        if len(update.opaque_guards) != 1 \
+                or not isinstance(update.elem, T.RecordLit):
+            return None
+        guard = update.opaque_guards[0]
+        if not (isinstance(guard, T.BinOp) and guard.op == ">"
+                and guard.right == T.Const(0)
+                and isinstance(guard.left, T.Var)):
+            return None
+        if self._loop_chain(update.loop_id) != [update.loop_id]:
+            return None
+        scan = self._scan_of(update.loop_id)
+        if scan is None:
+            return None
+        counter1, r1 = scan
+
+        scoped = self._scoped_aggregate(guard.left.name)
+        if scoped is None:
+            return None
+        agg_up, _reset = scoped
+        if self._loop_chain(agg_up.loop_id)[0] != update.loop_id:
+            return None
+        counter2, r2 = self._scan_of(agg_up.loop_id)
+        if r2 == r1:
+            return None
+
+        join_preds = tuple(a.pred for a in agg_up.join_atoms
+                           if a.left_var == r1 and a.right_var == r2)
+        if not join_preds or len(join_preds) != len(agg_up.join_atoms):
+            return None
+        sel2 = tuple(a.pred for a in agg_up.sel_atoms if a.rel_var == r2)
+        if len(sel2) != len(agg_up.sel_atoms) or agg_up.opaque_guards \
+                or agg_up.contains_atoms:
+            return None
+
+        if agg_up.kind == "count":
+            agg, agg_field = "count", None
+        else:
+            ref = _as_scan_ref(agg_up.elem, self.features.counters)
+            if ref is None or ref.field is None or ref.rel_var != r2:
+                return None
+            agg, agg_field = "sum", ref.field
+
+        # Element: outer-row key fields, the accumulator last (the
+        # operator appends the aggregate after the keys).
+        key_specs: List[T.FieldSpec] = []
+        out_field: Optional[str] = None
+        for name, value in update.elem.items:
+            if value == T.Var(guard.left.name):
+                if out_field is not None:
+                    return None
+                out_field = name
+                continue
+            if out_field is not None:
+                return None  # aggregate field must come last
+            ref = _as_scan_ref(value, self.features.counters)
+            if ref is None or ref.field is None or ref.rel_var != r1:
+                return None
+            key_specs.append(T.FieldSpec(ref.field, name))
+        if out_field is None:
+            return None
+
+        return GroupSpec(outer_loop=update.loop_id,
+                         inner_loop=agg_up.loop_id,
+                         r1=r1, r2=r2, counter1=counter1, counter2=counter2,
+                         acc=guard.left.name, agg=agg, agg_field=agg_field,
+                         out=out_field, key_specs=tuple(key_specs),
+                         join_preds=join_preds, sel2=sel2)
+
+    def _group_exprs(self, update: Update, spec: GroupSpec
+                     ) -> List[T.TorNode]:
+        """GroupAgg candidates for a recognised grouped accumulation."""
+        sel1 = [a.pred for a in update.sel_atoms if a.rel_var == spec.r1]
+        if len(sel1) != len(update.sel_atoms):
+            return []
+        right = _sigma(spec.sel2, T.Var(spec.r2))
+        out: List[T.TorNode] = []
+        for preds1 in _subsets(sel1, self.level):
+            left = _sigma(tuple(preds1), T.Var(spec.r1))
+            out.append(T.GroupAgg(
+                fields=spec.key_specs, agg=spec.agg,
+                agg_field=spec.agg_field, out=spec.out,
+                pred=T.JoinFunc(spec.join_preds), left=left, right=right))
+        return out
+
+    def _scoped_partial(self, agg_up: Update) -> Optional[T.TorNode]:
+        """The inner-loop invariant value of a scoped aggregate.
+
+        At the head of the inner scan the accumulator equals the
+        aggregate of the matching *prefix* of the inner relation,
+        bound to the outer loop's current row.
+        """
+        spec = None
+        for update in self.features.updates:
+            candidate = self._group_update(update)
+            if candidate is not None and candidate.acc == agg_up.var:
+                spec = candidate
+                break
+        if spec is None:
+            return None
+        elem = T.Get(T.Var(spec.r1), T.Var(spec.counter1))
+        prefix = T.Top(T.Var(spec.r2), T.Var(spec.counter2))
+        matches = group_match_sigma(T.JoinFunc(spec.join_preds), elem,
+                                    _sigma(spec.sel2, prefix))
+        if spec.agg == "count":
+            return T.Size(matches)
+        return T.SumOp(T.Pi((T.FieldSpec(spec.agg_field, spec.agg_field),),
+                            matches))
 
     # -- aggregates / wrappers -------------------------------------------------
 
@@ -408,9 +657,43 @@ class TemplateGenerator:
             choices = self._invariant_exprs_for(var, loop_id)
             if choices:
                 template.eq_choices[var] = choices
+
+        # Grouped accumulations: the inner scan does not modify the
+        # result list, but its invariant must still pin it (the outer
+        # invariant cannot be re-established at inner exit otherwise).
+        for var in self._frozen_group_accumulators(loop_id):
+            if var not in template.eq_choices:
+                choices = self._invariant_exprs_for(var, loop_id)
+                if choices:
+                    template.eq_choices[var] = choices
         return template
 
+    def _frozen_group_accumulators(self, loop_id: str) -> List[str]:
+        """Group-accumulation result vars frozen while ``loop_id`` runs."""
+        out: List[str] = []
+        info = self.features.loops[loop_id]
+        for ancestor in self._loop_chain(loop_id)[:-1]:
+            for var in self.features.loops[ancestor].accumulators:
+                if var in info.modified or var in out:
+                    continue
+                updates = self.features.updates_for(var)
+                if len(updates) == 1 \
+                        and self._group_update(updates[0]) is not None:
+                    out.append(var)
+        return out
+
     def _invariant_exprs_for(self, var: str, loop_id: str) -> List[T.TorNode]:
+        scoped = self._scoped_aggregate(var)
+        if scoped is not None:
+            # Per-outer-row aggregate: pinned to the matching prefix
+            # inside its own loop, unconstrained at the outer head (its
+            # incoming value there is the previous row's final count).
+            agg_up, _reset = scoped
+            if loop_id != agg_up.loop_id:
+                return []
+            partial = self._scoped_partial(agg_up)
+            return [partial] if partial is not None else []
+
         updates = self.features.updates_for(var)
         if len(updates) != 1:
             updates = updates[:1] if updates else []
@@ -423,26 +706,33 @@ class TemplateGenerator:
 
         chain = self._loop_chain(update.loop_id)
         out: List[T.TorNode] = []
-        if loop_id == update.loop_id and len(chain) == 1:
-            counter, rel_var = self._scan_of(loop_id)
-            prefix = T.Top(T.Var(rel_var), T.Var(counter))
-            out = [T.substitute(e, {rel_var: prefix}) for e in full]
-        elif len(chain) == 2 and loop_id == chain[0]:
-            # Outer loop of a nest: completed prefix of the outer scan.
+        if loop_id in chain:
+            # Invariant at nest position t: the completed outer
+            # prefixes plus the partial current rows, one part per
+            # enclosing loop (Fig. 10 rows for t=0, Fig. 12's inner
+            # shape for t=1, and its three-part extension for t=2).
+            t = chain.index(loop_id)
+            scans = [self._scan_of(lid) for lid in chain]
+            parts: List[Dict[str, T.TorNode]] = []
+            for m in range(t + 1):
+                subst: Dict[str, T.TorNode] = {}
+                for k in range(m):
+                    counter_k, rel_k = scans[k]
+                    subst[rel_k] = T.Singleton(
+                        T.Get(T.Var(rel_k), T.Var(counter_k)))
+                counter_m, rel_m = scans[m]
+                subst[rel_m] = T.Top(T.Var(rel_m), T.Var(counter_m))
+                parts.append(subst)
+            for expr in full:
+                out.append(self._combine_parts(expr, parts))
+        elif len(chain) == 1 and chain[0] in self._loop_chain(loop_id) \
+                and self._group_update(update) is not None:
+            # A grouped accumulation is updated in the *outer* loop but
+            # its inner scan's invariant must still pin it: the value is
+            # frozen at the outer prefix while the inner loop runs.
             counter, rel_var = self._scan_of(chain[0])
             prefix = T.Top(T.Var(rel_var), T.Var(counter))
             out = [T.substitute(e, {rel_var: prefix}) for e in full]
-        elif len(chain) == 2 and loop_id == chain[1]:
-            # Inner loop: completed outer prefix + partial current row.
-            o_counter, r1 = self._scan_of(chain[0])
-            i_counter, r2 = self._scan_of(chain[1])
-            done = {r1: T.Top(T.Var(r1), T.Var(o_counter))}
-            current = {
-                r1: T.Singleton(T.Get(T.Var(r1), T.Var(o_counter))),
-                r2: T.Top(T.Var(r2), T.Var(i_counter)),
-            }
-            for expr in full:
-                out.append(self._combine_partial(expr, done, current))
         else:
             return []
 
@@ -454,26 +744,39 @@ class TemplateGenerator:
                 unique.append(expr)
         return unique
 
-    def _combine_partial(self, expr: T.TorNode, done: Dict[str, T.TorNode],
-                         current: Dict[str, T.TorNode]) -> T.TorNode:
-        """``cat(E[done], E[current])`` with scalar aggregates recombined.
+    def _combine_parts(self, expr: T.TorNode,
+                       parts: List[Dict[str, T.TorNode]]) -> T.TorNode:
+        """Combine the per-part substitution instances of ``expr``.
 
-        Relation-valued shapes concatenate; ``size``/``sum`` add;
-        flag shapes (``size > 0``) or-combine via addition of sizes.
+        Relation-valued shapes concatenate (right-associated, matching
+        the prover's normal form); ``size``/``sum`` add; flag shapes
+        (``size(...) > 0``) combine the underlying sizes; ``max``/
+        ``min`` recombine over the concatenated relation.
         """
-        done_part = T.substitute(expr, done)
-        current_part = T.substitute(expr, current)
-        if isinstance(expr, T.Size):
-            return T.BinOp("+", done_part, current_part)
-        if isinstance(expr, T.SumOp):
-            return T.BinOp("+", done_part, current_part)
+        if len(parts) == 1:
+            return T.substitute(expr, parts[0])
+        if isinstance(expr, (T.Size, T.SumOp)):
+            combined = T.substitute(expr, parts[0])
+            for subst in parts[1:]:
+                combined = T.BinOp("+", combined, T.substitute(expr, subst))
+            return combined
         if isinstance(expr, T.BinOp) and isinstance(expr.left, T.Size):
             # size(...) > 0  — combine the underlying sizes.
-            combined = T.BinOp("+", T.Size(T.substitute(expr.left.rel, done)),
-                               T.Size(T.substitute(expr.left.rel, current)))
+            combined = T.Size(T.substitute(expr.left.rel, parts[0]))
+            for subst in parts[1:]:
+                combined = T.BinOp("+", combined,
+                                   T.Size(T.substitute(expr.left.rel,
+                                                       subst)))
             return T.BinOp(expr.op, combined, expr.right)
         if isinstance(expr, (T.MaxOp, T.MinOp)):
-            inner_done = T.substitute(expr.rel, done)
-            inner_current = T.substitute(expr.rel, current)
-            return type(expr)(T.Concat(inner_done, inner_current))
-        return T.Concat(done_part, current_part)
+            return type(expr)(self._cat_fold(
+                [T.substitute(expr.rel, subst) for subst in parts]))
+        return self._cat_fold([T.substitute(expr, subst)
+                               for subst in parts])
+
+    @staticmethod
+    def _cat_fold(instances: List[T.TorNode]) -> T.TorNode:
+        out = instances[-1]
+        for part in reversed(instances[:-1]):
+            out = T.Concat(part, out)
+        return out

@@ -57,16 +57,23 @@ class TransformedFragment:
 def entity_rows(values) -> Tuple[Record, ...]:
     """Normalise original-code results for equivalence comparison.
 
-    The original fragment returns ORM entities (or scalars); the
+    The original fragment returns ORM entities, plain dicts (value
+    objects built by record-literal appends) or scalars; the
     transformed fragment returns plain records.  This helper projects
-    entities down to their records so the two can be compared.
+    everything down to records so the two can be compared.
     """
+    if isinstance(values, (list, tuple)):
+        return tuple(_as_record(v) for v in values)
+    if isinstance(values, set):
+        return tuple(sorted((_as_record(v) for v in values), key=repr))
+    return values
+
+
+def _as_record(value):
     from repro.orm.session import Entity
 
-    if isinstance(values, (list, tuple)):
-        return tuple(v.record if isinstance(v, Entity) else v for v in values)
-    if isinstance(values, set):
-        return tuple(sorted(
-            (v.record if isinstance(v, Entity) else v for v in values),
-            key=repr))
-    return values
+    if isinstance(value, Entity):
+        return value.record
+    if isinstance(value, dict):
+        return Record(value)
+    return value

@@ -25,6 +25,12 @@ probe the same machinery on workloads the corpus under-covers:
   translates to ``SELECT SUM(..) .. WHERE``.
 * **join sum** — a running sum over the matching pairs of a nested-loop
   join; translates to ``SELECT SUM(..)`` over the join.
+* **group count** — a per-outer-row counter flushed into a record list;
+  the GROUP BY-shaped accumulation idiom.  Translates to ``SELECT key,
+  COUNT(*) .. GROUP BY`` (the planner's Aggregate operator).
+* **chain join** — a three-deep nested loop joining ``r -> s -> u``;
+  translates to a three-source query the planner runs as a hash-join
+  chain.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ ADVANCED_TABLES = {
     "r": ("id", "a"),
     "s": ("id", "b"),
     "t": ("id",),
+    "u": ("id", "c"),
 }
 
 
@@ -59,6 +66,12 @@ class AdvancedDaos:
         def get_ids(self):
             """Single-column id table."""
 
+    class UDao(Dao):
+        @query_method("SELECT * FROM u", table="u",
+                      schema=ADVANCED_TABLES["u"], entity="U")
+        def get_us(self):
+            """All rows of u (third link of the chain join)."""
+
 
 class AdvancedService:
     def __init__(self, session: Session):
@@ -66,6 +79,7 @@ class AdvancedService:
         self.r_dao = AdvancedDaos.RDao(session)
         self.s_dao = AdvancedDaos.SDao(session)
         self.t_dao = AdvancedDaos.TDao(session)
+        self.u_dao = AdvancedDaos.UDao(session)
 
     # Sec 7.3 "Hash Joins" — translated.
     def adv_hash_join(self):
@@ -151,12 +165,45 @@ class AdvancedService:
                     total = total + r.id
         return total
 
+    # GROUP BY-shaped accumulation: a per-outer-row counter flushed
+    # into the result list (match counts per r row).  Translates to
+    # SELECT key, COUNT(*) .. GROUP BY.
+    def adv_group_count(self):
+        rs = self.r_dao.get_rs()
+        ss = self.s_dao.get_ss()
+        result = []
+        for r in rs:
+            n = 0
+            for s in ss:
+                if s.b == r.a:
+                    n = n + 1
+            if n > 0:
+                result.append({"a": r.a, "matches": n})
+        return result
+
+    # Three-deep nested-loop join over the r -> s -> u chain.
+    # Translates to a three-source query (a hash-join chain under the
+    # planner).
+    def adv_chain_join(self):
+        rs = self.r_dao.get_rs()
+        ss = self.s_dao.get_ss()
+        us = self.u_dao.get_us()
+        result = []
+        for r in rs:
+            for s in ss:
+                for u in us:
+                    if r.a == s.b:
+                        if s.id == u.c:
+                            result.append({"ra": r.a, "uid": u.id})
+        return result
+
 
 def advanced_mappings() -> MappingRegistry:
     registry = MappingRegistry()
     registry.register(EntityType("R", "r", ADVANCED_TABLES["r"]))
     registry.register(EntityType("S", "s", ADVANCED_TABLES["s"]))
     registry.register(EntityType("T", "t", ADVANCED_TABLES["t"]))
+    registry.register(EntityType("U", "u", ADVANCED_TABLES["u"]))
     return registry
 
 
@@ -166,6 +213,7 @@ def create_advanced_database() -> Database:
         db.create_table(table, columns)
     db.create_index("r", "a")
     db.create_index("s", "b")
+    db.create_index("u", "c")
     return db
 
 

@@ -222,6 +222,13 @@ ADVANCED_FRAGMENTS: List[CorpusFragment] = [
     CorpusFragment("adv_joinsum", "advanced", "JoinSum", 0, "agg-join",
                    X, None, "adv_join_sum",
                    "running SUM over a nested-loop join"),
+    CorpusFragment("adv_groupcnt", "advanced", "GroupCount", 0, "group-by",
+                   X, None, "adv_group_count",
+                   "per-outer-row counter flushed into a record list "
+                   "(GROUP BY accumulation)"),
+    CorpusFragment("adv_chain", "advanced", "ChainJoin", 0, "chain-join",
+                   X, None, "adv_chain_join",
+                   "three-table nested-loop join (hash-join chain)"),
 ]
 
 ALL_FRAGMENTS: List[CorpusFragment] = (

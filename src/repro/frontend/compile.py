@@ -418,7 +418,23 @@ class PythonFrontend:
         single-field record so the accumulated relation matches the
         output of the TOR projection operator — single-column rows, as
         SELECT DISTINCT id would produce.
+
+        A dict literal with constant string keys builds a record
+        (``result.append({"user_id": u.id, "n": n})`` — the Java idiom
+        of accumulating value objects).  Dicts used as *containers*
+        (assigned, mutated through subscripts) remain rejected.
         """
+        if isinstance(node, ast.Dict):
+            items = []
+            for key, value in zip(node.keys, node.values):
+                if not (isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)):
+                    raise FrontendRejection(
+                        "record literals need constant string field names")
+                items.append((key.value, self._expr(value, state)))
+            if not items:
+                raise FrontendRejection("empty record literal")
+            return T.RecordLit(tuple(items))
         expr = self._expr(node, state)
         if isinstance(expr, T.FieldAccess) and isinstance(expr.expr, T.Get):
             return T.RecordLit(((expr.field, expr),))

@@ -20,7 +20,7 @@ import os
 import tempfile
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.service.jobs import JOB_SCHEMA_VERSION, QBSJob
 
@@ -146,6 +146,50 @@ class ResultCache:
             except OSError:
                 pass
         return removed
+
+    def gc(self, max_bytes: int) -> Dict[str, int]:
+        """Evict oldest entries until the cache fits ``max_bytes``.
+
+        Entries are removed oldest-modification-time first (the
+        closest thing to LRU a one-file-per-key store offers without a
+        side index), so a recently warmed corpus survives a size-capped
+        sweep.  Returns eviction accounting for the CLI.
+        """
+        entries: List[Tuple[float, int, str]] = []
+        total = 0
+        if os.path.isdir(self.root):
+            for shard in os.listdir(self.root):
+                shard_dir = os.path.join(self.root, shard)
+                if not os.path.isdir(shard_dir):
+                    continue
+                for name in os.listdir(shard_dir):
+                    if not name.endswith(".json"):
+                        continue
+                    path = os.path.join(shard_dir, name)
+                    try:
+                        stat = os.stat(path)
+                    except OSError:
+                        continue
+                    entries.append((stat.st_mtime, stat.st_size, path))
+                    total += stat.st_size
+        removed = 0
+        freed = 0
+        for mtime, size, path in sorted(entries):
+            if total - freed <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+            try:
+                os.rmdir(os.path.dirname(path))
+            except OSError:
+                pass  # shard not empty (the common case)
+        return {"removed": removed, "freed_bytes": freed,
+                "remaining_entries": len(entries) - removed,
+                "remaining_bytes": total - freed}
 
     def info(self) -> Dict[str, Any]:
         """Summary used by the CLI's ``cache info`` / ``status``."""

@@ -4,18 +4,25 @@ Subcommands::
 
     repro-qbs run     # run fragments through the scheduler + cache
     repro-qbs status  # corpus coverage of the current cache
-    repro-qbs cache   # cache maintenance: info | list | clear
+    repro-qbs cache   # cache maintenance: info | list | clear | gc
 
 ``run`` prints the Appendix-A style marker table (X translated,
 * failed, † rejected) with per-fragment timing, cache provenance and
 the inferred SQL, then the Fig. 13 summary counts.  ``--check`` makes
 mismatches against the paper's expected outcomes (and failed jobs)
 exit non-zero, which is what ``make serve-smoke`` relies on.
+``--json`` swaps the table for a machine-consumable JSON document (one
+entry per fragment, carrying the ``QBSResult.to_json_dict`` payload).
+
+``cache gc --max-bytes N`` evicts oldest-modification-time entries
+until the store fits the budget — the persistent cache otherwise grows
+without bound across corpus versions.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections import Counter
 from typing import List, Optional
@@ -76,6 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "computed (cache-regression canary)")
     run.add_argument("--quiet", action="store_true",
                      help="summary only, no per-fragment table")
+    run.add_argument("--json", action="store_true", dest="json_output",
+                     help="emit one JSON document (per-fragment results "
+                          "+ summary) instead of the table")
 
     status = sub.add_parser("status",
                             help="cache coverage of the corpus")
@@ -83,7 +93,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_args(status)
 
     cache = sub.add_parser("cache", help="cache maintenance")
-    cache.add_argument("action", choices=("info", "list", "clear"))
+    cache.add_argument("action", nargs="?", default="info",
+                       choices=("info", "list", "clear", "gc"))
+    cache.add_argument("--gc", action="store_true", dest="gc_flag",
+                       help="alias for the gc action (repro-qbs cache "
+                            "--gc --max-bytes N)")
+    cache.add_argument("--max-bytes", type=int, default=None,
+                       metavar="N",
+                       help="size budget for gc; oldest entries are "
+                            "evicted until the store fits")
     _add_cache_args(cache)
     return parser
 
@@ -126,6 +144,9 @@ def cmd_run(args) -> int:
                           cache=cache, options=QBSOptions(),
                           refresh=args.refresh)
     report = scheduler.run(fragments)
+
+    if args.json_output:
+        return _emit_run_json(args, fragments, report)
 
     if not args.quiet:
         print("%-12s %-30s %-10s %-2s %-6s %8s  %s" % (
@@ -181,6 +202,52 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _emit_run_json(args, fragments, report) -> int:
+    """``run --json``: one machine-consumable document on stdout."""
+    entries = []
+    mismatches = 0
+    for corpus_fragment, outcome in zip(fragments, report.outcomes):
+        entry = {
+            "fragment_id": corpus_fragment.fragment_id,
+            "app": corpus_fragment.app,
+            "java_class": corpus_fragment.java_class,
+            "line": corpus_fragment.line,
+            "category": corpus_fragment.category,
+            "expected": corpus_fragment.expected.value,
+            "ok": outcome.ok,
+            "from_cache": outcome.from_cache,
+            "elapsed_seconds": outcome.elapsed_seconds,
+            "result": outcome.result.to_json_dict() if outcome.ok else None,
+            "error": outcome.error or None,
+        }
+        entry["matches_expected"] = bool(
+            outcome.ok
+            and outcome.result.status is corpus_fragment.expected)
+        # Same definition as the table path: a crashed/timed-out job is
+        # a failed job, not a disagreement with the paper's table.
+        if outcome.ok and not entry["matches_expected"]:
+            mismatches += 1
+        entries.append(entry)
+    document = {
+        "fragments": entries,
+        "summary": {
+            "fragments": len(report.outcomes),
+            "wall_seconds": report.wall_seconds,
+            "computed": report.computed,
+            "cache_hits": report.cache_hits,
+            "failed_jobs": report.failed,
+            "workers": args.workers,
+            "mismatches": mismatches,
+        },
+    }
+    print(json.dumps(document, indent=1, sort_keys=True))
+    if args.check and (mismatches or report.failed):
+        return 1
+    if args.expect_cached and report.cache_hits < len(report.outcomes):
+        return 1
+    return 0
+
+
 def _print_cache_info(info) -> None:
     print("cache root   : %s" % info["root"])
     print("entries      : %d (%.1f KiB)" % (info["entries"],
@@ -214,10 +281,31 @@ def cmd_status(args) -> int:
 
 def cmd_cache(args) -> int:
     cache = ResultCache(args.cache_dir)
-    if args.action == "info":
+    if args.gc_flag and args.action not in ("info", "gc"):
+        # "info" is just the positional default; an explicit different
+        # action combined with --gc is contradictory, not overridable.
+        print("error: --gc conflicts with the %r action" % args.action,
+              file=sys.stderr)
+        return 2
+    action = "gc" if args.gc_flag else args.action
+    if action == "gc":
+        if args.max_bytes is None or args.max_bytes < 0:
+            print("error: cache gc needs --max-bytes N (N >= 0)",
+                  file=sys.stderr)
+            return 2
+        accounting = cache.gc(args.max_bytes)
+        print("evicted %d entr%s (%.1f KiB); %d left (%.1f KiB) in %s"
+              % (accounting["removed"],
+                 "y" if accounting["removed"] == 1 else "ies",
+                 accounting["freed_bytes"] / 1024.0,
+                 accounting["remaining_entries"],
+                 accounting["remaining_bytes"] / 1024.0,
+                 cache.root))
+        return 0
+    if action == "info":
         _print_cache_info(cache.info())
         return 0
-    if args.action == "list":
+    if action == "list":
         for entry in sorted(cache.entries(),
                             key=lambda e: e.get("fragment_id", "")):
             result = entry.get("result") or {}

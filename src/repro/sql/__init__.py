@@ -7,25 +7,32 @@ honest SQL engine with
 
 * a lexer/parser for the SQL subset QBS emits (SELECT with DISTINCT,
   multi-table FROM, WHERE conjunctions, IN subqueries, aggregates,
-  COUNT(*) comparisons, ORDER BY including the hidden ``_rowid``
-  storage order, LIMIT, named parameters);
+  COUNT(*) comparisons, GROUP BY / HAVING, ORDER BY including the
+  hidden ``_rowid`` storage order, LIMIT, named parameters);
 * a catalog of tables with insertion-ordered rows and hash indexes;
-* a planner that pushes selection predicates into scans, uses indexes
-  for equality lookups, and — crucially for Fig. 14c — implements
-  equality joins as hash joins (O(n)) rather than nested loops (O(n²));
+* a query planner (:mod:`repro.sql.plan`) with an explicit logical plan
+  IR, a rule optimizer that pushes selection predicates into scans,
+  chooses index scans for equality lookups, and — crucially for
+  Fig. 14c — orders equality joins into build/probe hash-join chains
+  (O(n)) rather than nested loops (O(n²)), plus an EXPLAIN printer;
 * an executor with per-query statistics (rows scanned, index probes)
-  that the benchmarks report alongside wall-clock time.
+  and per-operator cardinalities that the benchmarks report alongside
+  wall-clock time; the seed single-pass pipeline remains available as
+  ``ExecutorOptions(planner=False)``.
 
 The engine preserves insertion order for unordered scans, which is the
 "record order in the database" that the ``Order`` function of Fig. 9
-relies on.
+relies on; GROUP BY emits groups in first-encounter order, the grouped
+analogue of the same guarantee.
 """
 
 from repro.sql.database import Database, QueryResult
 from repro.sql.errors import SQLError, SQLParseError, SQLExecutionError
+from repro.sql.executor import ExecutorOptions
 
 __all__ = [
     "Database",
+    "ExecutorOptions",
     "QueryResult",
     "SQLError",
     "SQLParseError",

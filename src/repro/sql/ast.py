@@ -3,7 +3,8 @@
 Grammar (informally)::
 
     select    ::= SELECT [DISTINCT] items FROM sources
-                  [WHERE expr] [ORDER BY orders] [LIMIT int]
+                  [WHERE expr] [GROUP BY exprs [HAVING expr]]
+                  [ORDER BY orders] [LIMIT int]
     items     ::= item ("," item)*
     item      ::= "*" | alias ".*" | expr [AS name]
     sources   ::= source ("," source)*
@@ -126,6 +127,8 @@ class Select:
     items: Tuple[SelectItem, ...]
     sources: Tuple[Source, ...]
     where: Optional[Expr] = None
+    group_by: Tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
     order_by: Tuple[OrderItem, ...] = ()
     limit: Optional[int] = None
     distinct: bool = False

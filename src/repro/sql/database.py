@@ -5,7 +5,12 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Optional
 
 from repro.sql.catalog import Catalog, Table
-from repro.sql.executor import ExecutionStats, Executor, QueryResult
+from repro.sql.executor import (
+    ExecutionStats,
+    Executor,
+    ExecutorOptions,
+    QueryResult,
+)
 from repro.sql.parser import parse
 from repro.tor import ast as T
 
@@ -18,11 +23,15 @@ class Database:
     >>> db.insert("users", {"id": 1, "name": "alice"})
     >>> [r.name for r in db.execute("SELECT * FROM users")]
     ['alice']
+
+    ``options`` selects the execution mode: the planning engine by
+    default, the seed single-pass pipeline with
+    ``ExecutorOptions(planner=False)``.
     """
 
-    def __init__(self):
+    def __init__(self, options: Optional[ExecutorOptions] = None):
         self.catalog = Catalog()
-        self.executor = Executor(self.catalog)
+        self.executor = Executor(self.catalog, options)
         self._plan_cache: Dict[str, Any] = {}
         #: cumulative statistics across every executed query.
         self.total_stats = ExecutionStats()
@@ -56,6 +65,15 @@ class Database:
         result = self.executor.execute(plan, params)
         self._accumulate(result.stats)
         return result
+
+    def explain(self, sql: str, params: Optional[Dict[str, Any]] = None,
+                analyze: bool = False) -> str:
+        """EXPLAIN one SELECT: the optimizer's physical operator tree.
+
+        With ``analyze=True`` the query is executed and each operator
+        line reports its observed output cardinality.
+        """
+        return self.executor.explain(parse(sql), params, analyze=analyze)
 
     def _accumulate(self, stats: ExecutionStats) -> None:
         total = self.total_stats

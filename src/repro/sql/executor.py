@@ -1,20 +1,32 @@
-"""Query planning and execution.
+"""Query execution: plan-then-execute, with the seed pipeline as a mode.
 
-The planner is deliberately simple but reproduces the optimizations the
-paper credits the database with (Sec. 7.2):
+The default path parses a SELECT into a **logical plan**, optimizes it
+(predicate pushdown, index-scan selection, hash-join-chain ordering —
+see :mod:`repro.sql.plan`) and runs the resulting physical operators.
+This reproduces — now as explicit, EXPLAIN-able plan choices — the
+optimizations the paper credits the database with (Sec. 7.2):
 
 * **selection pushdown** — single-source WHERE conjuncts filter during
   the scan, using a hash index when one exists and the predicate is an
   equality with a constant;
 * **hash joins** — an equality predicate between two sources turns the
   pairing into a build/probe hash join (O(n + m)) instead of a nested
-  loop (O(n * m)); this is the asymptotic difference behind Fig. 14c;
+  loop (O(n * m)); this is the asymptotic difference behind Fig. 14c,
+  and the planner chains it across any number of aliases;
 * **aggregate short-circuit** — COUNT/SUM/MAX/MIN queries return a
   single value without materialising entity objects, the effect behind
-  Fig. 14d.
+  Fig. 14d; with GROUP BY, groups are produced in first-encounter
+  order (the ordered-relation semantics of the engine).
+
+``ExecutorOptions(planner=False)`` keeps the seed single-pass pipeline
+(mode flags, not forks — same convention as ``SynthesisOptions``); the
+two modes are asserted row-identical by the regression suite.  GROUP BY
+and HAVING exist only in the planned path.
 
 Execution statistics (rows scanned, index probes, join strategies) are
-collected per query so benchmarks can report work alongside time.
+collected per query so benchmarks can report work alongside time; the
+physical operators additionally record per-operator cardinalities that
+``EXPLAIN ... analyze`` surfaces.
 """
 
 from __future__ import annotations
@@ -43,6 +55,25 @@ class ExecutionStats:
 
 
 @dataclass
+class ExecutorOptions:
+    """Execution-mode flags (mode flags, not forks).
+
+    ``planner``
+        Plan-then-execute through :mod:`repro.sql.plan` (the default).
+        ``False`` runs the seed single-pass pipeline; GROUP BY / HAVING
+        are rejected there, everything else is row-identical.
+    ``index_scans`` / ``hash_joins``
+        Optimizer rule toggles, used by the planner benchmarks to
+        measure each rule's contribution.  Ignored by the seed path
+        (which always applies both, as it always did).
+    """
+
+    planner: bool = True
+    index_scans: bool = True
+    hash_joins: bool = True
+
+
+@dataclass
 class QueryResult:
     """Rows plus metadata returned by :meth:`Database.execute`."""
 
@@ -68,8 +99,10 @@ class QueryResult:
 class Executor:
     """Executes parsed SELECT statements against a catalog."""
 
-    def __init__(self, catalog: Catalog):
+    def __init__(self, catalog: Catalog,
+                 options: Optional[ExecutorOptions] = None):
         self.catalog = catalog
+        self.options = options or ExecutorOptions()
 
     # -- public entry ----------------------------------------------------------
 
@@ -78,7 +111,41 @@ class Executor:
                 stats: Optional[ExecutionStats] = None) -> QueryResult:
         params = params or {}
         stats = stats if stats is not None else ExecutionStats()
+        if self.options.planner:
+            plan = self._plan(select)
+            return plan.execute(self, params, stats)
+        return self._execute_legacy(select, params, stats)
 
+    def explain(self, select: S.Select,
+                params: Optional[Dict[str, Any]] = None,
+                analyze: bool = False) -> str:
+        """EXPLAIN: the physical plan as an operator tree.
+
+        ``analyze=True`` executes the plan first so every line carries
+        the operator's observed output cardinality.
+        """
+        from repro.sql.plan import render
+
+        plan = self._plan(select)
+        if analyze:
+            plan.execute(self, params or {}, ExecutionStats())
+        return render(plan.root, analyze=analyze)
+
+    def _plan(self, select: S.Select):
+        from repro.sql.plan import OptimizerOptions, plan_select
+
+        return plan_select(select, self.catalog, OptimizerOptions(
+            index_scans=self.options.index_scans,
+            hash_joins=self.options.hash_joins))
+
+    # -- the seed pipeline (ExecutorOptions(planner=False)) --------------------
+
+    def _execute_legacy(self, select: S.Select, params: Dict[str, Any],
+                        stats: ExecutionStats) -> QueryResult:
+        if select.group_by or select.having is not None:
+            raise SQLExecutionError(
+                "GROUP BY / HAVING require the planner "
+                "(ExecutorOptions(planner=True))")
         sources = [self._resolve_source(src, params, stats)
                    for src in select.sources]
         conjuncts = _flatten_and(select.where)

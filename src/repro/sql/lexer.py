@@ -9,7 +9,8 @@ from typing import Iterator, List
 from repro.sql.errors import SQLParseError
 
 KEYWORDS = {
-    "SELECT", "DISTINCT", "FROM", "WHERE", "ORDER", "BY", "LIMIT",
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "HAVING",
+    "ORDER", "BY", "LIMIT",
     "AS", "AND", "OR", "NOT", "IN", "ASC", "DESC", "TRUE", "FALSE",
     "NULL", "COUNT", "SUM", "MAX", "MIN", "AVG", "EXISTS",
 }

@@ -81,6 +81,16 @@ class _Parser:
         where = None
         if self.accept_keyword("WHERE"):
             where = self.expr()
+        group_by: Tuple[S.Expr, ...] = ()
+        having = None
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            groups = [self.expr()]
+            while self.accept_op(","):
+                groups.append(self.expr())
+            group_by = tuple(groups)
+            if self.accept_keyword("HAVING"):
+                having = self.expr()
         order_by: Tuple[S.OrderItem, ...] = ()
         if self.accept_keyword("ORDER"):
             self.expect_keyword("BY")
@@ -94,8 +104,8 @@ class _Parser:
                 raise SQLParseError("LIMIT expects an integer")
             limit = int(self.advance().value)
         return S.Select(items=tuple(items), sources=tuple(sources),
-                        where=where, order_by=order_by, limit=limit,
-                        distinct=distinct)
+                        where=where, group_by=group_by, having=having,
+                        order_by=order_by, limit=limit, distinct=distinct)
 
     def select_item(self) -> S.SelectItem:
         if self.accept_op("*"):

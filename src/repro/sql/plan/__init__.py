@@ -1,0 +1,44 @@
+"""Query planning: logical plans, the rule optimizer, physical operators.
+
+The subsystem behind ``ExecutorOptions(planner=True)``:
+
+* :mod:`repro.sql.plan.logical` — the logical plan IR and the
+  ``Select`` -> logical-tree builder;
+* :mod:`repro.sql.plan.optimizer` — predicate pushdown, index-scan
+  selection and hash-join-chain ordering;
+* :mod:`repro.sql.plan.physical` — executable operators with
+  per-operator statistics;
+* :mod:`repro.sql.plan.explain` — the EXPLAIN tree printer.
+
+``plan_select`` is the one-call facade the executor uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sql import ast as S
+from repro.sql.catalog import Catalog
+from repro.sql.plan.explain import render
+from repro.sql.plan.logical import LogicalPlan, build_logical
+from repro.sql.plan.optimizer import OptimizerOptions, optimize
+from repro.sql.plan.physical import PhysicalPlan, lower
+
+__all__ = [
+    "LogicalPlan",
+    "OptimizerOptions",
+    "PhysicalPlan",
+    "build_logical",
+    "lower",
+    "optimize",
+    "plan_select",
+    "render",
+]
+
+
+def plan_select(select: S.Select, catalog: Catalog,
+                options: Optional[OptimizerOptions] = None) -> PhysicalPlan:
+    """Build, optimize and lower the plan for one SELECT."""
+    logical = build_logical(select)
+    optimized = optimize(logical, catalog, options)
+    return PhysicalPlan(lower(optimized))

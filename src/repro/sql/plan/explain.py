@@ -1,0 +1,40 @@
+"""EXPLAIN: render a physical plan as an indented operator tree.
+
+``render`` produces the static plan; after :meth:`PhysicalPlan.execute`
+has run (or via ``Database.explain(sql, analyze=True)``) each line also
+carries the operator's observed output cardinality — per-operator
+execution statistics in the style of ``EXPLAIN ANALYZE``::
+
+    Project(t0.login, t2.descriptor_name)  [rows=7]
+     └─ HashJoin(t2.role_id = t1.role_id)  [rows=7]
+         ├─ HashJoin(t0.role_id = t1.role_id)  [rows=9]
+         │   ├─ FullScan(participant AS t0)  [rows=9]
+         │   └─ FullScan(role AS t1)  [rows=3]
+         └─ IndexScan(role_descriptor AS t2, role_id = 1)  [rows=4]
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sql.plan.physical import PhysicalOp
+
+
+def render(root: PhysicalOp, analyze: bool = False) -> str:
+    """Render the operator tree rooted at ``root``."""
+    lines: List[str] = []
+
+    def emit(op: PhysicalOp, prefix: str, child_prefix: str) -> None:
+        body = op.describe()
+        if analyze and op.rows_out is not None:
+            body += "  [rows=%d]" % op.rows_out
+        lines.append(prefix + body)
+        children = op.children
+        for index, child in enumerate(children):
+            last = index == len(children) - 1
+            connector = " └─ " if last else " ├─ "
+            extension = "    " if last else " │  "
+            emit(child, child_prefix + connector, child_prefix + extension)
+
+    emit(root, "", "")
+    return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""Rule-based logical-plan optimizer.
+
+Three rewrites, applied in order:
+
+1. **Predicate pushdown** — the WHERE conjunction is split; conjuncts
+   that mention a single source move into that source's :class:`Scan`,
+   conjuncts of the form ``a.x = b.y`` become join-predicate candidates,
+   everything else stays in a residual :class:`Filter` above the joins.
+
+2. **Index-scan selection** — the first pushed conjunct of the form
+   ``alias.col = constant/parameter`` whose column carries a hash index
+   turns the scan into an index probe (``Scan.index``); the remaining
+   pushed conjuncts filter the probed rows.
+
+3. **Join ordering** — sources are joined left-deep in FROM order; each
+   new source connects to the joined prefix through the first available
+   equality predicate, making the pairing a build/probe hash join.  This
+   generalizes the single-alias hash-join fast path to *chains* of
+   hash joins (``A ⋈ B ⋈ C`` runs as two O(n) build/probe passes).
+   Sources with no connecting predicate fall back to a nested-loop
+   cross product; unused join predicates degrade to residual filters.
+
+The classification logic deliberately mirrors the legacy executor's
+(`Executor._classify` / `_join_all`), so ``ExecutorOptions(planner=True)``
+and ``planner=False`` are row-for-row identical — the planner makes the
+same decisions *explicitly*, inspectable through EXPLAIN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sql import ast as S
+from repro.sql.catalog import Catalog
+from repro.sql.errors import SQLExecutionError
+from repro.sql.executor import (
+    Executor,
+    _aliases_used,
+    _default_name,
+    _flatten_and,
+)
+from repro.sql.plan import logical as L
+
+
+@dataclass
+class OptimizerOptions:
+    """Rule toggles (ablation knobs for benchmarks and EXPLAIN tests)."""
+
+    index_scans: bool = True
+    hash_joins: bool = True
+    predicate_pushdown: bool = True
+
+
+def optimize(plan: L.LogicalPlan, catalog: Catalog,
+             options: Optional[OptimizerOptions] = None) -> L.LogicalPlan:
+    """Apply the rewrite rules to a freshly built logical tree."""
+    options = options or OptimizerOptions()
+
+    # Locate the Filter-over-joins segment the rules operate on.
+    #  The builder produces  wrappers* -> [Filter] -> (Join* | Scan).
+    wrappers: List[L.LogicalPlan] = []
+    node = plan
+    while isinstance(node, (L.Limit, L.Distinct, L.Project, L.Sort,
+                            L.Aggregate)):
+        wrappers.append(node)
+        node = node.children()[0]
+
+    conjuncts: List[S.Expr] = []
+    if isinstance(node, L.Filter):
+        for pred in node.predicates:
+            conjuncts.extend(_flatten_and(pred))
+        node = node.child
+
+    scans = _collect_scans(node)
+    pushed, join_pool, residual = _classify(conjuncts, scans, catalog,
+                                            options)
+
+    for scan in scans:
+        scan.predicates = tuple(pushed.get(scan.alias, ()))
+        if options.index_scans:
+            _select_index(scan, catalog)
+
+    joined = _order_joins(scans, join_pool, residual, options)
+    if residual:
+        joined = L.Filter(joined, predicates=tuple(residual))
+
+    # Re-attach the wrappers, innermost last.
+    for wrapper in reversed(wrappers):
+        _set_child(wrapper, joined)
+        joined = wrapper
+    return joined
+
+
+def _collect_scans(node: L.LogicalPlan) -> List[L.Scan]:
+    """The scans of a left-deep join chain, in FROM order."""
+    if isinstance(node, L.Scan):
+        return [node]
+    if isinstance(node, L.Join):
+        return _collect_scans(node.left) + [node.right]
+    raise TypeError("unexpected logical node %r under Filter" % (node,))
+
+
+def _classify(conjuncts: Sequence[S.Expr], scans: Sequence[L.Scan],
+              catalog: Catalog, options: OptimizerOptions
+              ) -> Tuple[Dict[str, List[S.Expr]],
+                         List[Tuple[str, str, S.BinOp]], List[S.Expr]]:
+    """Split WHERE conjuncts into pushed / join / residual groups."""
+    aliases = {scan.alias for scan in scans}
+    by_column: Dict[str, str] = {}
+    for scan in scans:
+        for column in _scan_columns(scan, catalog):
+            by_column.setdefault(column, scan.alias)
+
+    pushed: Dict[str, List[S.Expr]] = {}
+    join_pool: List[Tuple[str, str, S.BinOp]] = []
+    residual: List[S.Expr] = []
+    for pred in conjuncts:
+        used = _aliases_used(pred, aliases, by_column)
+        if used is None or not options.predicate_pushdown:
+            residual.append(pred)
+        elif len(used) <= 1:
+            alias = next(iter(used), scans[0].alias)
+            pushed.setdefault(alias, []).append(pred)
+        elif len(used) == 2 and isinstance(pred, S.BinOp) \
+                and pred.op == "=":
+            a, b = sorted(used)
+            join_pool.append((a, b, pred))
+        else:
+            residual.append(pred)
+    return pushed, join_pool, residual
+
+
+def _scan_columns(scan: L.Scan, catalog: Catalog) -> Tuple[str, ...]:
+    """Column names a scan will expose (for bare-column resolution).
+
+    Matches what the executor resolves at run time: catalog columns for
+    base tables, statically expanded select-list names for subqueries.
+    """
+    if scan.subquery is not None:
+        return static_output_columns(scan.subquery, catalog)
+    try:
+        return catalog.table(scan.table).columns
+    except SQLExecutionError:
+        return ()
+
+
+def static_output_columns(select: S.Select, catalog: Catalog
+                          ) -> Tuple[str, ...]:
+    """Output column names of a SELECT, derived without executing it.
+
+    Reproduces the executor's projection naming (``AS`` names, default
+    names, ``*`` expansion in source order, ``_2`` de-duplication).
+    """
+    source_cols: List[Tuple[str, Tuple[str, ...]]] = []
+    for src in select.sources:
+        if isinstance(src, S.TableSource):
+            try:
+                cols = catalog.table(src.table).columns
+            except SQLExecutionError:
+                cols = ()
+            source_cols.append((src.alias, cols))
+        else:
+            source_cols.append(
+                (src.alias, static_output_columns(src.query, catalog)))
+
+    columns: List[str] = []
+    for item in select.items:
+        if isinstance(item.expr, S.Star):
+            for alias, cols in source_cols:
+                if item.expr.alias in (None, alias):
+                    for column in cols:
+                        columns.append(Executor._fresh_name(column, columns))
+        else:
+            name = item.as_name or _default_name(item.expr)
+            columns.append(Executor._fresh_name(name, columns))
+    return tuple(columns)
+
+
+def _select_index(scan: L.Scan, catalog: Catalog) -> None:
+    """Pick the first pushed ``col = const`` predicate with an index."""
+    if scan.table is None:
+        return
+    table = catalog.table(scan.table)
+    for pred in scan.predicates:
+        probe = _index_probe_expr(pred, table.indexes)
+        if probe is not None:
+            scan.index = probe + (pred,)
+            return
+
+
+def _index_probe_expr(pred: S.Expr, indexes
+                      ) -> Optional[Tuple[str, S.Expr]]:
+    """Match ``alias.col = constant`` against the table's indexes."""
+    if not isinstance(pred, S.BinOp) or pred.op != "=":
+        return None
+    for col_side, val_side in ((pred.left, pred.right),
+                               (pred.right, pred.left)):
+        if isinstance(col_side, S.ColumnRef) and isinstance(
+                val_side, (S.Literal, S.Param)):
+            if col_side.column in indexes:
+                return col_side.column, val_side
+    return None
+
+
+def _order_joins(scans: List[L.Scan],
+                 join_pool: List[Tuple[str, str, S.BinOp]],
+                 residual: List[S.Expr],
+                 options: OptimizerOptions) -> L.LogicalPlan:
+    """Left-deep join chain; connectors taken greedily in FROM order."""
+    plan: L.LogicalPlan = scans[0]
+    joined_aliases = {scans[0].alias}
+    remaining = list(join_pool)
+    for scan in scans[1:]:
+        connector = None
+        if options.hash_joins:
+            for entry in remaining:
+                a, b, pred = entry
+                if {a, b} & joined_aliases and scan.alias in (a, b):
+                    connector = entry
+                    break
+        if connector is not None:
+            remaining.remove(connector)
+            plan = L.Join(plan, scan, strategy="hash",
+                          predicate=connector[2])
+        else:
+            plan = L.Join(plan, scan, strategy="nested")
+        joined_aliases.add(scan.alias)
+    # Join predicates that found no slot in the chain become filters,
+    # evaluated after the joins exactly like the legacy executor does.
+    residual.extend(pred for _, _, pred in remaining)
+    return plan
+
+
+def _set_child(wrapper: L.LogicalPlan, child: L.LogicalPlan) -> None:
+    if isinstance(wrapper, (L.Filter, L.Aggregate, L.Sort, L.Project,
+                            L.Distinct, L.Limit)):
+        wrapper.child = child
+    else:  # pragma: no cover - builder produces no other wrappers
+        raise TypeError("cannot re-parent %r" % (wrapper,))

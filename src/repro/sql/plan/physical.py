@@ -1,0 +1,636 @@
+"""Physical operators: the executable form of an optimized plan.
+
+Lowering (:func:`lower`) maps each logical node onto an operator object:
+
+* ``Scan``      -> :class:`FullScanOp` / :class:`IndexScanOp` /
+                   :class:`SubqueryScanOp`
+* ``Join``      -> :class:`HashJoinOp` / :class:`NestedLoopJoinOp`
+* ``Filter``    -> :class:`FilterOp`
+* ``Sort``      -> :class:`SortOp` (heap top-k selection when the
+                   optimizer attached a LIMIT bound)
+* ``Aggregate`` -> :class:`AggregateOp` (GROUP BY grouping in
+                   first-encounter order, HAVING, aggregate projection)
+* ``Project`` / ``Distinct`` / ``Limit`` -> the matching row operators
+
+Operators delegate scalar/aggregate expression evaluation to the owning
+:class:`~repro.sql.executor.Executor`, so both executor modes share one
+expression semantics.  Each operator records its output cardinality in
+``rows_out`` (per-operator execution statistics), which the EXPLAIN
+printer surfaces in ``analyze`` mode; engine-wide counters still go to
+the familiar :class:`~repro.sql.executor.ExecutionStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sql import ast as S
+from repro.sql.errors import SQLExecutionError
+from repro.sql.executor import (
+    Env,
+    QueryResult,
+    _apply_op,
+    _default_name,
+    _ScannedSource,
+    _truthy,
+)
+from repro.sql.plan import logical as L
+from repro.tor.values import Record
+
+
+@dataclass
+class _Ctx:
+    """Per-execution state threaded through the operator tree."""
+
+    executor: Any                       # repro.sql.executor.Executor
+    params: Dict[str, Any]
+    stats: Any                          # ExecutionStats (engine-wide)
+    scanned: List[_ScannedSource] = None
+
+    def __post_init__(self):
+        if self.scanned is None:
+            self.scanned = []
+
+
+class PhysicalOp:
+    """Base class: explain metadata plus per-operator statistics."""
+
+    name = "op"
+
+    def __init__(self):
+        self.rows_out: Optional[int] = None
+
+    @property
+    def children(self) -> Tuple["PhysicalOp", ...]:
+        return ()
+
+    def describe(self) -> str:
+        return self.name
+
+
+# -- scans -------------------------------------------------------------------
+
+
+class ScanOp(PhysicalOp):
+    """Base scan: produces a filtered :class:`_ScannedSource`."""
+
+    def __init__(self, alias: str, predicates: Tuple[S.Expr, ...]):
+        super().__init__()
+        self.alias = alias
+        self.predicates = predicates
+
+    def scanned(self, ctx: _Ctx) -> _ScannedSource:
+        source = self._rows(ctx)
+        if self.predicates:
+            executor = ctx.executor
+            filtered = []
+            for rowid, record in source.rows:
+                env = {self.alias: (rowid, record)}
+                if all(_truthy(executor._eval(p, env, ctx.params, ctx.stats))
+                       for p in self.predicates):
+                    filtered.append((rowid, record))
+            source = _ScannedSource(alias=source.alias,
+                                    columns=source.columns,
+                                    rows=filtered, table=source.table)
+        self.rows_out = len(source.rows)
+        ctx.scanned.append(source)
+        return source
+
+    def _rows(self, ctx: _Ctx) -> _ScannedSource:
+        raise NotImplementedError
+
+
+class FullScanOp(ScanOp):
+    name = "FullScan"
+
+    def __init__(self, table: str, alias: str,
+                 predicates: Tuple[S.Expr, ...]):
+        super().__init__(alias, predicates)
+        self.table = table
+
+    def describe(self) -> str:
+        body = "%s(%s AS %s)" % (self.name, self.table, self.alias)
+        if self.predicates:
+            body += " filter=%d" % len(self.predicates)
+        return body
+
+    def _rows(self, ctx: _Ctx) -> _ScannedSource:
+        table = ctx.executor.catalog.table(self.table)
+        candidate = list(enumerate(table.rows))
+        ctx.stats.rows_scanned += len(candidate)
+        ctx.stats.full_scans += 1
+        table.rows_scanned += len(candidate)
+        return _ScannedSource(alias=self.alias, columns=table.columns,
+                              rows=candidate, table=table)
+
+
+class IndexScanOp(ScanOp):
+    name = "IndexScan"
+
+    def __init__(self, table: str, alias: str, column: str,
+                 value_expr: S.Expr, predicates: Tuple[S.Expr, ...]):
+        super().__init__(alias, predicates)
+        self.table = table
+        self.column = column
+        self.value_expr = value_expr
+
+    def describe(self) -> str:
+        from repro.sql.pretty import expr_sql
+
+        body = "%s(%s AS %s, %s = %s)" % (
+            self.name, self.table, self.alias, self.column,
+            expr_sql(self.value_expr))
+        if self.predicates:
+            body += " filter=%d" % len(self.predicates)
+        return body
+
+    def _rows(self, ctx: _Ctx) -> _ScannedSource:
+        table = ctx.executor.catalog.table(self.table)
+        if isinstance(self.value_expr, S.Literal):
+            value = self.value_expr.value
+        else:
+            value = ctx.params.get(self.value_expr.name)
+        index = table.indexes[self.column]
+        positions = index.lookup(value)
+        ctx.stats.index_probes += 1
+        ctx.stats.index_scans += 1
+        candidate = [(pos, table.rows[pos]) for pos in positions]
+        ctx.stats.rows_scanned += len(candidate)
+        return _ScannedSource(alias=self.alias, columns=table.columns,
+                              rows=candidate, table=table)
+
+
+class SubqueryScanOp(ScanOp):
+    name = "SubqueryScan"
+
+    def __init__(self, query: S.Select, alias: str,
+                 predicates: Tuple[S.Expr, ...]):
+        super().__init__(alias, predicates)
+        self.query = query
+
+    def describe(self) -> str:
+        body = "%s(AS %s)" % (self.name, self.alias)
+        if self.predicates:
+            body += " filter=%d" % len(self.predicates)
+        return body
+
+    def _rows(self, ctx: _Ctx) -> _ScannedSource:
+        sub = ctx.executor.execute(self.query, ctx.params, ctx.stats)
+        candidate = [(idx, row) for idx, row in enumerate(sub.rows)]
+        ctx.stats.rows_scanned += len(candidate)
+        ctx.stats.full_scans += 1
+        return _ScannedSource(alias=self.alias, columns=sub.columns,
+                              rows=candidate, table=None)
+
+
+# -- env producers (joins) ----------------------------------------------------
+
+
+class EnvOp(PhysicalOp):
+    """Base class for operators producing joined-row environments."""
+
+    def envs(self, ctx: _Ctx) -> List[Env]:
+        raise NotImplementedError
+
+
+class ScanEnvsOp(EnvOp):
+    """Adapts the leftmost scan into single-alias environments.
+
+    Transparent in EXPLAIN output: it renders as the scan itself.
+    """
+
+    name = "Rows"
+
+    def __init__(self, scan: ScanOp):
+        super().__init__()
+        self.scan = scan
+
+    def describe(self) -> str:
+        return self.scan.describe()
+
+    def envs(self, ctx: _Ctx) -> List[Env]:
+        source = self.scan.scanned(ctx)
+        out = [{source.alias: row} for row in source.rows]
+        self.rows_out = len(out)
+        return out
+
+
+class HashJoinOp(EnvOp):
+    """Build a hash table on the new source, probe with the prefix."""
+
+    name = "HashJoin"
+
+    def __init__(self, left: EnvOp, right: ScanOp, predicate: S.BinOp):
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        from repro.sql.pretty import expr_sql
+
+        return "%s(%s)" % (self.name, expr_sql(self.predicate))
+
+    def envs(self, ctx: _Ctx) -> List[Env]:
+        prefix = self.left.envs(ctx)
+        source = self.right.scanned(ctx)
+        out = ctx.executor._hash_join(prefix, source, self.predicate,
+                                      ctx.params, ctx.stats)
+        self.rows_out = len(out)
+        return out
+
+
+class NestedLoopJoinOp(EnvOp):
+    """Cross product with the new source (no connecting predicate)."""
+
+    name = "NestedLoop"
+
+    def __init__(self, left: EnvOp, right: ScanOp):
+        super().__init__()
+        self.left = left
+        self.right = right
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def envs(self, ctx: _Ctx) -> List[Env]:
+        prefix = self.left.envs(ctx)
+        source = self.right.scanned(ctx)
+        ctx.stats.nested_loop_joins += 1
+        out = [dict(env, **{source.alias: row})
+               for env in prefix for row in source.rows]
+        self.rows_out = len(out)
+        return out
+
+
+class FilterOp(EnvOp):
+    """Residual predicates over joined environments."""
+
+    name = "Filter"
+
+    def __init__(self, child: EnvOp, predicates: Tuple[S.Expr, ...]):
+        super().__init__()
+        self.child = child
+        self.predicates = predicates
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        from repro.sql.pretty import expr_sql
+
+        return "%s(%s)" % (self.name, " AND ".join(
+            expr_sql(p) for p in self.predicates))
+
+    def envs(self, ctx: _Ctx) -> List[Env]:
+        executor = ctx.executor
+        out = self.child.envs(ctx)
+        for pred in self.predicates:
+            out = [env for env in out
+                   if _truthy(executor._eval(pred, env, ctx.params,
+                                             ctx.stats))]
+        self.rows_out = len(out)
+        return out
+
+
+class SortOp(EnvOp):
+    """ORDER BY over environments; heap top-k when a bound is known."""
+
+    name = "Sort"
+
+    def __init__(self, child: EnvOp, order_by: Tuple[S.OrderItem, ...],
+                 top_k: Optional[int] = None):
+        super().__init__()
+        self.child = child
+        self.order_by = order_by
+        self.top_k = top_k
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            ("%s.%s" % (o.column.alias, o.column.column)
+             if o.column.alias else o.column.column)
+            + (" DESC" if o.descending else "")
+            for o in self.order_by)
+        if self.top_k is not None:
+            return "TopK(%d, %s)" % (self.top_k, keys)
+        return "%s(%s)" % (self.name, keys)
+
+    def envs(self, ctx: _Ctx) -> List[Env]:
+        executor = ctx.executor
+        incoming = self.child.envs(ctx)
+        if self.top_k is not None:
+            out = executor._top_k(self.order_by, incoming, ctx.scanned,
+                                  self.top_k)
+        else:
+            out = executor._order(self.order_by, incoming, ctx.scanned)
+        self.rows_out = len(out)
+        return out
+
+
+# -- row producers -------------------------------------------------------------
+
+
+class RowOp(PhysicalOp):
+    """Base class for operators producing projected output rows."""
+
+    def rows(self, ctx: _Ctx) -> Tuple[List[Record], Tuple[str, ...]]:
+        raise NotImplementedError
+
+
+class ProjectOp(RowOp):
+    name = "Project"
+
+    def __init__(self, child: EnvOp, items: Tuple[S.SelectItem, ...]):
+        super().__init__()
+        self.child = child
+        self.items = items
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        from repro.sql.pretty import _item
+
+        return "%s(%s)" % (self.name,
+                           ", ".join(_item(i) for i in self.items))
+
+    def rows(self, ctx: _Ctx) -> Tuple[List[Record], Tuple[str, ...]]:
+        envs = self.child.envs(ctx)
+        rows, columns = ctx.executor._project(self.items, envs, ctx.scanned,
+                                              ctx.params, ctx.stats)
+        self.rows_out = len(rows)
+        return rows, columns
+
+
+class AggregateOp(RowOp):
+    """Aggregate / GROUP BY / HAVING evaluation.
+
+    Without group keys this is the executor's whole-input aggregation
+    (one output row).  With keys, environments are bucketed by their
+    evaluated key tuple; groups are emitted in **first-encounter
+    order**, the engine's deterministic analogue of the ordered-relation
+    semantics (the join chain enumerates environments left-major, so
+    groups keyed on the leftmost source come out in its storage order).
+    Non-aggregate select items are evaluated against the group's first
+    environment (group keys are constant within a group).
+    """
+
+    name = "Aggregate"
+
+    def __init__(self, child: EnvOp, items: Tuple[S.SelectItem, ...],
+                 group_by: Tuple[S.Expr, ...],
+                 having: Optional[S.Expr]):
+        super().__init__()
+        self.child = child
+        self.items = items
+        self.group_by = group_by
+        self.having = having
+        self.groups_in = None
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        from repro.sql.pretty import expr_sql
+
+        if not self.group_by:
+            return "Aggregate(whole input)"
+        body = "GroupBy(%s)" % ", ".join(expr_sql(e)
+                                         for e in self.group_by)
+        if self.having is not None:
+            body += " having %s" % expr_sql(self.having)
+        return body
+
+    def rows(self, ctx: _Ctx) -> Tuple[List[Record], Tuple[str, ...]]:
+        envs = self.child.envs(ctx)
+        if not self.group_by:
+            result = ctx.executor._aggregate_result(
+                S.Select(items=self.items, sources=()), envs, ctx.params,
+                ctx.stats)
+            self.rows_out = len(result.rows)
+            return result.rows, result.columns
+
+        executor = ctx.executor
+        buckets: Dict[Tuple, List[Env]] = {}
+        order: List[Tuple] = []
+        for env in envs:
+            key = tuple(executor._eval(e, env, ctx.params, ctx.stats)
+                        for e in self.group_by)
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = bucket = []
+                order.append(key)
+            bucket.append(env)
+        self.groups_in = len(order)
+
+        columns: List[str] = []
+        for item in self.items:
+            if isinstance(item.expr, S.Star):
+                raise SQLExecutionError(
+                    "* cannot appear in a grouped select list")
+            name = item.as_name or _default_name(item.expr)
+            columns.append(executor._fresh_name(name, columns))
+
+        rows: List[Record] = []
+        for key in order:
+            group = buckets[key]
+            if self.having is not None and not _truthy(
+                    self._group_value(self.having, group, ctx)):
+                continue
+            values = [self._group_value(item.expr, group, ctx)
+                      for item in self.items]
+            rows.append(Record(dict(zip(columns, values))))
+        self.rows_out = len(rows)
+        return rows, tuple(columns)
+
+    def _group_value(self, expr: S.Expr, group: List[Env], ctx: _Ctx) -> Any:
+        """Evaluate a select/HAVING expression over one group.
+
+        Aggregate calls see the whole group; non-aggregate subtrees are
+        evaluated on the group's first environment.
+        """
+        executor = ctx.executor
+        if isinstance(expr, S.FuncCall):
+            return executor._eval_aggregate(expr, group, ctx.params,
+                                            ctx.stats)
+        if isinstance(expr, S.BinOp):
+            if expr.op == "AND":
+                return (_truthy(self._group_value(expr.left, group, ctx))
+                        and _truthy(self._group_value(expr.right, group,
+                                                      ctx)))
+            if expr.op == "OR":
+                return (_truthy(self._group_value(expr.left, group, ctx))
+                        or _truthy(self._group_value(expr.right, group,
+                                                     ctx)))
+            return _apply_op(expr.op,
+                             self._group_value(expr.left, group, ctx),
+                             self._group_value(expr.right, group, ctx))
+        if isinstance(expr, S.NotOp):
+            return not _truthy(self._group_value(expr.expr, group, ctx))
+        return executor._eval(expr, group[0], ctx.params, ctx.stats)
+
+
+class RowSortOp(RowOp):
+    """ORDER BY over already-projected rows (grouped queries)."""
+
+    name = "RowSort"
+
+    def __init__(self, child: RowOp, order_by: Tuple[S.OrderItem, ...]):
+        super().__init__()
+        self.child = child
+        self.order_by = order_by
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def rows(self, ctx: _Ctx) -> Tuple[List[Record], Tuple[str, ...]]:
+        from repro.sql.executor import _ReverseAware
+
+        rows, columns = self.child.rows(ctx)
+
+        def key(row: Record):
+            parts = []
+            for item in self.order_by:
+                name = item.column.column
+                if name not in row.fields:
+                    raise SQLExecutionError(
+                        "ORDER BY on a grouped query must name an output "
+                        "column (no column %r)" % name)
+                parts.append(_ReverseAware(row[name], item.descending))
+            return tuple(parts)
+
+        rows = sorted(rows, key=key)
+        self.rows_out = len(rows)
+        return rows, columns
+
+
+class DistinctOp(RowOp):
+    name = "Distinct"
+
+    def __init__(self, child: RowOp):
+        super().__init__()
+        self.child = child
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def rows(self, ctx: _Ctx) -> Tuple[List[Record], Tuple[str, ...]]:
+        rows, columns = self.child.rows(ctx)
+        seen = set()
+        deduped = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                deduped.append(row)
+        self.rows_out = len(deduped)
+        return deduped, columns
+
+
+class LimitOp(RowOp):
+    name = "Limit"
+
+    def __init__(self, child: RowOp, count: int):
+        super().__init__()
+        self.child = child
+        self.count = count
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "%s(%d)" % (self.name, self.count)
+
+    def rows(self, ctx: _Ctx) -> Tuple[List[Record], Tuple[str, ...]]:
+        rows, columns = self.child.rows(ctx)
+        rows = rows[: self.count]
+        self.rows_out = len(rows)
+        return rows, columns
+
+
+# -- lowering -----------------------------------------------------------------
+
+
+def lower(plan: L.LogicalPlan) -> RowOp:
+    """Lower an optimized logical plan to a physical operator tree."""
+    return _lower_rows(plan)
+
+
+def _lower_rows(plan: L.LogicalPlan) -> RowOp:
+    if isinstance(plan, L.Limit):
+        return LimitOp(_lower_rows(plan.child), plan.count)
+    if isinstance(plan, L.Distinct):
+        return DistinctOp(_lower_rows(plan.child))
+    if isinstance(plan, L.Project):
+        return ProjectOp(_lower_envs(plan.child), plan.items)
+    if isinstance(plan, L.Aggregate):
+        return AggregateOp(_lower_envs(plan.child), plan.items,
+                           plan.group_by, plan.having)
+    if isinstance(plan, L.Sort):
+        child = plan.child
+        if isinstance(child, L.Aggregate):
+            return RowSortOp(_lower_rows(child), plan.order_by)
+        raise TypeError("Sort over %r cannot be lowered here" % (child,))
+    raise TypeError("expected a row-producing logical node, got %r"
+                    % (plan,))
+
+
+def _lower_envs(plan: L.LogicalPlan) -> EnvOp:
+    if isinstance(plan, L.Sort):
+        return SortOp(_lower_envs(plan.child), plan.order_by, plan.top_k)
+    if isinstance(plan, L.Filter):
+        return FilterOp(_lower_envs(plan.child), plan.predicates)
+    if isinstance(plan, L.Join):
+        left = _lower_envs(plan.left)
+        right = _lower_scan(plan.right)
+        if plan.strategy == "hash":
+            return HashJoinOp(left, right, plan.predicate)
+        return NestedLoopJoinOp(left, right)
+    if isinstance(plan, L.Scan):
+        return ScanEnvsOp(_lower_scan(plan))
+    raise TypeError("expected an env-producing logical node, got %r"
+                    % (plan,))
+
+
+def _lower_scan(scan: L.Scan) -> ScanOp:
+    if scan.subquery is not None:
+        return SubqueryScanOp(scan.subquery, scan.alias, scan.predicates)
+    if scan.index is not None:
+        column, value_expr, index_pred = scan.index
+        # The probe consumes the chosen predicate; the rest filter.
+        predicates = tuple(p for p in scan.predicates
+                           if p is not index_pred)
+        return IndexScanOp(scan.table, scan.alias, column, value_expr,
+                           predicates)
+    return FullScanOp(scan.table, scan.alias, scan.predicates)
+
+
+# -- plan driver ---------------------------------------------------------------
+
+
+class PhysicalPlan:
+    """An executable physical plan (root operator + execution entry)."""
+
+    def __init__(self, root: RowOp):
+        self.root = root
+
+    def execute(self, executor, params: Dict[str, Any],
+                stats) -> QueryResult:
+        ctx = _Ctx(executor=executor, params=params, stats=stats)
+        rows, columns = self.root.rows(ctx)
+        return QueryResult(rows=rows, columns=columns, stats=stats)

@@ -1,0 +1,106 @@
+"""Rendering parsed SELECT statements back to SQL text.
+
+``to_sql`` is the inverse of :func:`repro.sql.parser.parse` on the
+supported grammar: ``parse(to_sql(select)) == select`` for every AST the
+parser can produce (the property suite in
+``tests/sql/test_pretty_roundtrip.py`` checks this over generated
+statements, including GROUP BY / HAVING).  The printer is also what the
+plan explainer uses to label subquery sources.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.sql import ast as S
+from repro.sql.errors import SQLExecutionError
+
+#: Binding strength, loosest first; parenthesisation preserves shape.
+_PRECEDENCE = {"OR": 1, "AND": 2}
+
+
+def to_sql(select: S.Select) -> str:
+    """Render one SELECT statement."""
+    parts = ["SELECT %s%s" % ("DISTINCT " if select.distinct else "",
+                              ", ".join(_item(i) for i in select.items))]
+    parts.append("FROM %s" % ", ".join(_source(s) for s in select.sources))
+    if select.where is not None:
+        parts.append("WHERE %s" % expr_sql(select.where))
+    if select.group_by:
+        parts.append("GROUP BY %s" % ", ".join(expr_sql(e)
+                                               for e in select.group_by))
+        if select.having is not None:
+            parts.append("HAVING %s" % expr_sql(select.having))
+    if select.order_by:
+        parts.append("ORDER BY %s" % ", ".join(
+            _order_item(o) for o in select.order_by))
+    if select.limit is not None:
+        parts.append("LIMIT %d" % select.limit)
+    return " ".join(parts)
+
+
+def _item(item: S.SelectItem) -> str:
+    if isinstance(item.expr, S.Star):
+        body = "*" if item.expr.alias is None else "%s.*" % item.expr.alias
+        return body
+    body = expr_sql(item.expr)
+    if item.as_name is not None:
+        return "%s AS %s" % (body, item.as_name)
+    return body
+
+
+def _source(source: S.Source) -> str:
+    if isinstance(source, S.TableSource):
+        if source.alias == source.table:
+            return source.table
+        return "%s AS %s" % (source.table, source.alias)
+    return "(%s) AS %s" % (to_sql(source.query), source.alias)
+
+
+def _order_item(item: S.OrderItem) -> str:
+    body = expr_sql(item.column)
+    return body + (" DESC" if item.descending else "")
+
+
+def expr_sql(expr: S.Expr, parent_prec: int = 0) -> str:
+    """Render one scalar expression."""
+    if isinstance(expr, S.Literal):
+        return _literal(expr.value)
+    if isinstance(expr, S.Param):
+        return ":%s" % expr.name
+    if isinstance(expr, S.ColumnRef):
+        if expr.alias is None:
+            return expr.column
+        return "%s.%s" % (expr.alias, expr.column)
+    if isinstance(expr, S.RowRef):
+        return expr.alias
+    if isinstance(expr, S.FuncCall):
+        if expr.arg is None:
+            return "%s(*)" % expr.name
+        return "%s(%s)" % (expr.name, expr_sql(expr.arg))
+    if isinstance(expr, S.BinOp):
+        prec = _PRECEDENCE.get(expr.op, 3)
+        # AND/OR parse left-associated; a right operand of equal
+        # precedence needs parentheses to keep its shape.
+        body = "%s %s %s" % (expr_sql(expr.left, prec), expr.op,
+                             expr_sql(expr.right, prec + 1))
+        if prec < parent_prec:
+            return "(%s)" % body
+        return body
+    if isinstance(expr, S.NotOp):
+        return "NOT %s" % expr_sql(expr.expr, 3)
+    if isinstance(expr, S.InSubquery):
+        return "%s %sIN (%s)" % (expr_sql(expr.subject, 3),
+                                 "NOT " if expr.negated else "",
+                                 to_sql(expr.query))
+    raise SQLExecutionError("cannot render %r" % (expr,))
+
+
+def _literal(value: object) -> str:
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if value is None:
+        return "NULL"
+    if isinstance(value, str):
+        return "'%s'" % value.replace("'", "''")
+    return repr(value)

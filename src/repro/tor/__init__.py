@@ -44,6 +44,7 @@ from repro.tor.ast import (
     FieldAccess,
     FieldSpec,
     Get,
+    GroupAgg,
     Join,
     JoinFieldCmp,
     JoinFunc,
@@ -82,6 +83,7 @@ __all__ = [
     "FieldAccess",
     "FieldSpec",
     "Get",
+    "GroupAgg",
     "Join",
     "JoinFieldCmp",
     "JoinFunc",

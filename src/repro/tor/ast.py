@@ -27,7 +27,7 @@ each has an obvious SQL image so translatability is unaffected.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields as dc_fields
-from typing import Any, Iterator, Tuple
+from typing import Any, Iterator, Optional, Tuple
 
 
 class TorNode:
@@ -304,6 +304,46 @@ class JoinFunc(TorNode):
     @property
     def is_true(self) -> bool:
         return not self.preds
+
+
+@dataclass(frozen=True)
+class GroupAgg(TorNode):
+    """``group_[keys, agg](e1, e2)`` — per-left-row grouped aggregation.
+
+    For each row ``l`` of ``left`` (in order), the matching rows
+    ``ms = [r in right | pred(l, r)]`` are collected; when ``ms`` is
+    non-empty the output gains one record ``{keys(l)..., out: agg(ms)}``.
+    Left rows without matches contribute nothing — exactly the value an
+    inner-join ``SELECT keys, AGG(..) .. GROUP BY`` produces when groups
+    are keyed on the left row's storage position, which is how
+    :mod:`repro.tor.sqlgen` emits it (``GROUP BY t0._rowid``).
+
+    Grouping per left-row *occurrence* (not per key value) makes the
+    operator an exact homomorphism over the left operand::
+
+        group(cat(a, b), r) = cat(group(a, r), group(b, r))
+        group([], r)        = []
+
+    which is what lets the prover discharge the loop invariants of
+    GROUP BY-shaped accumulation fragments with the same unfold-one-row
+    reasoning it uses for joins.
+
+    ``agg`` is ``"count"`` or ``"sum"``; ``agg_field`` names the
+    right-row column a sum aggregates (``None`` for count); ``out`` is
+    the output field holding the aggregate.
+    """
+
+    fields: Tuple[FieldSpec, ...]   # key projection over left rows
+    agg: str
+    agg_field: Optional[str]
+    out: str
+    pred: "JoinFunc"
+    left: TorNode
+    right: TorNode
+
+    def __post_init__(self):
+        if self.agg not in ("count", "sum"):
+            raise ValueError("unknown group aggregate %r" % self.agg)
 
 
 @dataclass(frozen=True)

@@ -243,6 +243,50 @@ def compile_expr(expr: T.TorNode) -> CompiledFn:
             return tuple(out)
         return run_join
 
+    if isinstance(expr, T.GroupAgg):
+        left_fn = compile_expr(expr.left)
+        right_fn = compile_expr(expr.right)
+        preds = [(p.left_field, p.op, p.right_field)
+                 for p in expr.pred.preds]
+        key_pairs = [(spec.source, spec.target) for spec in expr.fields]
+        count = expr.agg == "count"
+        agg_field = expr.agg_field
+        out_field = expr.out
+
+        def run_group(env, db):
+            left = left_fn(env, db)
+            right = right_fn(env, db)
+            out = []
+            for lrow in left:
+                matches = []
+                try:
+                    for rrow in right:
+                        for lf, op, rf in preds:
+                            if not _scalar_binop(op,
+                                                 resolve_path(lrow, lf),
+                                                 resolve_path(rrow, rf)):
+                                break
+                        else:
+                            matches.append(rrow)
+                except KeyError as exc:
+                    raise EvalError(str(exc)) from None
+                if not matches:
+                    continue
+                try:
+                    if count:
+                        value = len(matches)
+                    else:
+                        value = sum(resolve_path(rrow, agg_field)
+                                    for rrow in matches)
+                    projected = {target: resolve_path(lrow, source)
+                                 for source, target in key_pairs}
+                except (KeyError, TypeError) as exc:
+                    raise EvalError(str(exc)) from None
+                projected[out_field] = value
+                out.append(Record(projected))
+            return tuple(out)
+        return run_group
+
     if isinstance(expr, T.SumOp):
         rel_fn = compile_expr(expr.rel)
         return lambda env, db: sum(row_scalar(row)

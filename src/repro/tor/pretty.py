@@ -45,6 +45,13 @@ def pretty(expr: T.TorNode) -> str:
     if isinstance(expr, T.Join):
         cond = _join_func(expr.pred)
         return "join[%s](%s, %s)" % (cond, pretty(expr.left), pretty(expr.right))
+    if isinstance(expr, T.GroupAgg):
+        agg = expr.agg if expr.agg_field is None \
+            else "%s %s" % (expr.agg, expr.agg_field)
+        keys = ", ".join(_spec(s) for s in expr.fields)
+        return "group[%s; %s as %s; %s](%s, %s)" % (
+            keys, agg, expr.out, _join_func(expr.pred),
+            pretty(expr.left), pretty(expr.right))
     if isinstance(expr, T.SumOp):
         return "sum(%s)" % pretty(expr.rel)
     if isinstance(expr, T.MaxOp):

@@ -223,6 +223,36 @@ def evaluate(expr: T.TorNode, env: Optional[Dict[str, Any]] = None,
                     out.append(PairRow(lrow, rrow))
         return tuple(out)
 
+    if isinstance(expr, T.GroupAgg):
+        left = evaluate(expr.left, env, db)
+        right = evaluate(expr.right, env, db)
+        out = []
+        for lrow in left:
+            try:
+                matches = [rrow for rrow in right
+                           if eval_join_func(expr.pred, lrow, rrow, env,
+                                             db)]
+            except KeyError as exc:
+                raise EvalError(str(exc)) from None
+            if not matches:
+                continue
+            if expr.agg == "count":
+                value = len(matches)
+            else:  # "sum" (the constructor admits nothing else)
+                try:
+                    value = sum(resolve_path(rrow, expr.agg_field)
+                                for rrow in matches)
+                except (KeyError, TypeError) as exc:
+                    raise EvalError(str(exc)) from None
+            try:
+                projected = {spec.target: resolve_path(lrow, spec.source)
+                             for spec in expr.fields}
+            except KeyError as exc:
+                raise EvalError(str(exc)) from None
+            projected[expr.out] = value
+            out.append(Record(projected))
+        return tuple(out)
+
     if isinstance(expr, T.SumOp):
         rel = evaluate(expr.rel, env, db)
         return sum(row_scalar(row) for row in rel)

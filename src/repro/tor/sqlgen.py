@@ -18,6 +18,18 @@ Aggregates translate per Fig. 8 (``SELECT agg(field) FROM ...``);
 existence checks use the paper's ``SELECT COUNT(*) > 0`` form, which a
 database optimizer may rewrite to EXISTS; ``unique`` at the outermost
 level becomes SELECT DISTINCT.
+
+Joins may nest: a left-deep ``join(join(a, b), c)`` flattens into a
+three-source FROM with each join predicate qualified through its side
+path (``left.left.f`` -> ``t0.f``), which the engine's planner then
+runs as a hash-join chain.
+
+Grouped aggregation (:class:`repro.tor.ast.GroupAgg`, the image of
+per-outer-row accumulator loops) becomes ``SELECT keys, AGG(..) FROM
+left t0, right t1 WHERE join-pred GROUP BY t0._rowid``: grouping on the
+left row's storage position reproduces the operator's per-left-row
+semantics exactly (duplicate key values stay separate groups), and the
+engine's first-encounter group order equals the loop's output order.
 """
 
 from __future__ import annotations
@@ -80,6 +92,9 @@ def _translate_top(expr: T.TorNode) -> SQLTranslation:
             return SQLTranslation(sql=sql, kind="bool")
         raise NotTranslatableError("unsupported boolean postcondition")
 
+    if isinstance(expr, T.GroupAgg):
+        return _translate_group(expr)
+
     if isinstance(expr, T.Size):
         return _translate_agg("COUNT", None, expr.rel)
     if isinstance(expr, T.SumOp):
@@ -114,6 +129,56 @@ def _strip_agg_projection(expr: T.TorNode) -> Tuple[T.TorNode, Optional[str]]:
     if isinstance(expr, T.Pi) and len(expr.fields) == 1:
         return expr.rel, expr.fields[0].source
     return expr, None
+
+
+def _translate_group(expr: T.GroupAgg) -> SQLTranslation:
+    """Grouped aggregation: ``SELECT keys, AGG .. GROUP BY t0._rowid``.
+
+    Grouping on the left source's hidden storage position (not on the
+    key values) keeps duplicate keys in separate groups and orders
+    groups by left-row first encounter — the operator's exact
+    per-left-row semantics, with no ORDER BY needed on the bundled
+    engine (its GROUP BY emits groups in first-encounter order and its
+    join chain enumerates rows left-major).
+    """
+    left, lpreds = _strip_sigma(expr.left)
+    right, rpreds = _strip_sigma(expr.right)
+    sources = [_base_source(left, "t0"), _base_source(right, "t1")]
+    alias_of_side = {"left": "t0", "right": "t1"}
+
+    where: List[str] = []
+    for pred in expr.pred.preds:
+        where.append("%s %s %s" % (
+            _qualify("left." + pred.left_field, alias_of_side, sources),
+            pred.op,
+            _qualify("right." + pred.right_field, alias_of_side, sources)))
+    for pred in lpreds:
+        where.append(_select_pred_sql(pred, "t0", alias_of_side, sources))
+    for pred in rpreds:
+        where.append(_select_pred_sql(pred, "t1", alias_of_side, sources))
+
+    cols: List[str] = []
+    names: List[str] = []
+    for spec in expr.fields:
+        column = "t0.%s" % spec.source
+        cols.append(column if spec.target == spec.source
+                    else "%s AS %s" % (column, spec.target))
+        names.append(spec.target)
+    if expr.agg == "count":
+        agg_sql = "COUNT(*)"
+    else:
+        agg_sql = "SUM(t1.%s)" % expr.agg_field
+    cols.append("%s AS %s" % (agg_sql, expr.out))
+    names.append(expr.out)
+
+    parts = ["SELECT %s" % ", ".join(cols)]
+    parts.append("FROM %s" % ", ".join(
+        "%s AS %s" % (s.from_sql, s.alias) for s in sources))
+    if where:
+        parts.append("WHERE %s" % " AND ".join(where))
+    parts.append("GROUP BY t0._rowid")
+    return SQLTranslation(sql=" ".join(parts), kind="relation",
+                          columns=tuple(names))
 
 
 def _translate_agg(agg: str, agg_field: Optional[str],
@@ -155,21 +220,7 @@ def _emit_select(expr: T.TorNode, distinct: bool, limit: Optional[int],
     alias_of_side: Dict[str, str] = {}
 
     if isinstance(expr, T.Join):
-        left, lpreds = _strip_sigma(expr.left)
-        right, rpreds = _strip_sigma(expr.right)
-        lsource = _base_source(left, "t0")
-        rsource = _base_source(right, "t1")
-        sources = [lsource, rsource]
-        alias_of_side = {"left": "t0", "right": "t1"}
-        for pred in expr.pred.preds:
-            where.append("%s %s %s" % (
-                _qualify("left." + pred.left_field, alias_of_side, sources),
-                pred.op,
-                _qualify("right." + pred.right_field, alias_of_side, sources)))
-        for pred in lpreds:
-            where.append(_select_pred_sql(pred, "t0", alias_of_side, sources))
-        for pred in rpreds:
-            where.append(_select_pred_sql(pred, "t1", alias_of_side, sources))
+        sources, alias_of_side, where = _flatten_join(expr)
         for pred in sigma_preds:
             where.append(_select_pred_sql(pred, None, alias_of_side, sources))
     else:
@@ -219,6 +270,59 @@ def _strip_sigma(expr: T.TorNode
     return expr, ()
 
 
+def _flatten_join(expr: T.Join
+                  ) -> Tuple[List[_Source], Dict[str, str], List[str]]:
+    """Flatten a (possibly nested, left-deep) join into FROM sources.
+
+    Each base leaf gets an alias in left-to-right order (``t0``,
+    ``t1``, ...); ``alias_of_side`` maps the leaf's *side path*
+    (``left``, ``right``, ``left.left``, ...) to its alias, which is
+    how join/selection predicates and projections qualify their field
+    paths.  Join predicates become WHERE conjuncts in join-nesting
+    order (innermost first), followed by each leaf's selection
+    predicates in leaf order.
+    """
+    leaves: List[Tuple[str, T.TorNode]] = []
+    join_preds: List[Tuple[str, T.JoinFieldCmp, str]] = []
+
+    def walk(node: T.TorNode, path: str) -> None:
+        if isinstance(node, T.Join):
+            lpath = path + ".left" if path else "left"
+            rpath = path + ".right" if path else "right"
+            walk(node.left, lpath)
+            for pred in node.pred.preds:
+                join_preds.append((lpath, pred, rpath))
+            walk(node.right, rpath)
+        else:
+            leaves.append((path, node))
+
+    walk(expr, "")
+
+    sources: List[_Source] = []
+    alias_of_side: Dict[str, str] = {}
+    leaf_sigmas: List[Tuple[str, Tuple[T.SelectPred, ...]]] = []
+    for index, (path, leaf) in enumerate(leaves):
+        alias = "t%d" % index
+        base, preds = _strip_sigma(leaf)
+        sources.append(_base_source(base, alias))
+        alias_of_side[path] = alias
+        leaf_sigmas.append((alias, preds))
+
+    where: List[str] = []
+    for lpath, pred, rpath in join_preds:
+        where.append("%s %s %s" % (
+            _qualify("%s.%s" % (lpath, pred.left_field), alias_of_side,
+                     sources),
+            pred.op,
+            _qualify("%s.%s" % (rpath, pred.right_field), alias_of_side,
+                     sources)))
+    for alias, preds in leaf_sigmas:
+        for pred in preds:
+            where.append(_select_pred_sql(pred, alias, alias_of_side,
+                                          sources))
+    return sources, alias_of_side, where
+
+
 def _base_source(expr: T.TorNode, alias: str) -> _Source:
     """Translate a base expression into a FROM entry with order keys."""
     if isinstance(expr, T.QueryOp):
@@ -252,13 +356,17 @@ def _base_source(expr: T.TorNode, alias: str) -> _Source:
 
 def _qualify(path: str, alias_of_side: Dict[str, str],
              sources: List[_Source]) -> str:
-    """Map a TOR field path to a qualified SQL column reference."""
-    head, _, rest = path.partition(".")
-    if head in alias_of_side:
-        if not rest:
+    """Map a TOR field path to a qualified SQL column reference.
+
+    Side paths may nest (``left.left.f`` inside a three-way join), so
+    the longest matching side prefix wins.
+    """
+    for side in sorted(alias_of_side, key=len, reverse=True):
+        if path == side:
             raise NotTranslatableError(
                 "whole-side reference %r needs projection handling" % path)
-        return "%s.%s" % (alias_of_side[head], rest)
+        if path.startswith(side + "."):
+            return "%s.%s" % (alias_of_side[side], path[len(side) + 1:])
     return "%s.%s" % (sources[0].alias, path)
 
 
@@ -331,9 +439,9 @@ def _select_list(pi_specs: Optional[Tuple[T.FieldSpec, ...]],
     cols = []
     names: List[str] = []
     for spec in pi_specs:
-        head, _, rest = spec.source.partition(".")
-        if head in alias_of_side and not rest:
-            alias = alias_of_side[head]
+        if spec.source in alias_of_side:
+            # The projection keeps one entire join side.
+            alias = alias_of_side[spec.source]
             source = next(s for s in sources if s.alias == alias)
             cols.append("%s.*" % alias)
             names.extend(source.schema)

@@ -35,7 +35,7 @@ def results(qbs):
 def test_corpus_has_the_paper_population():
     assert len(WILOS_FRAGMENTS) == 33
     assert len(ITRACKER_FRAGMENTS) == 16
-    assert len(ADVANCED_FRAGMENTS) == 7
+    assert len(ADVANCED_FRAGMENTS) == 9
 
 
 @pytest.mark.parametrize("cf", ALL_FRAGMENTS,
@@ -141,13 +141,16 @@ def test_advanced_equivalence(results):
     db.insert_many("r", ({"id": i, "a": i % 7} for i in range(40)))
     db.insert_many("s", ({"id": i, "b": i % 7} for i in range(25)))
     db.insert_many("t", ({"id": i} for i in range(30)))
+    db.insert_many("u", ({"id": i, "c": i % 9} for i in range(20)))
     service = make_advanced_service(db)
 
     for fragment_id, method in (("adv_hash", "adv_hash_join"),
                                 ("adv_top10", "adv_sorted_top_ten"),
                                 ("adv_joincnt", "adv_join_count"),
                                 ("adv_sumsel", "adv_sum_filtered"),
-                                ("adv_joinsum", "adv_join_sum")):
+                                ("adv_joinsum", "adv_join_sum"),
+                                ("adv_groupcnt", "adv_group_count"),
+                                ("adv_chain", "adv_chain_join")):
         result = results[fragment_id]
         assert result.translated
         original = getattr(service, method)()

@@ -1,0 +1,104 @@
+"""Cache eviction (``cache gc``) and machine output (``run --json``)."""
+
+import json
+import os
+import time
+
+from repro.service.cache import ResultCache
+from repro.service.cli import main
+from repro.service.jobs import job_for
+from repro.core.qbs import QBSOptions
+from repro.corpus.registry import select_fragments
+
+
+def _seed_cache(root, fragment_ids):
+    cache = ResultCache(str(root))
+    options = QBSOptions()
+    paths = []
+    for fid in fragment_ids:
+        (cf,) = select_fragments(ids=[fid])
+        job = job_for(cf, options)
+        paths.append(cache.store(job, {"status": "translated",
+                                       "marker": "X",
+                                       "fragment_id": fid}))
+    return cache, paths
+
+
+class TestGc:
+    def test_evicts_oldest_first(self, tmp_path):
+        cache, paths = _seed_cache(tmp_path, ["w40", "w42", "i2"])
+        # Make the first entry clearly the oldest.
+        old = time.time() - 1000
+        os.utime(paths[0], (old, old))
+        sizes = [os.path.getsize(p) for p in paths]
+        budget = sizes[1] + sizes[2]
+        accounting = cache.gc(budget)
+        assert accounting["removed"] == 1
+        assert not os.path.exists(paths[0])
+        assert os.path.exists(paths[1]) and os.path.exists(paths[2])
+        assert accounting["remaining_bytes"] <= budget
+
+    def test_zero_budget_clears_everything(self, tmp_path):
+        cache, paths = _seed_cache(tmp_path, ["w40", "w42"])
+        accounting = cache.gc(0)
+        assert accounting["removed"] == 2
+        assert accounting["remaining_entries"] == 0
+        assert cache.info()["entries"] == 0
+
+    def test_gc_within_budget_is_a_no_op(self, tmp_path):
+        cache, paths = _seed_cache(tmp_path, ["w40"])
+        accounting = cache.gc(10 ** 9)
+        assert accounting["removed"] == 0
+        assert os.path.exists(paths[0])
+
+    def test_cli_gc_flag(self, tmp_path, capsys):
+        _seed_cache(tmp_path, ["w40", "w42"])
+        code = main(["cache", "--gc", "--max-bytes", "0",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert "evicted 2 entries" in capsys.readouterr().out
+
+    def test_cli_gc_action_spelling(self, tmp_path, capsys):
+        _seed_cache(tmp_path, ["w40"])
+        code = main(["cache", "gc", "--max-bytes", "0",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert "evicted 1 entry" in capsys.readouterr().out
+
+    def test_cli_gc_requires_budget(self, tmp_path, capsys):
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_cli_gc_conflicting_action_is_an_error(self, tmp_path,
+                                                   capsys):
+        cache, paths = _seed_cache(tmp_path, ["w40"])
+        assert main(["cache", "clear", "--gc", "--max-bytes", "0",
+                     "--cache-dir", str(tmp_path)]) == 2
+        assert "conflicts" in capsys.readouterr().err
+        assert os.path.exists(paths[0])  # nothing was evicted
+
+
+class TestRunJson:
+    def test_json_document_shape(self, tmp_path, capsys):
+        code = main(["run", "--fragments", "w40,w17", "--json",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        by_id = {f["fragment_id"]: f for f in document["fragments"]}
+        assert by_id["w40"]["result"]["marker"] == "X"
+        assert by_id["w40"]["result"]["sql"]["sql"].startswith("SELECT")
+        assert by_id["w40"]["matches_expected"]
+        assert by_id["w17"]["result"]["status"] == "rejected"
+        assert document["summary"]["fragments"] == 2
+        assert document["summary"]["mismatches"] == 0
+
+    def test_json_is_cache_aware_and_check_compatible(self, tmp_path,
+                                                      capsys):
+        assert main(["run", "--fragments", "w40", "--json", "--check",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["run", "--fragments", "w40", "--json", "--check",
+                     "--expect-cached",
+                     "--cache-dir", str(tmp_path)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["cache_hits"] == 1

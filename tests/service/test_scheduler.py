@@ -204,6 +204,6 @@ def test_stop_event_winds_down_early(monkeypatch):
 def test_full_corpus_counts_through_service():
     report = Scheduler(workers=1).run(list(ALL_FRAGMENTS))
     markers = [o.result.status.marker for o in report.outcomes]
-    assert markers.count("X") == 38      # 33 Fig. 13 + 5 advanced
+    assert markers.count("X") == 40      # 33 Fig. 13 + 7 advanced
     assert markers.count("†") == 9
     assert markers.count("*") == 9

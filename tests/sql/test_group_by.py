@@ -1,0 +1,130 @@
+"""GROUP BY / HAVING: grammar, the Aggregate operator, group ordering."""
+
+import pytest
+
+from repro.sql import Database, SQLExecutionError
+from repro.sql import ast as S
+from repro.sql.parser import parse
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.create_table("issue", ("id", "owner_id", "severity"))
+    db.create_table("tracker_user", ("id", "login"))
+    db.insert_many("tracker_user", [
+        {"id": 3, "login": "carol"},
+        {"id": 1, "login": "alice"},
+        {"id": 2, "login": "bob"},
+    ])
+    db.insert_many("issue", [
+        {"id": 10, "owner_id": 1, "severity": 2},
+        {"id": 11, "owner_id": 3, "severity": 5},
+        {"id": 12, "owner_id": 1, "severity": 4},
+        {"id": 13, "owner_id": 3, "severity": 1},
+        {"id": 14, "owner_id": 3, "severity": 3},
+    ])
+    return db
+
+
+class TestGrammar:
+    def test_parse_group_by_and_having(self):
+        stmt = parse("SELECT t0.owner_id, COUNT(*) AS n FROM issue t0 "
+                     "GROUP BY t0.owner_id HAVING COUNT(*) > 1")
+        assert stmt.group_by == (S.ColumnRef("t0", "owner_id"),)
+        assert isinstance(stmt.having, S.BinOp)
+
+    def test_parse_multiple_group_keys(self):
+        stmt = parse("SELECT t0.owner_id FROM issue t0 "
+                     "GROUP BY t0.owner_id, t0.severity")
+        assert len(stmt.group_by) == 2
+
+    def test_having_requires_group_by(self):
+        from repro.sql.errors import SQLParseError
+
+        with pytest.raises(SQLParseError):
+            parse("SELECT COUNT(*) FROM issue HAVING COUNT(*) > 1 "
+                  "GROUP BY owner_id")
+
+
+class TestExecution:
+    def test_groups_emit_in_first_encounter_order(self, db):
+        result = db.execute("SELECT t0.owner_id, COUNT(*) AS n "
+                            "FROM issue t0 GROUP BY t0.owner_id")
+        assert [(r["owner_id"], r["n"]) for r in result.rows] == \
+            [(1, 2), (3, 3)]
+        assert result.columns == ("owner_id", "n")
+
+    def test_group_aggregates(self, db):
+        result = db.execute(
+            "SELECT t0.owner_id, SUM(t0.severity) AS total, "
+            "MAX(t0.severity) AS worst, MIN(t0.severity) AS best, "
+            "AVG(t0.severity) AS mean "
+            "FROM issue t0 GROUP BY t0.owner_id")
+        rows = {r["owner_id"]: r for r in result.rows}
+        assert rows[1]["total"] == 6 and rows[1]["worst"] == 4
+        assert rows[3]["best"] == 1 and rows[3]["mean"] == 3
+
+    def test_having_filters_groups(self, db):
+        result = db.execute("SELECT t0.owner_id FROM issue t0 "
+                            "GROUP BY t0.owner_id HAVING COUNT(*) > 2")
+        assert [r["owner_id"] for r in result.rows] == [3]
+
+    def test_having_mixes_aggregate_and_key(self, db):
+        result = db.execute(
+            "SELECT t0.owner_id FROM issue t0 GROUP BY t0.owner_id "
+            "HAVING COUNT(*) > 1 AND t0.owner_id < 3")
+        assert [r["owner_id"] for r in result.rows] == [1]
+
+    def test_group_by_rowid_keeps_duplicate_keys_separate(self, db):
+        # Two distinct users could share a key value; grouping on the
+        # storage position must not merge them.
+        db.insert("tracker_user", {"id": 1, "login": "alice2"})
+        result = db.execute(
+            "SELECT t0.id AS uid, COUNT(*) AS n "
+            "FROM tracker_user t0, issue t1 WHERE t0.id = t1.owner_id "
+            "GROUP BY t0._rowid")
+        assert [(r["uid"], r["n"]) for r in result.rows] == \
+            [(3, 3), (1, 2), (1, 2)]
+
+    def test_group_over_join_orders_by_left_source(self, db):
+        result = db.execute(
+            "SELECT t0.login, COUNT(*) AS n "
+            "FROM tracker_user t0, issue t1 WHERE t0.id = t1.owner_id "
+            "GROUP BY t0._rowid")
+        # User storage order (carol, alice); bob has no issues -> no group.
+        assert [(r["login"], r["n"]) for r in result.rows] == \
+            [("carol", 3), ("alice", 2)]
+
+    def test_order_by_on_grouped_output_column(self, db):
+        result = db.execute("SELECT t0.owner_id, COUNT(*) AS n "
+                            "FROM issue t0 GROUP BY t0.owner_id "
+                            "ORDER BY n DESC")
+        assert [r["owner_id"] for r in result.rows] == [3, 1]
+
+    def test_order_by_unknown_grouped_column_is_an_error(self, db):
+        with pytest.raises(SQLExecutionError, match="output column"):
+            db.execute("SELECT t0.owner_id FROM issue t0 "
+                       "GROUP BY t0.owner_id ORDER BY severity")
+
+    def test_group_limit(self, db):
+        result = db.execute("SELECT t0.owner_id FROM issue t0 "
+                            "GROUP BY t0.owner_id LIMIT 1")
+        assert len(result.rows) == 1
+
+    def test_star_in_grouped_select_is_an_error(self, db):
+        with pytest.raises(SQLExecutionError, match="grouped"):
+            db.execute("SELECT * FROM issue t0 GROUP BY t0.owner_id")
+
+    def test_empty_input_produces_no_groups(self, db):
+        result = db.execute("SELECT t0.owner_id, COUNT(*) AS n "
+                            "FROM issue t0 WHERE t0.severity > 99 "
+                            "GROUP BY t0.owner_id")
+        assert list(result.rows) == []
+
+    def test_explain_shows_group_operator(self, db):
+        text = db.explain("SELECT t0.owner_id, COUNT(*) AS n "
+                          "FROM issue t0 GROUP BY t0.owner_id "
+                          "HAVING COUNT(*) > 1")
+        assert "GroupBy(t0.owner_id)" in text
+        assert "having COUNT(*) > 1" in text

@@ -1,0 +1,160 @@
+"""Planner-vs-legacy outcome equivalence.
+
+Two layers:
+
+* a hand-written query battery over the application schemas, covering
+  every operator combination the grammar admits (joins, index probes,
+  IN subqueries, FROM subqueries, top-k, DISTINCT, aggregates);
+* the full Fig. 13 + advanced corpus: every fragment QBS translates is
+  executed against its populated application database under
+  ``ExecutorOptions(planner=True)`` and ``planner=False``, asserting
+  identical rows, columns and engine statistics (GROUP BY queries,
+  which the seed pipeline cannot run, are checked planner-only against
+  the original fragment elsewhere).
+"""
+
+import re
+
+import pytest
+
+from repro.corpus import ALL_FRAGMENTS, run_fragment_through_qbs
+from repro.corpus.advanced import create_advanced_database
+from repro.corpus.schema import (
+    create_itracker_database,
+    create_wilos_database,
+    populate_itracker,
+    populate_wilos,
+)
+from repro.sql.database import Database
+from repro.sql.executor import ExecutorOptions
+
+
+def _legacy_view(db: Database) -> Database:
+    """A planner=False engine over the same catalog."""
+    legacy = Database(ExecutorOptions(planner=False))
+    legacy.catalog = db.catalog
+    legacy.executor.catalog = db.catalog
+    return legacy
+
+
+def _assert_identical(db, sql, params=None):
+    planned = db.execute(sql, params)
+    legacy = _legacy_view(db).execute(sql, params)
+    assert list(planned.rows) == list(legacy.rows), sql
+    assert planned.columns == legacy.columns, sql
+    for field in ("rows_scanned", "index_probes", "hash_joins",
+                  "nested_loop_joins", "index_scans", "full_scans"):
+        assert getattr(planned.stats, field) == \
+            getattr(legacy.stats, field), (sql, field)
+
+
+@pytest.fixture(scope="module")
+def wilos_db():
+    db = create_wilos_database()
+    populate_wilos(db, n_users=50, n_roles=8, unfinished_fraction=0.3)
+    db.insert_many("process", (
+        {"id": i, "process_name": "proc%d" % i, "manager_id": i % 4}
+        for i in range(6)))
+    db.insert_many("role_descriptor", (
+        {"id": i, "role_id": i % 8, "process_id": i % 6,
+         "descriptor_name": "rd%d" % i} for i in range(25)))
+    return db
+
+
+BATTERY = [
+    ("SELECT * FROM participant", None),
+    ("SELECT p.login FROM participant p WHERE p.id = 7", None),
+    ("SELECT p.login FROM participant p WHERE p.id = :pid", {"pid": 3}),
+    ("SELECT p.login FROM participant p WHERE p.is_manager = 1 "
+     "AND p.role_id > 2", None),
+    ("SELECT p.login, r.role_name FROM participant p, role r "
+     "WHERE p.role_id = r.role_id", None),
+    ("SELECT p.login, d.descriptor_name "
+     "FROM participant p, role r, role_descriptor d "
+     "WHERE p.role_id = r.role_id AND d.role_id = r.role_id", None),
+    ("SELECT COUNT(*) FROM participant p, role r "
+     "WHERE p.role_id = r.role_id AND p.is_manager = 1", None),
+    ("SELECT p.login FROM participant p ORDER BY p.login DESC LIMIT 5",
+     None),
+    ("SELECT DISTINCT p.role_id FROM participant p ORDER BY p.role_id",
+     None),
+    ("SELECT x.login FROM (SELECT p.login, p.role_id FROM participant p "
+     "WHERE p.role_id = 2) x", None),
+    ("SELECT p.login FROM participant p WHERE p.role_id IN "
+     "(SELECT r.role_id FROM role r WHERE r.role_name = 'role1')", None),
+    ("SELECT COUNT(*) > 0 FROM participant p WHERE p.login = 'user3'",
+     None),
+    ("SELECT SUM(p.id), MAX(p.role_id), MIN(p.id), AVG(p.id) "
+     "FROM participant p WHERE p.is_manager = 0", None),
+    ("SELECT p.login FROM participant p, process pr", None),
+    ("SELECT p.login FROM participant p ORDER BY p.role_id, "
+     "p._rowid DESC LIMIT 7", None),
+    # Whole-input aggregates ignore ORDER BY / LIMIT / DISTINCT in the
+    # seed pipeline; the planned path must match that exactly.
+    ("SELECT COUNT(*) FROM participant p ORDER BY p.login", None),
+    ("SELECT COUNT(*) FROM participant p LIMIT 0", None),
+    ("SELECT DISTINCT COUNT(*) FROM participant p LIMIT 0", None),
+]
+
+
+@pytest.mark.parametrize("case", range(len(BATTERY)))
+def test_battery_equivalence(case, wilos_db):
+    sql, params = BATTERY[case]
+    _assert_identical(wilos_db, sql, params)
+
+
+# -- full-corpus equivalence ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def corpus_sql():
+    """Every SQL statement QBS infers over the whole corpus."""
+    out = []
+    for cf in ALL_FRAGMENTS:
+        result = run_fragment_through_qbs(cf)
+        if result.translated:
+            out.append((cf.fragment_id, cf.app, result.sql.sql))
+    return out
+
+
+@pytest.fixture(scope="module")
+def app_dbs():
+    wilos = create_wilos_database()
+    populate_wilos(db=wilos, n_users=40, n_roles=8)
+    wilos.insert_many("workproduct", (
+        {"id": i, "workproduct_name": "wp%d" % i, "state": i % 2,
+         "project_id": i % 4} for i in range(16)))
+    wilos.insert_many("workproduct_descriptor", (
+        {"id": i, "workproduct_id": i % 20, "process_id": i % 5,
+         "state": i % 2} for i in range(24)))
+    wilos.insert_many("role_descriptor", (
+        {"id": i, "role_id": i % 8, "process_id": i % 5,
+         "descriptor_name": "rd%d" % i} for i in range(20)))
+    wilos.insert_many("process", (
+        {"id": i, "process_name": "proc%d" % i, "manager_id": i % 3}
+        for i in range(5)))
+    itracker = create_itracker_database()
+    populate_itracker(itracker, n_issues=60)
+    advanced = create_advanced_database()
+    advanced.insert_many("r", ({"id": i, "a": i % 6} for i in range(30)))
+    advanced.insert_many("s", ({"id": i, "b": i % 6} for i in range(20)))
+    advanced.insert_many("t", ({"id": i} for i in range(25)))
+    advanced.insert_many("u", ({"id": i, "c": i % 8} for i in range(15)))
+    return {"wilos": wilos, "itracker": itracker, "advanced": advanced}
+
+
+def test_full_corpus_sql_equivalence(corpus_sql, app_dbs):
+    assert len(corpus_sql) >= 40  # 33 Fig. 13 + 7 advanced
+    checked = 0
+    for fragment_id, app, sql in corpus_sql:
+        db = app_dbs[app]
+        params = {name: 1 for name in
+                  set(re.findall(r":(\w+)", sql))}
+        if "GROUP BY" in sql:
+            # The seed pipeline has no GROUP BY; the grouped fragments
+            # are checked against the original code in the corpus suite.
+            db.execute(sql, params)
+            continue
+        _assert_identical(db, sql, params)
+        checked += 1
+    assert checked >= 39
