@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-smoke bench-synthesis bench bench-parallel \
-	bench-planner serve-smoke
+	bench-planner bench-parallel-scan serve-smoke docs-check
 
 # Tier-1 verification: the full unit/property/regression suite.
 test:
@@ -15,15 +15,22 @@ test:
 # timing repeat (fails below 2x wall-clock / 3x evaluator-call
 # reduction vs. the seed implementation), then the query-planner
 # floors (>= 3x for the hash-join chain on the three-table corpus
-# fragment and for index scans vs. full scans).  Perf regressions
-# surface in seconds.
+# fragment and for index scans vs. full scans), then the
+# partition-parallel scan floor (>= 1.8x at 4 partitions with the
+# process backend, asserted on >= 4 usable cores, reported otherwise).
+# Perf regressions surface in seconds.
 bench-smoke:
 	$(PYTHON) benchmarks/bench_synthesis_speed.py --smoke
 	$(PYTHON) benchmarks/bench_planner.py --smoke
+	$(PYTHON) benchmarks/bench_parallel_scan.py --smoke
 
 # Query-planner comparison at full size (best of 3 repeats).
 bench-planner:
 	$(PYTHON) benchmarks/bench_planner.py
+
+# Partition-parallel execution comparison at full size.
+bench-parallel-scan:
+	$(PYTHON) benchmarks/bench_parallel_scan.py
 
 # Full synthesis-speed table (per-fragment rows, best of 3 repeats).
 bench-synthesis:
@@ -53,3 +60,10 @@ serve-smoke:
 # which directory collection would skip.
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q
+
+# Executable documentation: doctest every README / docs example,
+# verify the EXPLAIN snippets in docs/explain.md against freshly
+# rendered plans, and run the quickstart the README advertises.
+docs-check:
+	$(PYTHON) tools/check_docs.py
+	$(PYTHON) examples/quickstart.py

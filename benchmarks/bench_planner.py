@@ -91,17 +91,10 @@ def run(smoke=False):
     n_r, n_s, n_u = (60, 40, 30) if smoke else (120, 90, 60)
 
     planned = build_database(ExecutorOptions(), n_r, n_s, n_u)
-    catalog = planned.catalog
-
-    def share(options):
-        db = Database(options)
-        db.catalog = catalog
-        db.executor.catalog = catalog
-        return db
-
-    no_hash = share(ExecutorOptions(hash_joins=False, index_scans=False))
-    no_index = share(ExecutorOptions(index_scans=False))
-    legacy = share(ExecutorOptions(planner=False))
+    no_hash = planned.view(ExecutorOptions(hash_joins=False,
+                                           index_scans=False))
+    no_index = planned.view(ExecutorOptions(index_scans=False))
+    legacy = planned.view(ExecutorOptions(planner=False))
 
     sql = chain_sql()
     print("three-table corpus SQL: %s" % sql)

@@ -16,7 +16,8 @@ Quick tour::
     print(result.sql.sql)             # the inferred query
 
 See ``examples/quickstart.py`` for the full walkthrough on the paper's
-running example, and DESIGN.md for the architecture.
+running example, README.md for the tour, and ``docs/architecture.md``
+for the subsystem architecture and the mode-flags-not-forks contract.
 """
 
 from repro.core.qbs import QBS, QBSOptions, QBSResult, QBSStatus

@@ -6,10 +6,32 @@ Modules:
   result transport;
 * :mod:`repro.service.cache` — persistent on-disk result store;
 * :mod:`repro.service.scheduler` — worker-pool fan-out with per-job
-  timeouts and an in-process fallback;
+  timeouts and an in-process fallback, plus ``fork_map``, the generic
+  fork primitive the SQL engine's partial aggregation reuses;
 * :mod:`repro.service.facade` — ``submit``/``gather``/``stream``
   coroutines for event-loop callers;
 * :mod:`repro.service.cli` — the ``repro-qbs`` command.
+
+Invariants every scheduler/cache change must preserve (pinned by
+``tests/service/`` and ``benchmarks/bench_qbs_parallel.py``):
+
+* **outcome identity** — parallel, sequential and cache-served runs of
+  the same batch produce equal outcome fingerprints (per-fragment
+  status, Appendix-A marker, SQL text; see
+  ``scheduler.outcome_fingerprint``).  Workers return JSON payloads
+  and the sequential path round-trips the same serialization, so no
+  mode ever sees richer data than another.
+* **submission-order delivery** — outcomes are yielded in the order
+  jobs were submitted, regardless of completion order; streaming
+  consumers see the next in-order outcome as soon as it exists.
+* **honest timeouts** — a job is reported timed out only if it ran
+  past its budget, never because it queued behind someone else's hung
+  job; timed-out and crashed workers become *failed jobs* while the
+  rest of the batch completes.
+* **content-hash invalidation** — cache keys hash the compiled kernel
+  fragment plus the full ``QBSOptions`` fingerprint, so edits
+  invalidate exactly the affected entries and corrupt entries read as
+  misses.
 """
 
 from repro.service.cache import ResultCache, default_cache_dir

@@ -22,6 +22,7 @@ is attached, which is what makes corpus re-runs incremental.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
 import time
 from collections import deque
@@ -43,6 +44,90 @@ from repro.service.jobs import (
 #: worker entry indirection: tests (and embedders) can swap the runner;
 #: fork-started workers inherit the swap.
 _JOB_RUNNER = execute_job
+
+
+def _fork_child(conn, fn, item):
+    """fork_map worker: one result (or one pickled exception) per pipe."""
+    try:
+        payload = (True, fn(item))
+    except BaseException as exc:
+        payload = (False, exc)
+    try:
+        conn.send(payload)
+    except Exception as send_exc:
+        # The payload would not pickle; degrade to a description that
+        # says so (a successful-but-unpicklable result must not read
+        # like the job failed with its own repr).
+        ok, value = payload
+        detail = ("result %r is not picklable" % (value,)) if ok \
+            else ("exception %s: %s did not pickle"
+                  % (type(value).__name__, value))
+        try:
+            conn.send((False, RuntimeError(
+                "fork_map: %s (%s: %s)"
+                % (detail, type(send_exc).__name__, send_exc))))
+        except Exception:   # pragma: no cover - pipe gone; parent sees EOF
+            pass
+    finally:
+        conn.close()
+    # Skip interpreter finalization: tearing down a forked child decrefs
+    # the entire inherited heap, copy-on-write-copying it page by page —
+    # for a large parent (the whole point of fork workers) that costs
+    # more than the job itself.  The result is already on the pipe and
+    # the child owns no other resources.
+    os._exit(0)
+
+
+def fork_map(fn, items):
+    """Apply ``fn`` to each item in its own forked child process.
+
+    The generic fan-out primitive underneath the scheduler's pool,
+    exposed for other CPU-bound batch work — the SQL engine's
+    partition-parallel aggregates run their per-partition tasks through
+    it.  Fork semantics are the point: children inherit the parent's
+    memory image, so ``fn`` and ``items`` never pickle; only each
+    *result* crosses the process boundary, over the scheduler's
+    one-pipe-per-worker convention (no channel is shared, so one
+    worker's death cannot corrupt another's result).
+
+    Results come back in item order.  A child that raises has its
+    exception re-raised here; a child that dies without replying raises
+    ``RuntimeError``.  Falls back to an inline map when fork is
+    unavailable (non-POSIX) or when there is at most one item.
+    """
+    items = list(items)
+    if len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return [fn(item) for item in items]
+
+    workers = []
+    for item in items:
+        receiver, sender = context.Pipe(duplex=False)
+        process = context.Process(target=_fork_child,
+                                  args=(sender, fn, item), daemon=True)
+        process.start()
+        sender.close()
+        workers.append((process, receiver))
+
+    results = []
+    failure = None
+    for process, receiver in workers:
+        try:
+            ok, payload = receiver.recv()
+        except (EOFError, OSError):
+            ok, payload = False, RuntimeError(
+                "fork_map worker died without replying")
+        receiver.close()
+        process.join()
+        if not ok and failure is None:
+            failure = payload
+        results.append(payload if ok else None)
+    if failure is not None:
+        raise failure
+    return results
 
 
 def _worker_main(conn, options_dict):

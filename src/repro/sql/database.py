@@ -10,6 +10,7 @@ from repro.sql.executor import (
     Executor,
     ExecutorOptions,
     QueryResult,
+    merge_stats,
 )
 from repro.sql.parser import parse
 from repro.tor import ast as T
@@ -26,7 +27,11 @@ class Database:
 
     ``options`` selects the execution mode: the planning engine by
     default, the seed single-pass pipeline with
-    ``ExecutorOptions(planner=False)``.
+    ``ExecutorOptions(planner=False)``, partition-parallel execution
+    with ``ExecutorOptions(parallel=K)``.  All modes are pinned
+    row/column/stats-identical by the regression suites; ``view``
+    opens a second mode over the same data for exactly that kind of
+    comparison.
     """
 
     def __init__(self, options: Optional[ExecutorOptions] = None):
@@ -53,6 +58,29 @@ class Database:
     def create_index(self, table: str, column: str) -> None:
         self.catalog.table(table).create_index(column)
 
+    def view(self, options: Optional[ExecutorOptions] = None) -> "Database":
+        """A second engine over this database's catalog.
+
+        The returned :class:`Database` shares tables and indexes with
+        this one but executes under its own ``options`` — the standard
+        way to compare execution modes on identical data (equivalence
+        tests, the planner and partition benchmarks):
+
+        >>> db = Database()
+        >>> _ = db.create_table("users", ["id", "name"])
+        >>> db.insert("users", {"id": 1, "name": "alice"})
+        >>> legacy = db.view(ExecutorOptions(planner=False))
+        >>> parallel = db.view(ExecutorOptions(parallel=2))
+        >>> sql = "SELECT u.name FROM users u"
+        >>> (db.execute(sql).rows == legacy.execute(sql).rows
+        ...     == parallel.execute(sql).rows)
+        True
+        """
+        other = Database(options)
+        other.catalog = self.catalog
+        other.executor.catalog = self.catalog
+        return other
+
     # -- querying --------------------------------------------------------------
 
     def execute(self, sql: str,
@@ -76,13 +104,7 @@ class Database:
         return self.executor.explain(parse(sql), params, analyze=analyze)
 
     def _accumulate(self, stats: ExecutionStats) -> None:
-        total = self.total_stats
-        total.rows_scanned += stats.rows_scanned
-        total.index_probes += stats.index_probes
-        total.hash_joins += stats.hash_joins
-        total.nested_loop_joins += stats.nested_loop_joins
-        total.index_scans += stats.index_scans
-        total.full_scans += stats.full_scans
+        merge_stats(self.total_stats, stats)
 
     # -- TOR integration -----------------------------------------------------------
 

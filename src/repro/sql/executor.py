@@ -54,6 +54,21 @@ class ExecutionStats:
     full_scans: int = 0
 
 
+def merge_stats(into: "ExecutionStats", delta: "ExecutionStats") -> None:
+    """Accumulate ``delta`` into ``into`` (all counters are additive).
+
+    The single definition used by :class:`~repro.sql.database.Database`
+    totals and by the partition-parallel driver, which merges each
+    partition's private counters back in partition-index order.
+    """
+    into.rows_scanned += delta.rows_scanned
+    into.index_probes += delta.index_probes
+    into.hash_joins += delta.hash_joins
+    into.nested_loop_joins += delta.nested_loop_joins
+    into.index_scans += delta.index_scans
+    into.full_scans += delta.full_scans
+
+
 @dataclass
 class ExecutorOptions:
     """Execution-mode flags (mode flags, not forks).
@@ -66,11 +81,29 @@ class ExecutorOptions:
         Optimizer rule toggles, used by the planner benchmarks to
         measure each rule's contribution.  Ignored by the seed path
         (which always applies both, as it always did).
+    ``parallel``
+        Partition count for partition-parallel execution.  ``K > 1``
+        makes the optimizer split the leftmost scan into K range
+        partitions, run the join chain per partition, and merge above
+        it (``Gather``, or partial aggregation for combinable
+        aggregates).  The serial plan is the ``K = 1`` default, and
+        every K is pinned row/column/stats-identical to it
+        (``tests/sql/test_parallel_equivalence.py``).  Requires the
+        planner.
+    ``parallel_backend``
+        ``"threads"`` (default) or ``"processes"``.  Threads share the
+        operator tree; the process backend — the service scheduler's
+        fork fan-out — only ever runs partial-aggregation partitions,
+        where results are scalars rather than row sets, and is the
+        configuration that turns partition parallelism into CPU
+        speedup (``benchmarks/bench_parallel_scan.py``).
     """
 
     planner: bool = True
     index_scans: bool = True
     hash_joins: bool = True
+    parallel: int = 1
+    parallel_backend: str = "threads"
 
 
 @dataclass
@@ -103,6 +136,14 @@ class Executor:
                  options: Optional[ExecutorOptions] = None):
         self.catalog = catalog
         self.options = options or ExecutorOptions()
+        if self.options.parallel < 1:
+            raise ValueError("parallel must be >= 1, got %d"
+                             % self.options.parallel)
+        if self.options.parallel > 1 and not self.options.planner:
+            raise ValueError(
+                "parallel execution requires the planner "
+                "(ExecutorOptions(planner=True))")
+        self._nested: Optional["Executor"] = None
 
     # -- public entry ----------------------------------------------------------
 
@@ -136,7 +177,8 @@ class Executor:
 
         return plan_select(select, self.catalog, OptimizerOptions(
             index_scans=self.options.index_scans,
-            hash_joins=self.options.hash_joins))
+            hash_joins=self.options.hash_joins,
+            parallel=self.options.parallel))
 
     # -- the seed pipeline (ExecutorOptions(planner=False)) --------------------
 
@@ -333,40 +375,9 @@ class Executor:
                    pred: S.BinOp, params, stats) -> List[Env]:
         """Build a hash table on the new source, probe with ``envs``."""
         stats.hash_joins += 1
-        left_expr, right_expr = pred.left, pred.right
-        if not (isinstance(left_expr, S.ColumnRef)
-                and isinstance(right_expr, S.ColumnRef)):
-            raise SQLExecutionError("hash join needs column = column")
-        if left_expr.alias == source.alias:
-            probe_expr, build_expr = right_expr, left_expr
-        else:
-            probe_expr, build_expr = left_expr, right_expr
-
-        buckets: Dict[Any, List[Tuple[int, Record]]] = {}
-        for rowid, record in source.rows:
-            buckets.setdefault(record[build_expr.column], []).append(
-                (rowid, record))
-
-        build_alias = source.alias
-        out: List[Env] = []
-        append = out.append
-        for env in envs:
-            value = self._eval(probe_expr, env, params, stats)
-            rows = buckets.get(value)
-            if not rows:
-                continue
-            if len(env) == 1:
-                # Single-alias probe side: build the two-entry env
-                # directly instead of copying the probe env per match.
-                ((probe_alias, probe_row),) = env.items()
-                for row in rows:
-                    append({probe_alias: probe_row, build_alias: row})
-            else:
-                for row in rows:
-                    merged = dict(env)
-                    merged[build_alias] = row
-                    append(merged)
-        return out
+        buckets, probe_expr = _hash_build(source, pred)
+        return _hash_probe(self, envs, buckets, probe_expr, source.alias,
+                           params, stats)
 
     # -- ordering / projection -------------------------------------------------------------
 
@@ -570,9 +581,30 @@ class Executor:
                 return record[ref.column]
         raise SQLExecutionError("cannot resolve column %r" % ref.column)
 
+    def _nested_executor(self) -> "Executor":
+        """The executor for per-row nested subqueries: always serial.
+
+        An IN subquery evaluates once per candidate row, possibly
+        inside a partition worker.  Re-planning it with ``parallel=K``
+        there would spin up a substrate per row — and, on the process
+        backend, attempt to fork from inside a daemonic fork child,
+        which multiprocessing forbids.  Serial nested execution is
+        stats-identical (that is the parallel-transparency invariant),
+        so nothing observable changes.
+        """
+        if self.options.parallel == 1:
+            return self
+        if self._nested is None:
+            serial = ExecutorOptions(
+                planner=self.options.planner,
+                index_scans=self.options.index_scans,
+                hash_joins=self.options.hash_joins)
+            self._nested = Executor(self.catalog, serial)
+        return self._nested
+
     def _eval_in(self, expr: S.InSubquery, env: Env, params, stats) -> bool:
         subject = self._eval(expr.subject, env, params, stats)
-        result = self.execute(expr.query, params, stats)
+        result = self._nested_executor().execute(expr.query, params, stats)
         found = False
         for row in result.rows:
             if isinstance(subject, Record):
@@ -613,6 +645,60 @@ class _ScannedSource:
     columns: Tuple[str, ...]
     rows: List[Tuple[int, Record]]
     table: Optional[Table]
+
+
+def _hash_build(source: "_ScannedSource", pred: S.BinOp
+                ) -> Tuple[Dict[Any, List[Tuple[int, Record]]], S.Expr]:
+    """The build phase of a hash join: bucket the new source's rows.
+
+    Returns the buckets and the probe-side expression.  Shared by the
+    serial executor and the partition-parallel join, which builds once
+    and probes each partition independently.
+    """
+    left_expr, right_expr = pred.left, pred.right
+    if not (isinstance(left_expr, S.ColumnRef)
+            and isinstance(right_expr, S.ColumnRef)):
+        raise SQLExecutionError("hash join needs column = column")
+    if left_expr.alias == source.alias:
+        probe_expr, build_expr = right_expr, left_expr
+    else:
+        probe_expr, build_expr = left_expr, right_expr
+
+    buckets: Dict[Any, List[Tuple[int, Record]]] = {}
+    for rowid, record in source.rows:
+        buckets.setdefault(record[build_expr.column], []).append(
+            (rowid, record))
+    return buckets, probe_expr
+
+
+def _hash_probe(executor: "Executor", envs: List[Env], buckets,
+                probe_expr: S.Expr, build_alias: str, params,
+                stats) -> List[Env]:
+    """The probe phase: match ``envs`` against prebuilt buckets.
+
+    Output order is probe-major (env order, then bucket order), which
+    is what makes contiguous probe partitions concatenate back into
+    the serial result exactly.
+    """
+    out: List[Env] = []
+    append = out.append
+    for env in envs:
+        value = executor._eval(probe_expr, env, params, stats)
+        rows = buckets.get(value)
+        if not rows:
+            continue
+        if len(env) == 1:
+            # Single-alias probe side: build the two-entry env
+            # directly instead of copying the probe env per match.
+            ((probe_alias, probe_row),) = env.items()
+            for row in rows:
+                append({probe_alias: probe_row, build_alias: row})
+        else:
+            for row in rows:
+                merged = dict(env)
+                merged[build_alias] = row
+                append(merged)
+    return out
 
 
 class _ReverseAware:

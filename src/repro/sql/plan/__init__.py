@@ -5,12 +5,41 @@ The subsystem behind ``ExecutorOptions(planner=True)``:
 * :mod:`repro.sql.plan.logical` — the logical plan IR and the
   ``Select`` -> logical-tree builder;
 * :mod:`repro.sql.plan.optimizer` — predicate pushdown, index-scan
-  selection and hash-join-chain ordering;
+  selection, hash-join-chain ordering and the partition-parallel
+  Gather rewrite;
 * :mod:`repro.sql.plan.physical` — executable operators with
-  per-operator statistics;
-* :mod:`repro.sql.plan.explain` — the EXPLAIN tree printer.
+  per-operator statistics, including the partitioned operators behind
+  ``ExecutorOptions(parallel=K)``;
+* :mod:`repro.sql.plan.parallel` — the thread / forked-process
+  substrate partition tasks run on;
+* :mod:`repro.sql.plan.explain` — the EXPLAIN tree printer
+  (format reference: ``docs/explain.md``);
+* :mod:`repro.sql.plan.examples` — the executable EXPLAIN examples
+  shared by ``docs/explain.md``, the golden tests and
+  ``tools/check_docs.py``.
 
 ``plan_select`` is the one-call facade the executor uses.
+
+Invariants every rewrite must preserve (pinned by
+``tests/sql/test_planner_equivalence.py`` and
+``tests/sql/test_parallel_equivalence.py``):
+
+* **storage order** — unordered scans enumerate rows in insertion
+  order, and join output is probe-major (probe order, then bucket
+  order); the paper's ``Order`` axiom (Fig. 9) leans on this.
+* **tie order** — ORDER BY sorts are stable, and the top-k heap path
+  appends the input position to the sort key so it matches
+  ``sorted(...)[:limit]`` exactly.
+* **first-encounter group order** — GROUP BY emits groups in the order
+  their keys first appear in the (storage-ordered) input; the grouped
+  analogue of storage order.
+* **partition transparency** — a partitioned chain splits the leftmost
+  scan into contiguous range partitions and merges in partition-index
+  order, which reproduces the three orders above bit for bit; shared
+  work (scans, hash-table builds) is counted in the engine statistics
+  exactly once, and per-partition counters merge in partition-index
+  order.  ``parallel=K`` is therefore row/column/stats-identical to
+  the serial plan for every K.
 """
 
 from __future__ import annotations

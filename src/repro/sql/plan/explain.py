@@ -11,6 +11,18 @@ execution statistics in the style of ``EXPLAIN ANALYZE``::
          │   ├─ FullScan(participant AS t0)  [rows=9]
          │   └─ FullScan(role AS t1)  [rows=3]
          └─ IndexScan(role_descriptor AS t2, role_id = 1)  [rows=4]
+
+Partition-parallel plans (``ExecutorOptions(parallel=K)``) print their
+partition count statically (``partitions=K`` in the operator body) and,
+under ``analyze``, each partitioned operator's per-partition output
+counts in partition-index order::
+
+    Gather(partitions=2)  [rows=9]
+     └─ PartitionedHashJoin(t0.role_id = t1.role_id)  [rows=9, parts=5|4]
+         ├─ PartitionedScan(FullScan(participant AS t0), partitions=2)  [rows=9, parts=5|4]
+         └─ FullScan(role AS t1)  [rows=3]
+
+The full format is documented in ``docs/explain.md``.
 """
 
 from __future__ import annotations
@@ -26,8 +38,16 @@ def render(root: PhysicalOp, analyze: bool = False) -> str:
 
     def emit(op: PhysicalOp, prefix: str, child_prefix: str) -> None:
         body = op.describe()
-        if analyze and op.rows_out is not None:
-            body += "  [rows=%d]" % op.rows_out
+        if analyze:
+            bits = []
+            if op.rows_out is not None:
+                bits.append("rows=%d" % op.rows_out)
+            parts = op.partition_rows
+            if parts is not None and any(n is not None for n in parts):
+                bits.append("parts=%s" % "|".join(
+                    "?" if n is None else str(n) for n in parts))
+            if bits:
+                body += "  [%s]" % ", ".join(bits)
         lines.append(prefix + body)
         children = op.children
         for index, child in enumerate(children):

@@ -86,6 +86,28 @@ class Filter(LogicalPlan):
 
 
 @dataclass
+class Gather(LogicalPlan):
+    """Partition-parallel boundary inserted by the optimizer.
+
+    Everything below runs once per partition: the leftmost scan is
+    split into ``partitions`` contiguous range partitions, and the join
+    chain plus residual filters execute per partition against shared
+    build tables.  Gather concatenates the partitions in
+    partition-index order, which is exactly the serial row order —
+    everything above (Sort, Project, Aggregate, ...) is unchanged.  An
+    Aggregate directly above a Gather may instead lower to partial
+    aggregation with a combine step (see
+    :class:`repro.sql.plan.physical.PartialAggregateOp`).
+    """
+
+    child: LogicalPlan
+    partitions: int = 1
+
+    def children(self):
+        return (self.child,)
+
+
+@dataclass
 class Aggregate(LogicalPlan):
     """GROUP BY / aggregate evaluation (terminal row producer)."""
 

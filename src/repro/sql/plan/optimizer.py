@@ -1,6 +1,6 @@
 """Rule-based logical-plan optimizer.
 
-Three rewrites, applied in order:
+Four rewrites, applied in order:
 
 1. **Predicate pushdown** — the WHERE conjunction is split; conjuncts
    that mention a single source move into that source's :class:`Scan`,
@@ -19,6 +19,15 @@ Three rewrites, applied in order:
    hash joins (``A ⋈ B ⋈ C`` runs as two O(n) build/probe passes).
    Sources with no connecting predicate fall back to a nested-loop
    cross product; unused join predicates degrade to residual filters.
+
+4. **Partition parallelism** — with ``parallel = K > 1`` the whole
+   env-producing segment (scans, joins, residual filters) is wrapped in
+   a :class:`~repro.sql.plan.logical.Gather` boundary: the leftmost
+   scan splits into K contiguous range partitions and the chain runs
+   once per partition, merging in partition-index order.  Because the
+   merge order equals the serial row order, the rewrite is invisible to
+   everything above the boundary — the serial plan is the ``K = 1``
+   special case.
 
 The classification logic deliberately mirrors the legacy executor's
 (`Executor._classify` / `_join_all`), so ``ExecutorOptions(planner=True)``
@@ -45,11 +54,16 @@ from repro.sql.plan import logical as L
 
 @dataclass
 class OptimizerOptions:
-    """Rule toggles (ablation knobs for benchmarks and EXPLAIN tests)."""
+    """Rule toggles (ablation knobs for benchmarks and EXPLAIN tests).
+
+    ``parallel`` is the partition count for the Gather rewrite;
+    ``1`` (the default) keeps the serial plan shape.
+    """
 
     index_scans: bool = True
     hash_joins: bool = True
     predicate_pushdown: bool = True
+    parallel: int = 1
 
 
 def optimize(plan: L.LogicalPlan, catalog: Catalog,
@@ -84,6 +98,8 @@ def optimize(plan: L.LogicalPlan, catalog: Catalog,
     joined = _order_joins(scans, join_pool, residual, options)
     if residual:
         joined = L.Filter(joined, predicates=tuple(residual))
+    if options.parallel > 1:
+        joined = L.Gather(joined, partitions=options.parallel)
 
     # Re-attach the wrappers, innermost last.
     for wrapper in reversed(wrappers):

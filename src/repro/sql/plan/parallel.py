@@ -1,0 +1,52 @@
+"""Execution substrate for partition-parallel plans.
+
+One entry point, :func:`run_tasks`, maps a list of per-partition thunks
+onto the configured backend:
+
+* ``"threads"`` (default) — a thread per partition.  Threads share the
+  catalog and the physical operator tree, so joined environments flow
+  back with zero copying; CPython's GIL serializes the interpreted
+  work, which keeps this backend about overlap and correctness
+  plumbing rather than raw CPU speedup.
+* ``"processes"`` — the service scheduler's fork fan-out
+  (:func:`repro.service.scheduler.fork_map`).  Children inherit the
+  table data by fork, run their partition, and send back only the
+  (small, picklable) task result — which is why the executor reserves
+  this backend for partial aggregation, where a partition's result is
+  a handful of combined values rather than a row set.
+
+Both backends preserve partition order in the returned list, and both
+degrade to an inline loop for a single task, so ``parallel=1`` and
+serial execution share one code path.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, List, Sequence
+
+#: The backends :class:`~repro.sql.executor.ExecutorOptions` accepts.
+BACKENDS = ("threads", "processes")
+
+
+def run_tasks(tasks: Sequence[Callable[[], Any]],
+              backend: str = "threads") -> List[Any]:
+    """Run thunks, one per partition; results in partition order."""
+    if backend not in BACKENDS:
+        raise ValueError("unknown parallel backend %r (expected one of %s)"
+                         % (backend, ", ".join(BACKENDS)))
+    tasks = list(tasks)
+    if len(tasks) <= 1:
+        return [task() for task in tasks]
+    if backend == "processes":
+        # Imported lazily: repro.sql must stay importable without
+        # touching the service layer (which itself imports repro.sql).
+        from repro.service.scheduler import fork_map
+
+        return fork_map(_call, tasks)
+    with ThreadPoolExecutor(max_workers=len(tasks)) as pool:
+        return list(pool.map(_call, tasks))
+
+
+def _call(task: Callable[[], Any]) -> Any:
+    return task()

@@ -9,15 +9,28 @@ Lowering (:func:`lower`) maps each logical node onto an operator object:
 * ``Sort``      -> :class:`SortOp` (heap top-k selection when the
                    optimizer attached a LIMIT bound)
 * ``Aggregate`` -> :class:`AggregateOp` (GROUP BY grouping in
-                   first-encounter order, HAVING, aggregate projection)
+                   first-encounter order, HAVING, aggregate projection),
+                   or :class:`PartialAggregateOp` under a partitioned
+                   child when every aggregate is combinable
 * ``Project`` / ``Distinct`` / ``Limit`` -> the matching row operators
+* ``Gather``    -> :class:`GatherOp` over a chain of partitioned
+                   operators (:class:`PartitionedScanOp`,
+                   :class:`PartitionedHashJoinOp`, ...)
 
 Operators delegate scalar/aggregate expression evaluation to the owning
 :class:`~repro.sql.executor.Executor`, so both executor modes share one
 expression semantics.  Each operator records its output cardinality in
 ``rows_out`` (per-operator execution statistics), which the EXPLAIN
 printer surfaces in ``analyze`` mode; engine-wide counters still go to
-the familiar :class:`~repro.sql.executor.ExecutionStats`.
+the familiar :class:`~repro.sql.executor.ExecutionStats`.  Partitioned
+operators additionally record per-partition output counts in
+``partition_rows`` (EXPLAIN's ``parts=`` annotation).
+
+The partition-parallel invariant: a partitioned chain splits the
+leftmost scan into contiguous range partitions, shares every join's
+build table, probes per partition, and merges in partition-index order
+— which is exactly the serial row order, so ``parallel=K`` is
+row/column/stats-identical to the serial plan for every K.
 """
 
 from __future__ import annotations
@@ -29,13 +42,19 @@ from repro.sql import ast as S
 from repro.sql.errors import SQLExecutionError
 from repro.sql.executor import (
     Env,
+    ExecutionStats,
     QueryResult,
     _apply_op,
     _default_name,
+    _hash_build,
+    _hash_probe,
+    _param,
     _ScannedSource,
     _truthy,
+    merge_stats,
 )
 from repro.sql.plan import logical as L
+from repro.sql.plan.parallel import run_tasks
 from repro.tor.values import Record
 
 
@@ -60,6 +79,9 @@ class PhysicalOp:
 
     def __init__(self):
         self.rows_out: Optional[int] = None
+        #: per-partition output counts, filled by the parallel driver
+        #: (None on serial operators).
+        self.partition_rows: Optional[List[Optional[int]]] = None
 
     @property
     def children(self) -> Tuple["PhysicalOp", ...]:
@@ -563,6 +585,615 @@ class LimitOp(RowOp):
         return rows, columns
 
 
+# -- partition-parallel execution ---------------------------------------------
+
+
+class _PartCtx:
+    """Per-partition execution state: private stats, private counters.
+
+    Each partition task owns one of these so nothing is mutated
+    concurrently; the driver merges ``stats`` back into the query's
+    :class:`ExecutionStats` in partition-index order and copies
+    ``recorded`` per-operator counts into ``partition_rows``.  Both
+    survive a process boundary (the payload is plain data), which is
+    what lets the fork backend report honest per-partition statistics.
+    """
+
+    __slots__ = ("executor", "params", "stats", "recorded")
+
+    def __init__(self, executor, params):
+        self.executor = executor
+        self.params = params
+        self.stats = ExecutionStats()
+        self.recorded: Dict[int, int] = {}
+
+    def record(self, op: "PartitionedOp", count: int) -> None:
+        self.recorded[op._ordinal] = count
+
+
+class PartitionedOp(PhysicalOp):
+    """Base for operators that run once per partition.
+
+    ``prepare`` does the serial, shared work exactly once (scanning,
+    stats counting, hash-table builds) and returns the partition count;
+    ``run_partition`` produces one partition's environments using only
+    partition-local state.  The driver guarantees partitions merge in
+    partition-index order, so concatenated output equals the serial
+    operator's output row for row.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._ordinal = 0
+
+    def prepare(self, ctx: _Ctx) -> int:
+        raise NotImplementedError
+
+    def run_partition(self, part: int, pctx: _PartCtx) -> List[Env]:
+        raise NotImplementedError
+
+
+class PartitionedScanOp(PartitionedOp):
+    """A scan split into contiguous range partitions.
+
+    The underlying rows are produced (and counted in the engine stats)
+    exactly once, then divided into ``partitions`` contiguous slices of
+    near-equal size; pushed-down predicates are evaluated per
+    partition.  Range partitioning preserves storage order within and
+    across partitions — the foundation of the merge-order invariant.
+    """
+
+    name = "PartitionedScan"
+
+    def __init__(self, scan: ScanOp, partitions: int):
+        super().__init__()
+        self.scan = scan
+        self.partitions = partitions
+
+    def describe(self) -> str:
+        return "%s(%s, partitions=%d)" % (self.name, self.scan.describe(),
+                                          self.partitions)
+
+    def prepare(self, ctx: _Ctx) -> int:
+        source = self.scan._rows(ctx)   # scan-level stats count once here
+        self._alias = source.alias
+        self._slices = _split_ranges(source.rows, self.partitions)
+        # Register the source for downstream column resolution (ORDER
+        # BY / projection); consumers only read alias and columns, so
+        # the filtered row payload stays partition-private.
+        ctx.scanned.append(_ScannedSource(alias=source.alias,
+                                          columns=source.columns,
+                                          rows=[], table=source.table))
+        return self.partitions
+
+    def run_partition(self, part: int, pctx: _PartCtx) -> List[Env]:
+        rows = self._slices[part]
+        if self.scan.predicates:
+            executor = pctx.executor
+            filtered = []
+            for rowid, record in rows:
+                env = {self._alias: (rowid, record)}
+                if all(_truthy(executor._eval(p, env, pctx.params,
+                                              pctx.stats))
+                       for p in self.scan.predicates):
+                    filtered.append((rowid, record))
+            rows = filtered
+        pctx.record(self, len(rows))
+        return [{self._alias: row} for row in rows]
+
+
+class PartitionedHashJoinOp(PartitionedOp):
+    """Hash join with a shared build table and per-partition probes.
+
+    The build side (the new source) is scanned, filtered and bucketed
+    once in ``prepare``; each partition probes with its own slice of
+    the prefix.  Probe output is probe-major, so contiguous probe
+    partitions concatenate into exactly the serial join result.
+    """
+
+    name = "PartitionedHashJoin"
+
+    def __init__(self, left: PartitionedOp, right: ScanOp,
+                 predicate: S.BinOp):
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        from repro.sql.pretty import expr_sql
+
+        return "%s(%s)" % (self.name, expr_sql(self.predicate))
+
+    def prepare(self, ctx: _Ctx) -> int:
+        partitions = self.left.prepare(ctx)
+        source = self.right.scanned(ctx)
+        ctx.stats.hash_joins += 1
+        self._buckets, self._probe_expr = _hash_build(source,
+                                                      self.predicate)
+        self._build_alias = source.alias
+        return partitions
+
+    def run_partition(self, part: int, pctx: _PartCtx) -> List[Env]:
+        envs = self.left.run_partition(part, pctx)
+        out = _hash_probe(pctx.executor, envs, self._buckets,
+                          self._probe_expr, self._build_alias,
+                          pctx.params, pctx.stats)
+        pctx.record(self, len(out))
+        return out
+
+
+class PartitionedNestedLoopOp(PartitionedOp):
+    """Cross product of each prefix partition with the shared source."""
+
+    name = "PartitionedNestedLoop"
+
+    def __init__(self, left: PartitionedOp, right: ScanOp):
+        super().__init__()
+        self.left = left
+        self.right = right
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def prepare(self, ctx: _Ctx) -> int:
+        partitions = self.left.prepare(ctx)
+        source = self.right.scanned(ctx)
+        ctx.stats.nested_loop_joins += 1
+        self._rows = source.rows
+        self._alias = source.alias
+        return partitions
+
+    def run_partition(self, part: int, pctx: _PartCtx) -> List[Env]:
+        envs = self.left.run_partition(part, pctx)
+        out = [dict(env, **{self._alias: row})
+               for env in envs for row in self._rows]
+        pctx.record(self, len(out))
+        return out
+
+
+class PartitionedFilterOp(PartitionedOp):
+    """Residual predicates evaluated inside each partition."""
+
+    name = "PartitionedFilter"
+
+    def __init__(self, child: PartitionedOp,
+                 predicates: Tuple[S.Expr, ...]):
+        super().__init__()
+        self.child = child
+        self.predicates = predicates
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        from repro.sql.pretty import expr_sql
+
+        return "%s(%s)" % (self.name, " AND ".join(
+            expr_sql(p) for p in self.predicates))
+
+    def prepare(self, ctx: _Ctx) -> int:
+        return self.child.prepare(ctx)
+
+    def run_partition(self, part: int, pctx: _PartCtx) -> List[Env]:
+        executor = pctx.executor
+        out = self.child.run_partition(part, pctx)
+        for pred in self.predicates:
+            out = [env for env in out
+                   if _truthy(executor._eval(pred, env, pctx.params,
+                                             pctx.stats))]
+        pctx.record(self, len(out))
+        return out
+
+
+def _split_ranges(rows: List, partitions: int) -> List[List]:
+    """Contiguous range partitions of near-equal size (sizes differ by
+    at most one; earlier partitions take the remainder)."""
+    n = len(rows)
+    base, extra = divmod(n, partitions)
+    slices = []
+    start = 0
+    for part in range(partitions):
+        size = base + (1 if part < extra else 0)
+        slices.append(rows[start:start + size])
+        start += size
+    return slices
+
+
+def _chain_ops(op: PartitionedOp) -> List[PartitionedOp]:
+    """The partitioned operators of a chain, leaf-last."""
+    out = [op]
+    for child in op.children:
+        if isinstance(child, PartitionedOp):
+            out.extend(_chain_ops(child))
+    return out
+
+
+def _run_partitioned(chain: PartitionedOp, ctx: _Ctx, backend: str,
+                     worker, driver_op: Optional[PhysicalOp] = None
+                     ) -> List[Any]:
+    """Drive a partitioned chain: prepare serially, fan partitions out.
+
+    ``worker(part, pctx)`` runs per partition on the configured backend
+    and its (picklable, for the process backend) results come back in
+    partition-index order.  Partition stats merge into the query stats
+    in that same order, and each chain operator's ``partition_rows`` /
+    ``rows_out`` are filled from the per-partition counters.
+    ``driver_op`` (e.g. the partial-aggregation operator whose workers
+    also record counts) joins the same ordinal space.
+    """
+    count = chain.prepare(ctx)
+    ops = _chain_ops(chain)
+    if driver_op is not None:
+        ops.append(driver_op)
+    for ordinal, op in enumerate(ops):
+        op._ordinal = ordinal
+        op.partition_rows = [None] * count
+
+    executor, params = ctx.executor, ctx.params
+
+    def make_task(part: int):
+        def task():
+            pctx = _PartCtx(executor, params)
+            return worker(part, pctx), pctx.stats, pctx.recorded
+        return task
+
+    results = run_tasks([make_task(part) for part in range(count)],
+                        backend=backend)
+    payloads = []
+    for part, (payload, pstats, recorded) in enumerate(results):
+        merge_stats(ctx.stats, pstats)
+        for ordinal, rows in recorded.items():
+            ops[ordinal].partition_rows[part] = rows
+        payloads.append(payload)
+    for op in ops:
+        op.rows_out = sum(rows for rows in op.partition_rows
+                          if rows is not None)
+    return payloads
+
+
+class GatherOp(EnvOp):
+    """Merge a partitioned chain back into one env stream.
+
+    Partitions are concatenated in partition-index order — the serial
+    row order — so every operator above a Gather is oblivious to the
+    parallelism below it.
+    """
+
+    name = "Gather"
+
+    def __init__(self, child: PartitionedOp, partitions: int):
+        super().__init__()
+        self.child = child
+        self.partitions = partitions
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "%s(partitions=%d)" % (self.name, self.partitions)
+
+    def envs(self, ctx: _Ctx) -> List[Env]:
+        child = self.child
+        # Always threads: a Gather's per-partition result is a full row
+        # set, which threads hand over by reference; forking here would
+        # pickle every joined row back through a pipe.  The process
+        # backend is reserved for PartialAggregateOp, whose partition
+        # results are scalars.
+        parts = _run_partitioned(
+            child, ctx, "threads",
+            lambda part, pctx: child.run_partition(part, pctx))
+        out = [env for part in parts for env in part]
+        self.rows_out = len(out)
+        return out
+
+
+#: Aggregates with an exact, order-insensitive combine step.  AVG is
+#: deliberately absent: combining per-partition float sums can round
+#: differently from the serial left-to-right fold, and the engine's
+#: contract is exact identity, so AVG falls back to Gather + serial
+#: aggregation.
+_COMBINABLE_AGGREGATES = ("COUNT", "SUM", "MIN", "MAX")
+
+
+def combinable_aggregate(items: Tuple[S.SelectItem, ...],
+                         group_by: Tuple[S.Expr, ...],
+                         having: Optional[S.Expr]) -> bool:
+    """Whether this aggregation can run as partials + a combine step.
+
+    Conservative by design — anything not provably identical to the
+    serial evaluation (AVG's float folding, AND/OR short-circuits,
+    subqueries whose statistics would be double-counted across
+    partitions) falls back to :class:`GatherOp` + :class:`AggregateOp`,
+    which is always correct.
+    """
+    grouped = bool(group_by)
+    # With HAVING, the serial path never evaluates select-list
+    # aggregates for filtered-out groups; partials evaluate them for
+    # every group, so their arguments must be statistics-free.
+    pure_args = grouped and having is not None
+    trees = [item.expr for item in items]
+    if having is not None:
+        trees.append(having)
+    return all(not isinstance(tree, S.Star)
+               and _combinable_expr(tree, grouped, pure_args)
+               for tree in trees)
+
+
+def _combinable_expr(expr: S.Expr, grouped: bool,
+                     pure_args: bool) -> bool:
+    if isinstance(expr, S.FuncCall):
+        if expr.name not in _COMBINABLE_AGGREGATES:
+            return False
+        if expr.arg is not None and pure_args \
+                and not _pure_scalar(expr.arg):
+            return False
+        return True
+    if isinstance(expr, S.BinOp):
+        if expr.op in ("AND", "OR"):
+            return False            # short-circuit evaluation parity
+        return (_combinable_expr(expr.left, grouped, pure_args)
+                and _combinable_expr(expr.right, grouped, pure_args))
+    if isinstance(expr, (S.Literal, S.Param)):
+        return True
+    if grouped:
+        # Non-aggregate subtree: evaluated on the group's first
+        # environment, potentially once per partition — must not touch
+        # engine statistics.
+        return _pure_scalar(expr)
+    return False
+
+
+def _pure_scalar(expr: S.Expr) -> bool:
+    """No aggregates, no subqueries: evaluation is repeatable and
+    statistics-free."""
+    if isinstance(expr, (S.Literal, S.Param, S.ColumnRef, S.RowRef)):
+        return True
+    if isinstance(expr, S.BinOp):
+        return _pure_scalar(expr.left) and _pure_scalar(expr.right)
+    if isinstance(expr, S.NotOp):
+        return _pure_scalar(expr.expr)
+    return False
+
+
+def _partial_state(call: S.FuncCall, envs: List[Env], executor, params,
+                   stats) -> Any:
+    """One aggregate call's partial state over one partition's envs.
+
+    For the combinable aggregates the partial state *is* the aggregate
+    value over the partition, so this delegates to the executor's
+    single aggregate semantics (COUNT-arg None filtering, SUM of an
+    empty series = 0, MIN/MAX of an empty series = None) rather than
+    re-implementing it — a semantics tweak there cannot desynchronize
+    the parallel path.
+    """
+    return executor._eval_aggregate(call, envs, params, stats)
+
+
+def _combine_states(call: S.FuncCall, left: Any, right: Any) -> Any:
+    """Fold two partial states of one aggregate call."""
+    if call.name in ("COUNT", "SUM"):
+        return left + right
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return max(left, right) if call.name == "MAX" else min(left, right)
+
+
+class PartialAggregateOp(RowOp):
+    """Aggregation as per-partition partials plus an exact combine.
+
+    Each partition computes, per group (or for the whole input), the
+    partial state of every COUNT/SUM/MIN/MAX call; the driver merges
+    partitions in partition-index order, which preserves the serial
+    **first-encounter group order** and picks each group's first
+    environment from the earliest partition that saw the group — so
+    non-aggregate select items evaluate exactly as they do serially.
+    Only ``combinable_aggregate`` shapes lower here; everything else
+    uses :class:`GatherOp` + :class:`AggregateOp`.
+
+    This is the operator the ``"processes"`` backend exists for: a
+    partition's result is a handful of scalars, so fork fan-out pays
+    for real CPU parallelism without shipping row sets between
+    processes.
+    """
+
+    name = "PartialAggregate"
+
+    def __init__(self, child: PartitionedOp, partitions: int,
+                 items: Tuple[S.SelectItem, ...],
+                 group_by: Tuple[S.Expr, ...],
+                 having: Optional[S.Expr]):
+        super().__init__()
+        self.child = child
+        self.partitions = partitions
+        self.items = items
+        self.group_by = group_by
+        self.having = having
+        self.groups_in = None
+        self._ordinal = 0
+        self._agg_calls: List[S.FuncCall] = []
+        self._leaves: List[S.Expr] = []
+        trees = [item.expr for item in items]
+        if having is not None:
+            trees.append(having)
+        for tree in trees:
+            _collect_partial_nodes(tree, self._agg_calls, self._leaves)
+        self._agg_index = {id(call): i
+                           for i, call in enumerate(self._agg_calls)}
+        self._leaf_index = {id(leaf): i
+                            for i, leaf in enumerate(self._leaves)}
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        from repro.sql.pretty import expr_sql
+
+        if not self.group_by:
+            return "PartialAggregate(whole input, partitions=%d)" \
+                % self.partitions
+        body = "PartialGroupBy(%s, partitions=%d)" % (
+            ", ".join(expr_sql(e) for e in self.group_by),
+            self.partitions)
+        if self.having is not None:
+            body += " having %s" % expr_sql(self.having)
+        return body
+
+    def rows(self, ctx: _Ctx) -> Tuple[List[Record], Tuple[str, ...]]:
+        child = self.child
+        if self.group_by:
+            worker = self._grouped_partition
+        else:
+            worker = self._whole_partition
+        parts = _run_partitioned(
+            child, ctx, ctx.executor.options.parallel_backend,
+            lambda part, pctx: worker(child.run_partition(part, pctx),
+                                      pctx),
+            driver_op=self)
+        if self.group_by:
+            return self._merge_grouped(parts, ctx)
+        return self._merge_whole(parts, ctx)
+
+    # -- per-partition workers (run on the parallel substrate) -------------
+
+    def _whole_partition(self, envs: List[Env], pctx: _PartCtx):
+        states = tuple(_partial_state(call, envs, pctx.executor,
+                                      pctx.params, pctx.stats)
+                       for call in self._agg_calls)
+        pctx.record(self, len(envs))
+        return states
+
+    def _grouped_partition(self, envs: List[Env], pctx: _PartCtx):
+        executor, params, stats = pctx.executor, pctx.params, pctx.stats
+        buckets: Dict[Tuple, List[Env]] = {}
+        order: List[Tuple] = []
+        for env in envs:
+            key = tuple(executor._eval(e, env, params, stats)
+                        for e in self.group_by)
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = bucket = []
+                order.append(key)
+            bucket.append(env)
+        out = []
+        for key in order:
+            group = buckets[key]
+            states = tuple(_partial_state(call, group, executor, params,
+                                          stats)
+                           for call in self._agg_calls)
+            leaves = tuple(executor._eval(leaf, group[0], params, stats)
+                           for leaf in self._leaves)
+            out.append((key, states, leaves))
+        pctx.record(self, len(out))
+        return out
+
+    # -- merge (serial, partition-index order) -----------------------------
+
+    def _columns(self, ctx: _Ctx) -> List[str]:
+        columns: List[str] = []
+        for item in self.items:
+            name = item.as_name or _default_name(item.expr)
+            columns.append(ctx.executor._fresh_name(name, columns))
+        return columns
+
+    def _merge_whole(self, parts, ctx: _Ctx):
+        combined: Dict[int, Any] = {}
+        for i, call in enumerate(self._agg_calls):
+            value = parts[0][i]
+            for states in parts[1:]:
+                value = _combine_states(call, value, states[i])
+            combined[id(call)] = value
+
+        columns = self._columns(ctx)
+        values = [self._merge_eval(item.expr, combined, {}, ctx.params)
+                  for item in self.items]
+        rows = [Record(dict(zip(columns, values)))]
+        self.rows_out = len(rows)
+        return rows, tuple(columns)
+
+    def _merge_grouped(self, parts, ctx: _Ctx):
+        merged: Dict[Tuple, List[Any]] = {}
+        first_leaves: Dict[Tuple, Tuple] = {}
+        order: List[Tuple] = []
+        for part in parts:
+            for key, states, leaves in part:
+                seen = merged.get(key)
+                if seen is None:
+                    merged[key] = list(states)
+                    first_leaves[key] = leaves
+                    order.append(key)
+                else:
+                    for i, call in enumerate(self._agg_calls):
+                        seen[i] = _combine_states(call, seen[i],
+                                                  states[i])
+        self.groups_in = len(order)
+
+        columns = self._columns(ctx)
+        rows: List[Record] = []
+        for key in order:
+            agg_values = {id(call): merged[key][i]
+                          for i, call in enumerate(self._agg_calls)}
+            leaf_values = {id(leaf): first_leaves[key][i]
+                           for i, leaf in enumerate(self._leaves)}
+            if self.having is not None and not _truthy(
+                    self._merge_eval(self.having, agg_values,
+                                     leaf_values, ctx.params)):
+                continue
+            values = [self._merge_eval(item.expr, agg_values,
+                                       leaf_values, ctx.params)
+                      for item in self.items]
+            rows.append(Record(dict(zip(columns, values))))
+        self.rows_out = len(rows)
+        return rows, tuple(columns)
+
+    def _merge_eval(self, expr: S.Expr, agg_values, leaf_values,
+                    params) -> Any:
+        key = id(expr)
+        if key in agg_values:
+            return agg_values[key]
+        if key in leaf_values:
+            return leaf_values[key]
+        if isinstance(expr, S.BinOp):
+            return _apply_op(
+                expr.op,
+                self._merge_eval(expr.left, agg_values, leaf_values,
+                                 params),
+                self._merge_eval(expr.right, agg_values, leaf_values,
+                                 params))
+        if isinstance(expr, S.Literal):
+            return expr.value
+        if isinstance(expr, S.Param):
+            return _param(params, expr.name)
+        raise SQLExecutionError("unsupported aggregate expression %r"
+                                % (expr,))
+
+
+def _collect_partial_nodes(expr: S.Expr, agg_calls: List[S.FuncCall],
+                           leaves: List[S.Expr]) -> None:
+    """Split a combinable tree into aggregate calls and scalar leaves,
+    mirroring ``_combinable_expr``'s traversal exactly."""
+    if isinstance(expr, S.FuncCall):
+        agg_calls.append(expr)
+        return
+    if isinstance(expr, S.BinOp):
+        _collect_partial_nodes(expr.left, agg_calls, leaves)
+        _collect_partial_nodes(expr.right, agg_calls, leaves)
+        return
+    if isinstance(expr, (S.Literal, S.Param)):
+        return
+    leaves.append(expr)
+
+
 # -- lowering -----------------------------------------------------------------
 
 
@@ -579,7 +1210,14 @@ def _lower_rows(plan: L.LogicalPlan) -> RowOp:
     if isinstance(plan, L.Project):
         return ProjectOp(_lower_envs(plan.child), plan.items)
     if isinstance(plan, L.Aggregate):
-        return AggregateOp(_lower_envs(plan.child), plan.items,
+        child = plan.child
+        if isinstance(child, L.Gather) and combinable_aggregate(
+                plan.items, plan.group_by, plan.having):
+            return PartialAggregateOp(
+                _lower_partitioned(child.child, child.partitions),
+                child.partitions, plan.items, plan.group_by,
+                plan.having)
+        return AggregateOp(_lower_envs(child), plan.items,
                            plan.group_by, plan.having)
     if isinstance(plan, L.Sort):
         child = plan.child
@@ -593,6 +1231,9 @@ def _lower_rows(plan: L.LogicalPlan) -> RowOp:
 def _lower_envs(plan: L.LogicalPlan) -> EnvOp:
     if isinstance(plan, L.Sort):
         return SortOp(_lower_envs(plan.child), plan.order_by, plan.top_k)
+    if isinstance(plan, L.Gather):
+        return GatherOp(_lower_partitioned(plan.child, plan.partitions),
+                        plan.partitions)
     if isinstance(plan, L.Filter):
         return FilterOp(_lower_envs(plan.child), plan.predicates)
     if isinstance(plan, L.Join):
@@ -604,6 +1245,24 @@ def _lower_envs(plan: L.LogicalPlan) -> EnvOp:
     if isinstance(plan, L.Scan):
         return ScanEnvsOp(_lower_scan(plan))
     raise TypeError("expected an env-producing logical node, got %r"
+                    % (plan,))
+
+
+def _lower_partitioned(plan: L.LogicalPlan,
+                       partitions: int) -> PartitionedOp:
+    """Lower the env segment under a Gather to partitioned operators."""
+    if isinstance(plan, L.Filter):
+        return PartitionedFilterOp(
+            _lower_partitioned(plan.child, partitions), plan.predicates)
+    if isinstance(plan, L.Join):
+        left = _lower_partitioned(plan.left, partitions)
+        right = _lower_scan(plan.right)
+        if plan.strategy == "hash":
+            return PartitionedHashJoinOp(left, right, plan.predicate)
+        return PartitionedNestedLoopOp(left, right)
+    if isinstance(plan, L.Scan):
+        return PartitionedScanOp(_lower_scan(plan), partitions)
+    raise TypeError("expected a partitionable logical node, got %r"
                     % (plan,))
 
 

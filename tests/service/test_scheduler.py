@@ -207,3 +207,40 @@ def test_full_corpus_counts_through_service():
     assert markers.count("X") == 40      # 33 Fig. 13 + 7 advanced
     assert markers.count("†") == 9
     assert markers.count("*") == 9
+
+
+# -- fork_map (the generic fork fan-out the SQL engine reuses) ----------------
+
+
+def test_fork_map_preserves_item_order():
+    from repro.service.scheduler import fork_map
+
+    # Closures and unpicklable state are fine: children inherit by fork.
+    base = {"offset": 100}
+    assert fork_map(lambda x: x + base["offset"], [3, 1, 2]) \
+        == [103, 101, 102]
+
+
+def test_fork_map_single_item_runs_inline():
+    from repro.service.scheduler import fork_map
+
+    seen = []
+
+    def record(x):
+        seen.append(x)          # visible only if run in-process
+        return x * 2
+
+    assert fork_map(record, [21]) == [42]
+    assert seen == [21]
+
+
+def test_fork_map_reraises_child_exceptions():
+    from repro.service.scheduler import fork_map
+
+    def boom(x):
+        if x == 2:
+            raise ValueError("bad item %d" % x)
+        return x
+
+    with pytest.raises(ValueError, match="bad item 2"):
+        fork_map(boom, [1, 2, 3])

@@ -1,0 +1,80 @@
+"""Golden-string tests for EXPLAIN output.
+
+The plans come from :mod:`repro.sql.plan.examples` — the same fixtures
+``docs/explain.md`` embeds and ``tools/check_docs.py`` re-renders — so
+a plan-shape change fails here with a readable diff *and* flags every
+doc snippet that needs regenerating.  The golden strings are spelled
+out verbatim: the point is to pin the exact rendering (tree glyphs,
+``[rows=..., parts=...]`` annotations, partition counts), not just its
+general shape.
+"""
+
+import os
+
+import pytest
+
+from repro.sql.plan.examples import render_examples
+
+GOLDEN = {
+    "index-scan": """\
+Project(p.login)  [rows=1]
+ └─ IndexScan(participant AS p, id = 4) filter=1  [rows=1]""",
+
+    "join-chain": """\
+Project(p.login, d.descriptor_name)  [rows=36]
+ └─ HashJoin(d.role_id = r.role_id)  [rows=36]
+     ├─ HashJoin(p.role_id = r.role_id)  [rows=9]
+     │   ├─ FullScan(participant AS p)  [rows=9]
+     │   └─ FullScan(role AS r)  [rows=3]
+     └─ FullScan(role_descriptor AS d)  [rows=12]""",
+
+    "group-by": """\
+GroupBy(p.role_id) having COUNT(*) > 2  [rows=3]
+ └─ FullScan(participant AS p)  [rows=9]""",
+
+    "partitioned-join": """\
+Project(p.login, r.role_name)  [rows=9]
+ └─ Gather(partitions=2)  [rows=9]
+     └─ PartitionedHashJoin(p.role_id = r.role_id)  [rows=9, parts=5|4]
+         ├─ PartitionedScan(FullScan(participant AS p), partitions=2)  [rows=9, parts=5|4]
+         └─ FullScan(role AS r)  [rows=3]""",
+
+    "partial-aggregate": """\
+PartialAggregate(whole input, partitions=2)  [rows=1, parts=2|1]
+ └─ PartitionedScan(FullScan(participant AS p) filter=1, partitions=2)  [rows=3, parts=2|1]""",
+
+    "partial-group-by": """\
+PartialGroupBy(p.role_id, partitions=2)  [rows=3, parts=3|3]
+ └─ PartitionedScan(FullScan(participant AS p), partitions=2)  [rows=9, parts=5|4]""",
+
+    "avg-fallback": """\
+Aggregate(whole input)
+ └─ Gather(partitions=2)
+     └─ PartitionedScan(FullScan(participant AS p), partitions=2)""",
+}
+
+
+@pytest.fixture(scope="module")
+def rendered():
+    return {ex.slug: ex for ex in render_examples()}
+
+
+def test_every_example_has_a_golden(rendered):
+    assert set(rendered) == set(GOLDEN)
+
+
+@pytest.mark.parametrize("slug", sorted(GOLDEN))
+def test_explain_golden(slug, rendered):
+    assert rendered[slug].text == GOLDEN[slug], slug
+
+
+def test_docs_embed_the_rendered_plans(rendered):
+    """docs/explain.md must contain every fixture's SQL and plan
+    verbatim (the in-repo half of ``tools/check_docs.py``)."""
+    doc_path = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "docs", "explain.md")
+    with open(doc_path) as handle:
+        document = handle.read()
+    for ex in rendered.values():
+        assert ex.sql in document, ex.slug
+        assert ex.text in document, ex.slug

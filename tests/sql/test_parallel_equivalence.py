@@ -1,0 +1,192 @@
+"""Partition-parallel execution is invisible: K-way plans are
+row/column/stats-identical to the serial planner (and, transitively,
+to the seed single-pass pipeline) for every K.
+
+Three layers:
+
+* the planner-equivalence query battery, re-run under
+  ``ExecutorOptions(parallel=K)`` for K in {1, 2, 4} against both the
+  serial planner and the seed pipeline;
+* targeted shapes: grouped partial aggregation (threads *and* the
+  fork-based process backend), combinable whole-input aggregates, the
+  AVG / AND-HAVING fallbacks to Gather + serial aggregation, empty
+  tables, and K larger than the row count;
+* every corpus-inferred SQL statement, executed at K=4.
+"""
+
+import re
+
+import pytest
+
+from repro.corpus.schema import create_wilos_database, populate_wilos
+from repro.sql.database import Database
+from repro.sql.executor import ExecutorOptions
+
+from test_planner_equivalence import BATTERY
+
+PARTITION_COUNTS = (1, 2, 4)
+
+
+def _stats_tuple(stats):
+    return (stats.rows_scanned, stats.index_probes, stats.hash_joins,
+            stats.nested_loop_joins, stats.index_scans, stats.full_scans)
+
+
+def _assert_parallel_identical(db, sql, params=None,
+                               partitions=PARTITION_COUNTS,
+                               backend="threads", legacy=True):
+    serial = db.execute(sql, params)
+    references = [("serial planner", serial)]
+    if legacy:
+        references.append(
+            ("seed pipeline",
+             db.view(ExecutorOptions(planner=False)).execute(sql, params)))
+    for k in partitions:
+        view = db.view(ExecutorOptions(parallel=k,
+                                       parallel_backend=backend))
+        result = view.execute(sql, params)
+        for label, reference in references:
+            assert list(result.rows) == list(reference.rows), \
+                (sql, k, backend, label)
+            assert result.columns == reference.columns, (sql, k, label)
+            assert _stats_tuple(result.stats) == \
+                _stats_tuple(reference.stats), (sql, k, backend, label)
+
+
+@pytest.fixture(scope="module")
+def wilos_db():
+    db = create_wilos_database()
+    populate_wilos(db, n_users=50, n_roles=8, unfinished_fraction=0.3)
+    db.insert_many("process", (
+        {"id": i, "process_name": "proc%d" % i, "manager_id": i % 4}
+        for i in range(6)))
+    db.insert_many("role_descriptor", (
+        {"id": i, "role_id": i % 8, "process_id": i % 6,
+         "descriptor_name": "rd%d" % i} for i in range(25)))
+    return db
+
+
+@pytest.mark.parametrize("case", range(len(BATTERY)))
+def test_battery_parallel_equivalence(case, wilos_db):
+    sql, params = BATTERY[case]
+    _assert_parallel_identical(wilos_db, sql, params)
+
+
+# -- targeted shapes -----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def small_db():
+    db = Database()
+    db.create_table("r", ("id", "a"))
+    db.create_table("s", ("id", "b"))
+    db.create_index("s", "b")
+    db.insert_many("r", ({"id": i, "a": i % 5} for i in range(23)))
+    db.insert_many("s", ({"id": i, "b": i % 5} for i in range(11)))
+    db.create_table("empty", ("id", "v"))
+    return db
+
+
+GROUPED = ("SELECT t0.a, COUNT(*) AS n, SUM(t0.id) AS tot, "
+           "MIN(t0.id) AS lo, MAX(t0.id) AS hi "
+           "FROM r t0 GROUP BY t0.a HAVING COUNT(*) > 2 ORDER BY n DESC")
+WHOLE = ("SELECT COUNT(*) AS n, SUM(t0.id) AS tot, MIN(t0.id) AS lo, "
+         "MAX(t0.id) AS hi FROM r t0, s t1 "
+         "WHERE t0.a = t1.b AND t0.id > 2")
+
+
+@pytest.mark.parametrize("backend", ["threads", "processes"])
+def test_partial_aggregation_backends(small_db, backend):
+    # GROUP BY only exists in the planner, so compare against the
+    # serial planner alone.
+    _assert_parallel_identical(small_db, GROUPED, backend=backend,
+                               legacy=False)
+    _assert_parallel_identical(small_db, WHOLE, backend=backend)
+
+
+def test_partial_aggregation_lowering(small_db):
+    view = small_db.view(ExecutorOptions(parallel=3))
+    grouped_plan = view.explain(GROUPED)
+    assert "PartialGroupBy(t0.a, partitions=3)" in grouped_plan
+    whole_plan = view.explain(WHOLE)
+    assert "PartialAggregate(whole input, partitions=3)" in whole_plan
+    assert "Gather" not in whole_plan
+
+
+@pytest.mark.parametrize("sql", [
+    # AVG cannot combine exactly (float fold order); serial fallback.
+    "SELECT AVG(t0.id) FROM r t0",
+    # AND short-circuits in HAVING; serial fallback.
+    "SELECT t0.a, COUNT(*) AS n FROM r t0 GROUP BY t0.a "
+    "HAVING COUNT(*) > 1 AND COUNT(*) < 5",
+])
+def test_non_combinable_aggregates_fall_back(small_db, sql):
+    view = small_db.view(ExecutorOptions(parallel=3))
+    plan = view.explain(sql)
+    assert "Gather(partitions=3)" in plan
+    assert "Partial" not in plan.replace("Partitioned", "")
+    _assert_parallel_identical(small_db, sql, legacy=False)
+
+
+@pytest.mark.parametrize("backend", ["threads", "processes"])
+def test_nested_subquery_inside_partition(small_db, backend):
+    """Per-row IN subqueries evaluated inside partition workers must
+    execute with a *serial* nested plan: re-planning them parallel
+    would build a substrate per probed row — and fork from inside a
+    daemonic fork child on the process backend, which multiprocessing
+    forbids."""
+    in_agg = ("SELECT COUNT(*) AS n FROM r t0 WHERE t0.a IN "
+              "(SELECT t1.b FROM s t1 WHERE t1.id = 1)")
+    _assert_parallel_identical(small_db, in_agg, backend=backend)
+    in_plain = ("SELECT t0.id FROM r t0 WHERE t0.a IN "
+                "(SELECT t1.b FROM s t1 WHERE t1.id = 1)")
+    _assert_parallel_identical(small_db, in_plain, backend=backend)
+
+
+def test_more_partitions_than_rows(small_db):
+    _assert_parallel_identical(
+        small_db, "SELECT t0.id FROM r t0 WHERE t0.a = 1",
+        partitions=(4, 64))
+
+
+def test_empty_table(small_db):
+    _assert_parallel_identical(small_db, "SELECT * FROM empty")
+    _assert_parallel_identical(
+        small_db,
+        "SELECT COUNT(*), SUM(t0.v) FROM empty t0", partitions=(2, 4))
+
+
+def test_parallel_requires_planner():
+    with pytest.raises(ValueError):
+        Database(ExecutorOptions(planner=False, parallel=2))
+    with pytest.raises(ValueError):
+        Database(ExecutorOptions(parallel=0))
+
+
+def test_partition_counts_in_analyze(small_db):
+    view = small_db.view(ExecutorOptions(parallel=2))
+    text = view.explain(
+        "SELECT t0.id, t1.id FROM r t0, s t1 WHERE t0.a = t1.b",
+        analyze=True)
+    assert "Gather(partitions=2)" in text
+    assert "parts=" in text
+    # Per-partition counts sum to the operator's rows_out.
+    for line in text.splitlines():
+        match = re.search(r"\[rows=(\d+), parts=([\d|]+)\]", line)
+        if match:
+            total, parts = match.groups()
+            assert sum(int(p) for p in parts.split("|")) == int(total)
+
+
+# -- full-corpus equivalence ---------------------------------------------------
+
+
+def test_full_corpus_sql_parallel(corpus_sql, app_dbs):
+    assert len(corpus_sql) >= 40
+    for fragment_id, app, sql in corpus_sql:
+        db = app_dbs[app]
+        params = {name: 1
+                  for name in set(re.findall(r":(\w+)", sql))}
+        legacy = "GROUP BY" not in sql
+        _assert_parallel_identical(db, sql, params, partitions=(4,),
+                                   legacy=legacy)

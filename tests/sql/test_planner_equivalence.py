@@ -17,29 +17,13 @@ import re
 
 import pytest
 
-from repro.corpus import ALL_FRAGMENTS, run_fragment_through_qbs
-from repro.corpus.advanced import create_advanced_database
-from repro.corpus.schema import (
-    create_itracker_database,
-    create_wilos_database,
-    populate_itracker,
-    populate_wilos,
-)
-from repro.sql.database import Database
+from repro.corpus.schema import create_wilos_database, populate_wilos
 from repro.sql.executor import ExecutorOptions
-
-
-def _legacy_view(db: Database) -> Database:
-    """A planner=False engine over the same catalog."""
-    legacy = Database(ExecutorOptions(planner=False))
-    legacy.catalog = db.catalog
-    legacy.executor.catalog = db.catalog
-    return legacy
 
 
 def _assert_identical(db, sql, params=None):
     planned = db.execute(sql, params)
-    legacy = _legacy_view(db).execute(sql, params)
+    legacy = db.view(ExecutorOptions(planner=False)).execute(sql, params)
     assert list(planned.rows) == list(legacy.rows), sql
     assert planned.columns == legacy.columns, sql
     for field in ("rows_scanned", "index_probes", "hash_joins",
@@ -104,43 +88,8 @@ def test_battery_equivalence(case, wilos_db):
 
 
 # -- full-corpus equivalence ---------------------------------------------------
-
-
-@pytest.fixture(scope="module")
-def corpus_sql():
-    """Every SQL statement QBS infers over the whole corpus."""
-    out = []
-    for cf in ALL_FRAGMENTS:
-        result = run_fragment_through_qbs(cf)
-        if result.translated:
-            out.append((cf.fragment_id, cf.app, result.sql.sql))
-    return out
-
-
-@pytest.fixture(scope="module")
-def app_dbs():
-    wilos = create_wilos_database()
-    populate_wilos(db=wilos, n_users=40, n_roles=8)
-    wilos.insert_many("workproduct", (
-        {"id": i, "workproduct_name": "wp%d" % i, "state": i % 2,
-         "project_id": i % 4} for i in range(16)))
-    wilos.insert_many("workproduct_descriptor", (
-        {"id": i, "workproduct_id": i % 20, "process_id": i % 5,
-         "state": i % 2} for i in range(24)))
-    wilos.insert_many("role_descriptor", (
-        {"id": i, "role_id": i % 8, "process_id": i % 5,
-         "descriptor_name": "rd%d" % i} for i in range(20)))
-    wilos.insert_many("process", (
-        {"id": i, "process_name": "proc%d" % i, "manager_id": i % 3}
-        for i in range(5)))
-    itracker = create_itracker_database()
-    populate_itracker(itracker, n_issues=60)
-    advanced = create_advanced_database()
-    advanced.insert_many("r", ({"id": i, "a": i % 6} for i in range(30)))
-    advanced.insert_many("s", ({"id": i, "b": i % 6} for i in range(20)))
-    advanced.insert_many("t", ({"id": i} for i in range(25)))
-    advanced.insert_many("u", ({"id": i, "c": i % 8} for i in range(15)))
-    return {"wilos": wilos, "itracker": itracker, "advanced": advanced}
+# (corpus_sql / app_dbs are the session fixtures from conftest.py,
+# shared with tests/sql/test_parallel_equivalence.py.)
 
 
 def test_full_corpus_sql_equivalence(corpus_sql, app_dbs):

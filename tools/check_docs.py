@@ -1,0 +1,82 @@
+"""Executable-documentation checker (``make docs-check``).
+
+Two guarantees, both enforced in CI:
+
+1. every ``>>>`` example in README.md and docs/*.md runs and produces
+   exactly the output it shows (``doctest.testfile``);
+2. every EXPLAIN snippet in docs/explain.md matches what the engine
+   renders *today* for the shared example fixtures
+   (``repro.sql.plan.examples``) — the same fixtures the golden test
+   suite pins — so plan-shape changes cannot silently rot the docs.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exits non-zero on the first category of failure, after reporting all
+of them.
+"""
+
+import doctest
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+DOCTEST_FILES = (
+    "README.md",
+    os.path.join("docs", "architecture.md"),
+    os.path.join("docs", "explain.md"),
+)
+
+
+def run_doctests() -> int:
+    failures = 0
+    for relpath in DOCTEST_FILES:
+        path = os.path.join(ROOT, relpath)
+        if not os.path.exists(path):
+            print("MISSING: %s" % relpath)
+            failures += 1
+            continue
+        result = doctest.testfile(path, module_relative=False,
+                                  optionflags=doctest.ELLIPSIS)
+        status = "FAIL" if result.failed else "ok"
+        print("%-24s %d doctest example(s) ... %s"
+              % (relpath, result.attempted, status))
+        failures += result.failed
+    return failures
+
+
+def check_explain_snippets() -> int:
+    from repro.sql.plan.examples import render_examples
+
+    path = os.path.join(ROOT, "docs", "explain.md")
+    with open(path) as handle:
+        document = handle.read()
+    failures = 0
+    for ex in render_examples():
+        for label, text in (("sql", ex.sql), ("plan", ex.text)):
+            if text not in document:
+                print("DRIFT: docs/explain.md no longer contains the "
+                      "%s of example %r; the engine now renders:\n%s"
+                      % (label, ex.slug, text))
+                failures += 1
+    if not failures:
+        print("docs/explain.md        %d EXPLAIN snippet(s) in sync ... ok"
+              % len(render_examples()))
+    return failures
+
+
+def main() -> int:
+    failures = run_doctests()
+    failures += check_explain_snippets()
+    if failures:
+        print("\n%d documentation failure(s)" % failures)
+        return 1
+    print("documentation is executable and in sync")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
