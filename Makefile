@@ -5,7 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-smoke bench-synthesis bench bench-parallel \
-	bench-planner bench-parallel-scan serve-smoke docs-check
+	bench-planner bench-join-order bench-parallel-scan serve-smoke \
+	docs-check
 
 # Tier-1 verification: the full unit/property/regression suite.
 test:
@@ -15,18 +16,24 @@ test:
 # timing repeat (fails below 2x wall-clock / 3x evaluator-call
 # reduction vs. the seed implementation), then the query-planner
 # floors (>= 3x for the hash-join chain on the three-table corpus
-# fragment and for index scans vs. full scans), then the
-# partition-parallel scan floor (>= 1.8x at 4 partitions with the
-# process backend, asserted on >= 4 usable cores, reported otherwise).
-# Perf regressions surface in seconds.
+# fragment and for index scans vs. full scans), the cost-based
+# join-order floor (>= 2x vs. the greedy FROM-order chain on a skewed
+# four-table corpus), then the partition-parallel scan floor (>= 1.8x
+# at 4 partitions with the process backend, asserted on >= 4 usable
+# cores, reported otherwise).  Perf regressions surface in seconds.
 bench-smoke:
 	$(PYTHON) benchmarks/bench_synthesis_speed.py --smoke
 	$(PYTHON) benchmarks/bench_planner.py --smoke
+	$(PYTHON) benchmarks/bench_join_order.py --smoke
 	$(PYTHON) benchmarks/bench_parallel_scan.py --smoke
 
 # Query-planner comparison at full size (best of 3 repeats).
 bench-planner:
 	$(PYTHON) benchmarks/bench_planner.py
+
+# Cost-based join ordering vs. the greedy FROM-order chain.
+bench-join-order:
+	$(PYTHON) benchmarks/bench_join_order.py
 
 # Partition-parallel execution comparison at full size.
 bench-parallel-scan:

@@ -5,6 +5,12 @@ order; each row's position doubles as its ``_rowid``, the storage order
 the ``Order`` function of the SQL generator relies on.  Hash indexes
 are created explicitly (or automatically by the ORM layer, mirroring
 Hibernate's index DDL) and maintained on insert.
+
+Every table also maintains a :class:`~repro.sql.stats.TableStats`
+(row count, per-column NDV/min/max) incrementally on insert; the
+cost-based planner reads it and ``Catalog.analyze()`` /
+``Table.analyze()`` recompute it from the stored rows when stats have
+gone stale (rows written behind the ``insert`` API).
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.sql.errors import SQLExecutionError
 from repro.sql.indexes import HashIndex
+from repro.sql.stats import TableStats
 from repro.tor.values import Record
 
 
@@ -26,6 +33,8 @@ class Table:
         self.columns = tuple(columns)
         self.rows: List[Record] = []
         self.indexes: Dict[str, HashIndex] = {}
+        #: optimizer statistics, maintained incrementally on insert.
+        self.stats = TableStats(self.columns)
         #: scan statistics for the benchmark harness.
         self.rows_scanned = 0
 
@@ -42,6 +51,7 @@ class Table:
                     % (self.name, exc)) from None
         position = len(self.rows)
         self.rows.append(record)
+        self.stats.observe(record)
         for index in self.indexes.values():
             index.add(record[index.column], position)
         return position
@@ -62,6 +72,11 @@ class Table:
             index.add(record[column], position)
         self.indexes[column] = index
         return index
+
+    def analyze(self) -> TableStats:
+        """Recompute the optimizer statistics from the stored rows."""
+        self.stats.refresh(self.rows)
+        return self.stats
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -88,6 +103,14 @@ class Catalog:
             return self.tables[name]
         except KeyError:
             raise SQLExecutionError("unknown table %r" % name) from None
+
+    def analyze(self, name: Optional[str] = None) -> None:
+        """Refresh optimizer statistics for one table (or all of them)."""
+        if name is not None:
+            self.table(name).analyze()
+            return
+        for table in self.tables.values():
+            table.analyze()
 
     def drop_table(self, name: str) -> None:
         self.tables.pop(name, None)

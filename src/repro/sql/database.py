@@ -58,6 +58,16 @@ class Database:
     def create_index(self, table: str, column: str) -> None:
         self.catalog.table(table).create_index(column)
 
+    def analyze(self, table: Optional[str] = None) -> None:
+        """Refresh optimizer statistics (ANALYZE): one table, or all.
+
+        Statistics (row counts, per-column NDV/min/max — see
+        :mod:`repro.sql.stats`) are maintained incrementally by
+        ``insert``/``insert_many``; call this after loading rows
+        behind the table API to bring them back in sync.
+        """
+        self.catalog.analyze(table)
+
     def view(self, options: Optional[ExecutorOptions] = None) -> "Database":
         """A second engine over this database's catalog.
 

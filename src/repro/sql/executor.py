@@ -88,8 +88,11 @@ class ExecutorOptions:
         it (``Gather``, or partial aggregation for combinable
         aggregates).  The serial plan is the ``K = 1`` default, and
         every K is pinned row/column/stats-identical to it
-        (``tests/sql/test_parallel_equivalence.py``).  Requires the
-        planner.
+        (``tests/sql/test_parallel_equivalence.py``).  ``"auto"``
+        derives K per query from the estimated leftmost-scan
+        cardinality and the usable core count (the cost rule
+        ``repro.sql.plan.optimizer.resolve_auto_partitions``).
+        Requires the planner.
     ``parallel_backend``
         ``"threads"`` (default) or ``"processes"``.  Threads share the
         operator tree; the process backend — the service scheduler's
@@ -97,13 +100,27 @@ class ExecutorOptions:
         where results are scalars rather than row sets, and is the
         configuration that turns partition parallelism into CPU
         speedup (``benchmarks/bench_parallel_scan.py``).
+    ``cost_based``
+        Plan with the statistics-driven cost model (the default):
+        Selinger join-order search, cost-driven access paths, and
+        ``est_rows``/``cost`` EXPLAIN annotations.  ``False`` is the
+        greedy FROM-order planner exactly as PR 3 built it.  Both
+        modes are pinned row/column/stats-identical to the seed
+        pipeline.
+    ``having_pushdown`` / ``parallel_sort``
+        Optimizer rule toggles: HAVING conjuncts over group keys move
+        into WHERE; ORDER BY above a partition boundary runs as
+        per-partition sorts plus a k-way merge.
     """
 
     planner: bool = True
     index_scans: bool = True
     hash_joins: bool = True
-    parallel: int = 1
+    parallel: Union[int, str] = 1
     parallel_backend: str = "threads"
+    cost_based: bool = True
+    having_pushdown: bool = True
+    parallel_sort: bool = True
 
 
 @dataclass
@@ -136,10 +153,12 @@ class Executor:
                  options: Optional[ExecutorOptions] = None):
         self.catalog = catalog
         self.options = options or ExecutorOptions()
-        if self.options.parallel < 1:
-            raise ValueError("parallel must be >= 1, got %d"
-                             % self.options.parallel)
-        if self.options.parallel > 1 and not self.options.planner:
+        parallel = self.options.parallel
+        if parallel != "auto":
+            if not isinstance(parallel, int) or parallel < 1:
+                raise ValueError("parallel must be >= 1 or 'auto', got %r"
+                                 % (parallel,))
+        if parallel != 1 and not self.options.planner:
             raise ValueError(
                 "parallel execution requires the planner "
                 "(ExecutorOptions(planner=True))")
@@ -178,7 +197,10 @@ class Executor:
         return plan_select(select, self.catalog, OptimizerOptions(
             index_scans=self.options.index_scans,
             hash_joins=self.options.hash_joins,
-            parallel=self.options.parallel))
+            parallel=self.options.parallel,
+            cost_based=self.options.cost_based,
+            having_pushdown=self.options.having_pushdown,
+            parallel_sort=self.options.parallel_sort))
 
     # -- the seed pipeline (ExecutorOptions(planner=False)) --------------------
 
@@ -598,7 +620,10 @@ class Executor:
             serial = ExecutorOptions(
                 planner=self.options.planner,
                 index_scans=self.options.index_scans,
-                hash_joins=self.options.hash_joins)
+                hash_joins=self.options.hash_joins,
+                cost_based=self.options.cost_based,
+                having_pushdown=self.options.having_pushdown,
+                parallel_sort=self.options.parallel_sort)
             self._nested = Executor(self.catalog, serial)
         return self._nested
 

@@ -13,7 +13,7 @@ The example database is tiny and fully deterministic so rendered
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
 from repro.sql.database import Database
@@ -81,15 +81,36 @@ _SPECS: Tuple[Tuple[str, str, str, Optional[ExecutorOptions], bool], ...] = (
     ("avg-fallback", "Gather fallback (AVG cannot combine exactly)",
      "SELECT AVG(p.id) FROM participant p",
      ExecutorOptions(parallel=2), False),
+    ("cost-reorder", "Cost-based join reordering with order restore",
+     "SELECT d.descriptor_name, p.login "
+     "FROM role_descriptor d, role r, participant p "
+     "WHERE p.role_id = r.role_id AND d.role_id = r.role_id",
+     None, True),
+    ("merge-sort", "Partition-parallel ORDER BY (sort + k-way merge)",
+     "SELECT p.login FROM participant p ORDER BY p.login DESC LIMIT 5",
+     ExecutorOptions(parallel=2), True),
+    ("having-pushdown", "HAVING conjunct over a group key moves to WHERE",
+     "SELECT p.role_id, COUNT(*) AS n FROM participant p "
+     "GROUP BY p.role_id HAVING p.role_id > 0 AND COUNT(*) > 2",
+     None, True),
 )
 
 
-def render_examples() -> List[ExplainExample]:
-    """Render every example against a fresh example database."""
+def render_examples(cost_based: bool = True) -> List[ExplainExample]:
+    """Render every example against a fresh example database.
+
+    ``cost_based=False`` renders the same fixtures under the greedy
+    planner (``ExecutorOptions(cost_based=False)``) — the
+    compatibility mode the golden tests pin against the pre-cost plan
+    shapes.
+    """
     db = example_database()
     out = []
     for slug, title, sql, options, analyze in _SPECS:
-        view = db.view(options) if options is not None else db
+        effective = options or ExecutorOptions()
+        if not cost_based:
+            effective = replace(effective, cost_based=False)
+        view = db.view(effective)
         text = view.explain(sql, analyze=analyze)
         out.append(ExplainExample(slug=slug, title=title, sql=sql,
                                   options=options, analyze=analyze,

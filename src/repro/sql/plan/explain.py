@@ -32,22 +32,33 @@ from typing import List
 from repro.sql.plan.physical import PhysicalOp
 
 
+def _estimate(value: float) -> str:
+    """Compact estimate rendering: integral values drop the fraction."""
+    if float(value).is_integer():
+        return "%d" % int(value)
+    return "%.1f" % value
+
+
 def render(root: PhysicalOp, analyze: bool = False) -> str:
     """Render the operator tree rooted at ``root``."""
     lines: List[str] = []
 
     def emit(op: PhysicalOp, prefix: str, child_prefix: str) -> None:
         body = op.describe()
+        bits = []
+        if analyze and op.rows_out is not None:
+            bits.append("rows=%d" % op.rows_out)
         if analyze:
-            bits = []
-            if op.rows_out is not None:
-                bits.append("rows=%d" % op.rows_out)
             parts = op.partition_rows
             if parts is not None and any(n is not None for n in parts):
                 bits.append("parts=%s" % "|".join(
                     "?" if n is None else str(n) for n in parts))
-            if bits:
-                body += "  [%s]" % ", ".join(bits)
+        if op.est_rows is not None:
+            bits.append("est_rows=%s" % _estimate(op.est_rows))
+        if op.est_cost is not None:
+            bits.append("cost=%s" % _estimate(op.est_cost))
+        if bits:
+            body += "  [%s]" % ", ".join(bits)
         lines.append(prefix + body)
         children = op.children
         for index, child in enumerate(children):

@@ -33,9 +33,20 @@ from repro.sql.executor import _has_aggregate
 
 
 class LogicalPlan:
-    """Base class for logical operators."""
+    """Base class for logical operators.
+
+    ``est_rows`` / ``est_cost`` are the cost-based optimizer's
+    annotations (estimated output cardinality and cumulative cost,
+    computed from :mod:`repro.sql.stats`); they stay ``None`` in greedy
+    mode (``OptimizerOptions(cost_based=False)``), are copied onto the
+    physical operators at lowering time, and surface in EXPLAIN as
+    ``est_rows=`` / ``cost=``.
+    """
 
     __slots__ = ()
+
+    est_rows: Optional[float] = None
+    est_cost: Optional[float] = None
 
     def children(self) -> Tuple["LogicalPlan", ...]:
         return ()
@@ -108,6 +119,27 @@ class Gather(LogicalPlan):
 
 
 @dataclass
+class Restore(LogicalPlan):
+    """Re-establish the pinned FROM-order row order.
+
+    The cost-based optimizer may join sources in an order that differs
+    from the FROM clause; the resulting environment *set* is identical,
+    but its enumeration order is leftmost-major in the *chosen* order.
+    ``Restore`` sorts the environments by their rowid tuple taken in
+    FROM order — exactly the storage-order enumeration the seed
+    pipeline produces — so everything above (projection order, group
+    first-encounter order, sort tie order) is oblivious to the
+    reordering below.  ``aliases`` is the FROM-order alias tuple.
+    """
+
+    child: LogicalPlan
+    aliases: Tuple[str, ...] = ()
+
+    def children(self):
+        return (self.child,)
+
+
+@dataclass
 class Aggregate(LogicalPlan):
     """GROUP BY / aggregate evaluation (terminal row producer)."""
 
@@ -128,6 +160,10 @@ class Sort(LogicalPlan):
     order_by: Tuple[S.OrderItem, ...] = ()
     #: top-k selection bound when ORDER BY + LIMIT (and no DISTINCT).
     top_k: Optional[int] = None
+    #: set by the optimizer when the child is a Gather and the sort can
+    #: run as per-partition sorts + a k-way heap merge (lowering to
+    #: :class:`~repro.sql.plan.physical.GatherMergeOp`).
+    merge: bool = False
 
     def children(self):
         return (self.child,)

@@ -22,11 +22,26 @@ serial execution share one code path.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, List, Sequence
 
 #: The backends :class:`~repro.sql.executor.ExecutorOptions` accepts.
 BACKENDS = ("threads", "processes")
+
+
+def usable_cores() -> int:
+    """CPU cores this process may actually run on.
+
+    The scheduling affinity mask when the platform exposes it (CI
+    containers often restrict it below ``os.cpu_count()``), the core
+    count otherwise.  This is the bound ``parallel="auto"`` and the
+    benchmark floors use.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def run_tasks(tasks: Sequence[Callable[[], Any]],

@@ -82,6 +82,11 @@ class PhysicalOp:
         #: per-partition output counts, filled by the parallel driver
         #: (None on serial operators).
         self.partition_rows: Optional[List[Optional[int]]] = None
+        #: the cost-based optimizer's estimates, copied from the
+        #: logical node at lowering time (None in greedy mode); the
+        #: EXPLAIN printer renders them as ``est_rows=`` / ``cost=``.
+        self.est_rows: Optional[float] = None
+        self.est_cost: Optional[float] = None
 
     @property
     def children(self) -> Tuple["PhysicalOp", ...]:
@@ -318,6 +323,44 @@ class FilterOp(EnvOp):
             out = [env for env in out
                    if _truthy(executor._eval(pred, env, ctx.params,
                                              ctx.stats))]
+        self.rows_out = len(out)
+        return out
+
+
+class RestoreOp(EnvOp):
+    """Re-sort environments into the pinned FROM-order enumeration.
+
+    The cost-based optimizer may run the join chain in a cheaper
+    order; the environment *set* is unchanged but its enumeration is
+    leftmost-major in the chosen order.  Sorting by the rowid tuple
+    taken in FROM order reproduces the seed pipeline's storage-order
+    enumeration exactly (each env's rowid tuple is unique, so the sort
+    is a pure permutation).  The scanned-source registry is reordered
+    the same way, so ``*`` expansion and bare-column resolution above
+    also see FROM order.
+    """
+
+    name = "Restore"
+
+    def __init__(self, child: EnvOp, aliases: Tuple[str, ...]):
+        super().__init__()
+        self.child = child
+        self.aliases = aliases
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "%s(%s)" % (self.name, ", ".join(self.aliases))
+
+    def envs(self, ctx: _Ctx) -> List[Env]:
+        out = self.child.envs(ctx)
+        aliases = self.aliases
+        out.sort(key=lambda env: tuple(env[a][0] for a in aliases))
+        position = {alias: i for i, alias in enumerate(aliases)}
+        ctx.scanned.sort(
+            key=lambda src: position.get(src.alias, len(position)))
         self.rows_out = len(out)
         return out
 
@@ -895,6 +938,79 @@ class GatherOp(EnvOp):
         return out
 
 
+class GatherMergeOp(EnvOp):
+    """Partition-parallel ORDER BY: per-partition sorts + k-way merge.
+
+    Each partition sorts (or heap-selects top-k from) its own
+    environment slice on the substrate; the driver merges the sorted
+    runs with the enumerator's heap merge
+    (:func:`repro.core.enumerate.merge_sorted_runs`), whose ties
+    resolve to the earlier partition — which is the earlier input
+    position, so the merged sequence equals the serial stable sort of
+    the concatenated input *exactly* (and, with ``top_k``, its first k
+    rows: any row of the global top k is within its own partition's
+    top k, so per-partition truncation loses nothing).
+    """
+
+    name = "GatherMerge"
+
+    def __init__(self, child: PartitionedOp, partitions: int,
+                 order_by: Tuple[S.OrderItem, ...],
+                 top_k: Optional[int] = None):
+        super().__init__()
+        self.child = child
+        self.partitions = partitions
+        self.order_by = order_by
+        self.top_k = top_k
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            ("%s.%s" % (o.column.alias, o.column.column)
+             if o.column.alias else o.column.column)
+            + (" DESC" if o.descending else "")
+            for o in self.order_by)
+        body = "%s(partitions=%d, %s)" % (self.name, self.partitions,
+                                          keys)
+        if self.top_k is not None:
+            body += " top_k=%d" % self.top_k
+        return body
+
+    def envs(self, ctx: _Ctx) -> List[Env]:
+        from repro.core.enumerate import merge_sorted_runs
+        from repro.sql.executor import _ReverseAware
+
+        child = self.child
+        executor = ctx.executor
+        order_by, top_k = self.order_by, self.top_k
+        scanned = ctx.scanned     # populated by prepare, before workers
+
+        def worker(part: int, pctx: _PartCtx) -> List[Env]:
+            envs = child.run_partition(part, pctx)
+            if top_k is not None:
+                return executor._top_k(order_by, envs, scanned, top_k)
+            return executor._order(order_by, envs, scanned)
+
+        # Threads only, like GatherOp: partition results are row sets.
+        parts = _run_partitioned(child, ctx, "threads", worker)
+
+        def key(env: Env):
+            return tuple(
+                _ReverseAware(
+                    executor._order_value(item.column, env, scanned),
+                    item.descending)
+                for item in order_by)
+
+        out = list(merge_sorted_runs(parts, key=key))
+        if top_k is not None:
+            out = out[:top_k]
+        self.rows_out = len(out)
+        return out
+
+
 #: Aggregates with an exact, order-insensitive combine step.  AVG is
 #: deliberately absent: combining per-partition float sums can round
 #: differently from the serial left-to-right fold, and the engine's
@@ -1202,27 +1318,37 @@ def lower(plan: L.LogicalPlan) -> RowOp:
     return _lower_rows(plan)
 
 
+def _with_est(op: PhysicalOp, plan: L.LogicalPlan) -> PhysicalOp:
+    """Copy the optimizer's estimates onto the physical operator."""
+    op.est_rows = plan.est_rows
+    op.est_cost = plan.est_cost
+    return op
+
+
 def _lower_rows(plan: L.LogicalPlan) -> RowOp:
     if isinstance(plan, L.Limit):
-        return LimitOp(_lower_rows(plan.child), plan.count)
+        return _with_est(LimitOp(_lower_rows(plan.child), plan.count),
+                         plan)
     if isinstance(plan, L.Distinct):
-        return DistinctOp(_lower_rows(plan.child))
+        return _with_est(DistinctOp(_lower_rows(plan.child)), plan)
     if isinstance(plan, L.Project):
-        return ProjectOp(_lower_envs(plan.child), plan.items)
+        return _with_est(ProjectOp(_lower_envs(plan.child), plan.items),
+                         plan)
     if isinstance(plan, L.Aggregate):
         child = plan.child
         if isinstance(child, L.Gather) and combinable_aggregate(
                 plan.items, plan.group_by, plan.having):
-            return PartialAggregateOp(
+            return _with_est(PartialAggregateOp(
                 _lower_partitioned(child.child, child.partitions),
                 child.partitions, plan.items, plan.group_by,
-                plan.having)
-        return AggregateOp(_lower_envs(child), plan.items,
-                           plan.group_by, plan.having)
+                plan.having), plan)
+        return _with_est(AggregateOp(_lower_envs(child), plan.items,
+                                     plan.group_by, plan.having), plan)
     if isinstance(plan, L.Sort):
         child = plan.child
         if isinstance(child, L.Aggregate):
-            return RowSortOp(_lower_rows(child), plan.order_by)
+            return _with_est(RowSortOp(_lower_rows(child),
+                                       plan.order_by), plan)
         raise TypeError("Sort over %r cannot be lowered here" % (child,))
     raise TypeError("expected a row-producing logical node, got %r"
                     % (plan,))
@@ -1230,20 +1356,32 @@ def _lower_rows(plan: L.LogicalPlan) -> RowOp:
 
 def _lower_envs(plan: L.LogicalPlan) -> EnvOp:
     if isinstance(plan, L.Sort):
-        return SortOp(_lower_envs(plan.child), plan.order_by, plan.top_k)
+        child = plan.child
+        if plan.merge and isinstance(child, L.Gather):
+            return _with_est(GatherMergeOp(
+                _lower_partitioned(child.child, child.partitions),
+                child.partitions, plan.order_by, plan.top_k), plan)
+        return _with_est(SortOp(_lower_envs(child), plan.order_by,
+                                plan.top_k), plan)
+    if isinstance(plan, L.Restore):
+        return _with_est(RestoreOp(_lower_envs(plan.child),
+                                   plan.aliases), plan)
     if isinstance(plan, L.Gather):
-        return GatherOp(_lower_partitioned(plan.child, plan.partitions),
-                        plan.partitions)
+        return _with_est(
+            GatherOp(_lower_partitioned(plan.child, plan.partitions),
+                     plan.partitions), plan)
     if isinstance(plan, L.Filter):
-        return FilterOp(_lower_envs(plan.child), plan.predicates)
+        return _with_est(FilterOp(_lower_envs(plan.child),
+                                  plan.predicates), plan)
     if isinstance(plan, L.Join):
         left = _lower_envs(plan.left)
         right = _lower_scan(plan.right)
         if plan.strategy == "hash":
-            return HashJoinOp(left, right, plan.predicate)
-        return NestedLoopJoinOp(left, right)
+            return _with_est(HashJoinOp(left, right, plan.predicate),
+                             plan)
+        return _with_est(NestedLoopJoinOp(left, right), plan)
     if isinstance(plan, L.Scan):
-        return ScanEnvsOp(_lower_scan(plan))
+        return _with_est(ScanEnvsOp(_lower_scan(plan)), plan)
     raise TypeError("expected an env-producing logical node, got %r"
                     % (plan,))
 
@@ -1252,31 +1390,36 @@ def _lower_partitioned(plan: L.LogicalPlan,
                        partitions: int) -> PartitionedOp:
     """Lower the env segment under a Gather to partitioned operators."""
     if isinstance(plan, L.Filter):
-        return PartitionedFilterOp(
-            _lower_partitioned(plan.child, partitions), plan.predicates)
+        return _with_est(PartitionedFilterOp(
+            _lower_partitioned(plan.child, partitions),
+            plan.predicates), plan)
     if isinstance(plan, L.Join):
         left = _lower_partitioned(plan.left, partitions)
         right = _lower_scan(plan.right)
         if plan.strategy == "hash":
-            return PartitionedHashJoinOp(left, right, plan.predicate)
-        return PartitionedNestedLoopOp(left, right)
+            return _with_est(PartitionedHashJoinOp(left, right,
+                                                   plan.predicate), plan)
+        return _with_est(PartitionedNestedLoopOp(left, right), plan)
     if isinstance(plan, L.Scan):
-        return PartitionedScanOp(_lower_scan(plan), partitions)
+        return _with_est(PartitionedScanOp(_lower_scan(plan),
+                                           partitions), plan)
     raise TypeError("expected a partitionable logical node, got %r"
                     % (plan,))
 
 
 def _lower_scan(scan: L.Scan) -> ScanOp:
     if scan.subquery is not None:
-        return SubqueryScanOp(scan.subquery, scan.alias, scan.predicates)
+        return _with_est(SubqueryScanOp(scan.subquery, scan.alias,
+                                        scan.predicates), scan)
     if scan.index is not None:
         column, value_expr, index_pred = scan.index
         # The probe consumes the chosen predicate; the rest filter.
         predicates = tuple(p for p in scan.predicates
                            if p is not index_pred)
-        return IndexScanOp(scan.table, scan.alias, column, value_expr,
-                           predicates)
-    return FullScanOp(scan.table, scan.alias, scan.predicates)
+        return _with_est(IndexScanOp(scan.table, scan.alias, column,
+                                     value_expr, predicates), scan)
+    return _with_est(FullScanOp(scan.table, scan.alias,
+                                scan.predicates), scan)
 
 
 # -- plan driver ---------------------------------------------------------------

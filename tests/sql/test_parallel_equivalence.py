@@ -143,6 +143,38 @@ def test_nested_subquery_inside_partition(small_db, backend):
     _assert_parallel_identical(small_db, in_plain, backend=backend)
 
 
+ORDERED = ("SELECT t0.id, t0.a FROM r t0, s t1 WHERE t0.a = t1.b "
+           "ORDER BY t0.a DESC, t0.id")
+
+
+def test_parallel_order_by_merges(small_db):
+    """ORDER BY above the partition boundary runs as per-partition
+    sorts + a k-way heap merge (GatherMerge), pinned identical to the
+    serial sort — including tie order (t0.a has heavy duplicates)."""
+    view = small_db.view(ExecutorOptions(parallel=3))
+    plan = view.explain(ORDERED)
+    assert "GatherMerge(partitions=3, t0.a DESC, t0.id)" in plan
+    assert "Gather(" not in plan
+    _assert_parallel_identical(small_db, ORDERED)
+
+
+def test_parallel_order_by_top_k(small_db):
+    sql = ORDERED + " LIMIT 4"
+    view = small_db.view(ExecutorOptions(parallel=3))
+    assert "top_k=4" in view.explain(sql)
+    _assert_parallel_identical(small_db, sql, partitions=(2, 3, 64))
+
+
+def test_parallel_sort_toggle_falls_back_to_gather(small_db):
+    view = small_db.view(ExecutorOptions(parallel=3,
+                                         parallel_sort=False))
+    plan = view.explain(ORDERED)
+    assert "GatherMerge" not in plan
+    assert "Gather(partitions=3)" in plan and "Sort(" in plan
+    result = view.execute(ORDERED)
+    assert list(result.rows) == list(small_db.execute(ORDERED).rows)
+
+
 def test_more_partitions_than_rows(small_db):
     _assert_parallel_identical(
         small_db, "SELECT t0.id FROM r t0 WHERE t0.a = 1",
