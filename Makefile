@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-smoke bench-synthesis bench bench-parallel \
 	bench-planner bench-join-order bench-parallel-scan serve-smoke \
-	docs-check
+	chaos-smoke docs-check
 
 # Tier-1 verification: the full unit/property/regression suite.
 test:
@@ -61,6 +61,14 @@ serve-smoke:
 		--workers 2 --check --expect-cached --cache-dir "$$dir" && \
 	$(PYTHON) -m repro.service.cli status --fragments w40,w42,i2 \
 		--cache-dir "$$dir"
+
+# Chaos canary: deterministic fault injection against both execution
+# substrates — scheduler retries / circuit breaker / deadlines /
+# shutdown escalation, and the SQL engine's degradation ladder
+# (processes -> threads -> serial) staying answer-identical.
+chaos-smoke:
+	$(PYTHON) -m pytest tests/service/test_faults.py \
+		tests/sql/test_parallel_faults.py -q
 
 # The complete paper-figure benchmark suite (pytest-benchmark).
 # Files are passed explicitly: they use the bench_* naming scheme,

@@ -203,14 +203,20 @@ class CorpusRunMeasurement:
 
 def measure_corpus_run(fragments, mode: str, workers: int = 1,
                        cache=None, options=None, job_timeout=None,
-                       repeats: int = 1) -> CorpusRunMeasurement:
-    """Run the corpus through a fresh scheduler; keep the fastest repeat."""
+                       retry=None, repeats: int = 1
+                       ) -> CorpusRunMeasurement:
+    """Run the corpus through a fresh scheduler; keep the fastest repeat.
+
+    ``retry`` (a :class:`repro.service.faults.RetryPolicy`) measures
+    the resilience layer's warm-path overhead: on a fault-free run it
+    must stay within noise of the no-retry configuration.
+    """
     from repro.service.scheduler import Scheduler
 
     best = None
     for _ in range(max(1, repeats)):
         scheduler = Scheduler(workers=workers, job_timeout=job_timeout,
-                              cache=cache, options=options)
+                              cache=cache, options=options, retry=retry)
         report = scheduler.run(list(fragments))
         if best is None or report.wall_seconds < best.wall_seconds:
             best = report

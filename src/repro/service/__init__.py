@@ -8,6 +8,10 @@ Modules:
 * :mod:`repro.service.scheduler` — worker-pool fan-out with per-job
   timeouts and an in-process fallback, plus ``fork_map``, the generic
   fork primitive the SQL engine's partial aggregation reuses;
+* :mod:`repro.service.faults` — the resilience layer both substrates
+  share: the failure taxonomy, :class:`RetryPolicy`,
+  :class:`Deadline`, and the deterministic fault-injection harness
+  (:class:`FaultPlan`) the chaos suites drive;
 * :mod:`repro.service.facade` — ``submit``/``gather``/``stream``
   coroutines for event-loop callers;
 * :mod:`repro.service.cli` — the ``repro-qbs`` command.
@@ -32,18 +36,28 @@ Invariants every scheduler/cache change must preserve (pinned by
   fragment plus the full ``QBSOptions`` fingerprint, so edits
   invalidate exactly the affected entries and corrupt entries read as
   misses.
+* **classified failure** — every failed job carries a final taxonomy
+  code (``timeout | crash | corrupt_payload | transient_exhausted |
+  permanent``); retryable failures retry under the attached
+  :class:`RetryPolicy` (deterministic backoff, per-job circuit
+  breaker) and fault-injected runs converge to the fault-free outcome
+  fingerprint (``tests/service/test_faults.py``).
 """
 
 from repro.service.cache import ResultCache, default_cache_dir
 from repro.service.facade import QBSService
+from repro.service.faults import Deadline, FaultPlan, RetryPolicy
 from repro.service.jobs import QBSJob, job_for, jobs_for
 from repro.service.scheduler import JobOutcome, RunReport, Scheduler
 
 __all__ = [
+    "Deadline",
+    "FaultPlan",
     "JobOutcome",
     "QBSJob",
     "QBSService",
     "ResultCache",
+    "RetryPolicy",
     "RunReport",
     "Scheduler",
     "default_cache_dir",

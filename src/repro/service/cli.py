@@ -30,6 +30,7 @@ from typing import List, Optional
 from repro.core.qbs import QBSOptions
 from repro.corpus.registry import select_fragments
 from repro.service.cache import ResultCache, default_cache_dir
+from repro.service.faults import RetryPolicy
 from repro.service.jobs import job_for
 from repro.service.scheduler import Scheduler
 
@@ -46,6 +47,13 @@ def _positive_int(value: str) -> int:
     number = int(value)
     if number < 1:
         raise argparse.ArgumentTypeError("must be >= 1")
+    return number
+
+
+def _nonnegative_int(value: str) -> int:
+    number = int(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
     return number
 
 
@@ -73,6 +81,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--timeout", type=float, default=None, metavar="SEC",
                      help="per-job timeout; timed-out jobs fail, the "
                           "batch continues (needs --workers >= 2)")
+    run.add_argument("--retries", type=_nonnegative_int, default=0,
+                     metavar="N",
+                     help="retry retryable failures (crash/timeout/"
+                          "corrupt/transient) up to N times per job "
+                          "with deterministic backoff; 0 = seed "
+                          "behaviour, fail on the first attempt")
+    run.add_argument("--deadline", type=float, default=None,
+                     metavar="SEC",
+                     help="whole-run budget; jobs unfinished at the "
+                          "deadline fail with a classified timeout "
+                          "instead of blocking the run")
     run.add_argument("--refresh", action="store_true",
                      help="recompute even on cache hit")
     run.add_argument("--check", action="store_true",
@@ -142,16 +161,19 @@ def cmd_run(args) -> int:
               file=sys.stderr)
     scheduler = Scheduler(workers=args.workers, job_timeout=args.timeout,
                           cache=cache, options=QBSOptions(),
-                          refresh=args.refresh)
+                          refresh=args.refresh,
+                          retry=RetryPolicy(max_attempts=args.retries + 1),
+                          deadline=args.deadline)
     report = scheduler.run(fragments)
 
     if args.json_output:
         return _emit_run_json(args, fragments, report)
 
     if not args.quiet:
-        print("%-12s %-30s %-10s %-2s %-6s %8s  %s" % (
-            "id", "class:line", "category", "st", "src", "time", "SQL"))
-        print("-" * 100)
+        print("%-12s %-30s %-10s %-2s %-12s %-6s %8s  %s" % (
+            "id", "class:line", "category", "st", "failure", "src",
+            "time", "SQL"))
+        print("-" * 113)
     mismatches = 0
     counts = {}
     for corpus_fragment, outcome in zip(fragments, report.outcomes):
@@ -172,11 +194,12 @@ def cmd_run(args) -> int:
             counts.setdefault(corpus_fragment.app,
                               Counter())["job-failed"] += 1
         if not args.quiet:
-            print("%-12s %-30s %-10s %-2s %-6s %7.2fs  %s" % (
+            print("%-12s %-30s %-10s %-2s %-12.12s %-6s %7.2fs  %s" % (
                 corpus_fragment.fragment_id,
                 "%s:%d" % (corpus_fragment.java_class,
                            corpus_fragment.line),
                 corpus_fragment.category, marker,
+                _failure_cell(outcome),
                 "cache" if outcome.from_cache else
                 ("w%d" % args.workers if args.workers > 1 else "local"),
                 outcome.elapsed_seconds, detail[:60]))
@@ -202,6 +225,17 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _failure_cell(outcome) -> str:
+    """Failure-class table cell: taxonomy code (plus attempt count when
+    the job was retried); ``-`` for clean first-attempt successes."""
+    if outcome.ok:
+        return "-" if outcome.attempts <= 1 else "ok x%d" % outcome.attempts
+    kind = outcome.failure_kind or "failed"
+    if outcome.attempts > 1:
+        return "%s x%d" % (kind, outcome.attempts)
+    return kind
+
+
 def _emit_run_json(args, fragments, report) -> int:
     """``run --json``: one machine-consumable document on stdout."""
     entries = []
@@ -219,6 +253,8 @@ def _emit_run_json(args, fragments, report) -> int:
             "elapsed_seconds": outcome.elapsed_seconds,
             "result": outcome.result.to_json_dict() if outcome.ok else None,
             "error": outcome.error or None,
+            "failure_kind": outcome.failure_kind,
+            "attempts": outcome.attempts,
         }
         entry["matches_expected"] = bool(
             outcome.ok
@@ -236,6 +272,9 @@ def _emit_run_json(args, fragments, report) -> int:
             "computed": report.computed,
             "cache_hits": report.cache_hits,
             "failed_jobs": report.failed,
+            "retried_jobs": report.retried,
+            "retries": args.retries,
+            "deadline": args.deadline,
             "workers": args.workers,
             "mismatches": mismatches,
         },

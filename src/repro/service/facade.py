@@ -32,6 +32,7 @@ from typing import AsyncIterator, List, Optional
 from repro.core.qbs import QBSOptions
 from repro.corpus.registry import CorpusFragment, fragment_by_id
 from repro.service.cache import ResultCache
+from repro.service.faults import RetryPolicy
 from repro.service.jobs import QBSJob, job_for
 from repro.service.scheduler import JobOutcome, RunReport, Scheduler
 
@@ -45,10 +46,13 @@ class QBSService:
                  job_timeout: Optional[float] = None,
                  cache: Optional[ResultCache] = None,
                  options: Optional[QBSOptions] = None,
-                 refresh: bool = False):
+                 refresh: bool = False,
+                 retry: Optional[RetryPolicy] = None,
+                 deadline: Optional[float] = None):
         self.scheduler = Scheduler(workers=workers, job_timeout=job_timeout,
                                    cache=cache, options=options,
-                                   refresh=refresh)
+                                   refresh=refresh, retry=retry,
+                                   deadline=deadline)
         self._pending: List[CorpusFragment] = []
 
     # -- the facade --------------------------------------------------------

@@ -10,10 +10,19 @@ fragment), so the scheduler's only obligations are
   so both modes yield results of identical shape and content;
 * **order stability** — outcomes are delivered in submission order
   regardless of completion order;
+* **fault tolerance** — failures are classified into the
+  ``repro.service.faults`` taxonomy (``timeout | crash |
+  corrupt_payload | transient_exhausted | permanent``) and carried on
+  :class:`JobOutcome`.  Retryable failures are retried under a
+  :class:`~repro.service.faults.RetryPolicy` with deterministic
+  backoff; the attempt bound is the per-job circuit breaker, so a
+  poison job fails permanently after K attempts instead of
+  respawn-looping.  Crashed / timed-out / desynced workers are
+  terminated and replaced while the rest of the batch completes, and
+  an optional whole-run deadline abandons unfinished work with a
+  classified timeout instead of blocking;
 * **graceful degradation** — ``workers=1`` runs in-process with no
-  multiprocessing machinery at all, and a worker that exceeds the
-  per-job timeout surfaces as a *failed job* while the rest of the
-  batch completes.
+  multiprocessing machinery at all.
 
 Results are read through / written to a :class:`ResultCache` when one
 is attached, which is what makes corpus re-runs incremental.
@@ -32,7 +41,22 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from repro.core.qbs import QBSOptions, QBSResult
 from repro.corpus.registry import CorpusFragment
+from repro.service import faults
 from repro.service.cache import ResultCache
+from repro.service.faults import (
+    CRASH,
+    CORRUPT_PAYLOAD,
+    PERMANENT,
+    TIMEOUT,
+    CorruptPayload,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    SubstrateUnavailable,
+    WorkerCrash,
+    classify_exception,
+    final_failure_kind,
+)
 from repro.service.jobs import (
     QBSJob,
     execute_job,
@@ -47,25 +71,37 @@ _JOB_RUNNER = execute_job
 
 
 def _fork_child(conn, fn, item):
-    """fork_map worker: one result (or one pickled exception) per pipe."""
+    """fork_map worker: one tagged reply per pipe.
+
+    Replies are ``("ok", result)``, ``("exc", exception)``, or — when
+    the result / exception itself refuses to pickle — a structured
+    ``("error", payload)`` built from plain data, so the parent always
+    learns *why* instead of seeing a bare EOF.
+    """
+    faults.mark_child_process()
     try:
-        payload = (True, fn(item))
+        reply = ("ok", fn(item))
     except BaseException as exc:
-        payload = (False, exc)
+        reply = ("exc", exc)
     try:
-        conn.send(payload)
+        conn.send(reply)
     except Exception as send_exc:
-        # The payload would not pickle; degrade to a description that
-        # says so (a successful-but-unpicklable result must not read
-        # like the job failed with its own repr).
-        ok, value = payload
-        detail = ("result %r is not picklable" % (value,)) if ok \
-            else ("exception %s: %s did not pickle"
-                  % (type(value).__name__, value))
+        # The payload would not pickle; ship a classified description
+        # (a successful-but-unpicklable result is a corrupt payload,
+        # not a job failure with its own repr).
+        tag, value = reply
+        if tag == "ok":
+            payload = faults.error_payload(
+                CORRUPT_PAYLOAD,
+                "fork_map: result %r is not picklable (%s: %s)"
+                % (value, type(send_exc).__name__, send_exc))
+        else:
+            payload = faults.error_payload(
+                PERMANENT,
+                "fork_map: %s: %s (exception did not pickle: %s)"
+                % (type(value).__name__, value, send_exc))
         try:
-            conn.send((False, RuntimeError(
-                "fork_map: %s (%s: %s)"
-                % (detail, type(send_exc).__name__, send_exc))))
+            conn.send(("error", payload))
         except Exception:   # pragma: no cover - pipe gone; parent sees EOF
             pass
     finally:
@@ -78,7 +114,23 @@ def _fork_child(conn, fn, item):
     os._exit(0)
 
 
-def fork_map(fn, items):
+def _reap_fork_workers(workers) -> None:
+    """Close pipes and make every child exit — escalating terminate →
+    kill — so an abandoned fan-out never leaks zombies."""
+    for process, receiver in workers:
+        try:
+            receiver.close()
+        except OSError:
+            pass
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - SIGTERM ignored
+                process.kill()
+        process.join()
+
+
+def fork_map(fn, items, deadline: Optional[Deadline] = None):
     """Apply ``fn`` to each item in its own forked child process.
 
     The generic fan-out primitive underneath the scheduler's pool,
@@ -91,12 +143,24 @@ def fork_map(fn, items):
     worker's death cannot corrupt another's result).
 
     Results come back in item order.  A child that raises has its
-    exception re-raised here; a child that dies without replying raises
-    ``RuntimeError``.  Falls back to an inline map when fork is
-    unavailable (non-POSIX) or when there is at most one item.
+    exception re-raised here; substrate failures raise typed faults
+    from the shared taxonomy instead of hangs or raw ``EOFError``:
+
+    * child died without replying → :class:`WorkerCrash` (exit code
+      included);
+    * reply would not decode (unpicklable / truncated payload) →
+      :class:`CorruptPayload`;
+    * a worker process could not start → :class:`SubstrateUnavailable`;
+    * ``deadline`` expired with results outstanding →
+      :class:`DeadlineExceeded` (remaining children are reaped).
+
+    Falls back to an inline map when fork is unavailable (non-POSIX)
+    or when there is at most one item.
     """
     items = list(items)
     if len(items) <= 1:
+        if deadline is not None:
+            deadline.check("fork_map")
         return [fn(item) for item in items]
     try:
         context = multiprocessing.get_context("fork")
@@ -104,30 +168,48 @@ def fork_map(fn, items):
         return [fn(item) for item in items]
 
     workers = []
-    for item in items:
-        receiver, sender = context.Pipe(duplex=False)
-        process = context.Process(target=_fork_child,
-                                  args=(sender, fn, item), daemon=True)
-        process.start()
-        sender.close()
-        workers.append((process, receiver))
+    try:
+        for item in items:
+            receiver, sender = context.Pipe(duplex=False)
+            process = context.Process(target=_fork_child,
+                                      args=(sender, fn, item), daemon=True)
+            try:
+                process.start()
+            except OSError as exc:
+                receiver.close()
+                sender.close()
+                raise SubstrateUnavailable(
+                    "fork_map could not start a worker: %s" % exc)
+            sender.close()
+            workers.append((process, receiver))
 
-    results = []
-    failure = None
-    for process, receiver in workers:
-        try:
-            ok, payload = receiver.recv()
-        except (EOFError, OSError):
-            ok, payload = False, RuntimeError(
-                "fork_map worker died without replying")
-        receiver.close()
-        process.join()
-        if not ok and failure is None:
-            failure = payload
-        results.append(payload if ok else None)
-    if failure is not None:
-        raise failure
-    return results
+        results = []
+        for process, receiver in workers:
+            if deadline is not None and \
+                    not receiver.poll(deadline.remaining()):
+                raise DeadlineExceeded(
+                    "fork_map deadline expired with %d/%d results collected"
+                    % (len(results), len(items)))
+            try:
+                tag, payload = receiver.recv()
+            except (EOFError, OSError):
+                process.join()
+                raise WorkerCrash(
+                    "fork_map worker died without replying "
+                    "(exit code %s)" % process.exitcode)
+            except Exception as exc:
+                raise CorruptPayload(
+                    "fork_map reply failed to decode (%s: %s)"
+                    % (type(exc).__name__, exc))
+            if tag == "ok":
+                results.append(payload)
+            elif tag == "exc":
+                raise payload
+            else:
+                raise faults.fault_from_payload(payload)
+        return results
+    finally:
+        _reap_fork_workers(workers)
 
 
 def _worker_main(conn, options_dict):
@@ -140,7 +222,13 @@ def _worker_main(conn, options_dict):
     ends the loop: under fork, sibling workers inherit copies of each
     other's pipe fds, so the parent closing its end does not reliably
     produce EOF here.
+
+    Failed jobs reply ``(index, False, (kind, message))`` so the parent
+    can classify without parsing text; a reply whose payload will not
+    pickle is downgraded to a structured corrupt-payload report rather
+    than killing the worker.
     """
+    faults.mark_child_process()
     while True:
         try:
             item = conn.recv()
@@ -148,21 +236,35 @@ def _worker_main(conn, options_dict):
             return
         if item is None:
             return
-        index, fragment_id = item
+        index, fragment_id, attempt = item
+        faults.set_current_attempt(attempt)
         try:
             payload = _JOB_RUNNER(fragment_id, options_dict)
         except Exception as exc:
-            reply = (index, False, "%s: %s" % (type(exc).__name__, exc))
+            reply = (index, False, (classify_exception(exc),
+                                    "%s: %s" % (type(exc).__name__, exc)))
         else:
             reply = (index, True, payload)
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):
             return
+        except Exception as exc:
+            try:
+                conn.send((index, False, (
+                    CORRUPT_PAYLOAD,
+                    "result for %s failed to serialize (%s: %s)"
+                    % (fragment_id, type(exc).__name__, exc))))
+            except Exception:   # pragma: no cover - pipe gone
+                return
 
 
 class _WorkerHandle:
     """Parent-side view of one worker and the job it currently holds."""
+
+    #: grace given at each escalation step (sentinel/SIGTERM → SIGKILL)
+    #: before moving to the next; tests shrink this.
+    _JOIN_GRACE = 5.0
 
     def __init__(self, process, conn):
         self.process = process
@@ -170,12 +272,16 @@ class _WorkerHandle:
         self.index: Optional[int] = None   # assigned job, None when idle
         self.assigned_at = 0.0
 
-    def assign(self, index: int, fragment_id: str) -> None:
+    def assign(self, index: int, fragment_id: str, attempt: int) -> None:
         self.index = index
         self.assigned_at = time.perf_counter()
-        self.conn.send((index, fragment_id))
+        self.conn.send((index, fragment_id, attempt))
 
     def shutdown(self, kill: bool) -> None:
+        """Wind the worker down, escalating until it is actually
+        reaped: cooperative sentinel (or SIGTERM when ``kill``), then
+        SIGTERM, then SIGKILL.  A worker stuck in uninterruptible work
+        or ignoring SIGTERM must not leak as a zombie."""
         if kill:
             self.process.terminate()
         else:
@@ -187,10 +293,13 @@ class _WorkerHandle:
             self.conn.close()
         except OSError:
             pass
-        self.process.join(timeout=5)
-        if self.process.is_alive():  # pragma: no cover - last resort
-            self.process.kill()
-            self.process.join()
+        self.process.join(timeout=self._JOIN_GRACE)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=self._JOIN_GRACE)
+            if self.process.is_alive():
+                self.process.kill()
+        self.process.join()
 
 
 @dataclass
@@ -203,6 +312,11 @@ class JobOutcome:
     from_cache: bool = False
     elapsed_seconds: float = 0.0
     error: str = ""
+    #: final taxonomy code when failed (``faults.FAILURE_KINDS``);
+    #: ``None`` on success.
+    failure_kind: Optional[str] = None
+    #: attempts consumed (0 = never started, e.g. deadline hit first).
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -247,6 +361,11 @@ class RunReport:
     def failed(self) -> int:
         return sum(1 for o in self.outcomes if not o.ok)
 
+    @property
+    def retried(self) -> int:
+        """Jobs that needed more than one attempt."""
+        return sum(1 for o in self.outcomes if o.attempts > 1)
+
 
 class Scheduler:
     """Run corpus fragments through QBS, optionally in parallel."""
@@ -255,7 +374,9 @@ class Scheduler:
                  job_timeout: Optional[float] = None,
                  cache: Optional[ResultCache] = None,
                  options: Optional[QBSOptions] = None,
-                 refresh: bool = False):
+                 refresh: bool = False,
+                 retry: Optional[RetryPolicy] = None,
+                 deadline: Optional[float] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
@@ -264,6 +385,12 @@ class Scheduler:
         self.options = options or QBSOptions()
         #: recompute even on cache hit (results are re-stored).
         self.refresh = refresh
+        #: retry/backoff/circuit-breaker policy; the default keeps the
+        #: seed behaviour (one attempt, no retries).
+        self.retry = retry if retry is not None else faults.NO_RETRY
+        #: whole-run budget in seconds; unfinished work past it fails
+        #: with a classified timeout instead of blocking.
+        self.deadline_seconds = deadline
 
     # -- public API --------------------------------------------------------
 
@@ -326,22 +453,45 @@ class Scheduler:
     def _run_inline(self, jobs: List[QBSJob], pending: List[int],
                     stop_event: Optional[threading.Event]
                     ) -> Iterator[JobOutcome]:
-        """In-process fallback: no pool, no pickling overhead."""
+        """In-process fallback: no pool, no pickling overhead — but the
+        same retry/backoff/deadline semantics as the pool path."""
         opts = options_payload(self.options)
+        retry = self.retry
+        deadline = Deadline.after(self.deadline_seconds)
         for index in pending:
             if stop_event is not None and stop_event.is_set():
                 return
             job = jobs[index]
-            start = time.perf_counter()
-            try:
-                payload = _JOB_RUNNER(job.fragment_id, opts)
-            except Exception as exc:  # job bugs become failed jobs
-                yield JobOutcome(job=job, state="failed",
-                                 elapsed_seconds=time.perf_counter() - start,
-                                 error="%s: %s" % (type(exc).__name__, exc))
+            if deadline is not None and deadline.expired():
+                yield JobOutcome(
+                    job=job, state="failed",
+                    error="deadline exceeded before start",
+                    failure_kind=TIMEOUT, attempts=0)
                 continue
-            yield self._finish(job, payload,
-                               time.perf_counter() - start)
+            attempt = 0
+            start = time.perf_counter()
+            while True:
+                attempt += 1
+                faults.set_current_attempt(attempt)
+                try:
+                    payload = _JOB_RUNNER(job.fragment_id, opts)
+                except Exception as exc:  # job bugs become failed jobs
+                    kind = classify_exception(exc)
+                    if retry.allows_retry(kind, attempt) and \
+                            (deadline is None or not deadline.expired()):
+                        time.sleep(retry.backoff(attempt))
+                        continue
+                    yield JobOutcome(
+                        job=job, state="failed",
+                        elapsed_seconds=time.perf_counter() - start,
+                        error="%s: %s" % (type(exc).__name__, exc),
+                        failure_kind=final_failure_kind(kind),
+                        attempts=attempt)
+                    break
+                yield self._finish(job, payload,
+                                   time.perf_counter() - start,
+                                   attempts=attempt)
+                break
 
     #: parent poll interval while waiting on workers.
     _POLL_SECONDS = 0.02
@@ -356,13 +506,21 @@ class Scheduler:
         holds and when that job *actually started*.  That is what makes
         per-job timeouts honest: a job is only reported as timed out if
         it ran past the budget, never because it sat queued behind
-        someone else's hung job.  Timed-out (or crashed) workers are
-        terminated and replaced, so the rest of the batch always
-        completes — and because no channel is shared, reclaiming one
-        worker cannot disturb another's results.
+        someone else's hung job.  Timed-out / crashed / desynced
+        workers are terminated and replaced, so the rest of the batch
+        always completes — and because no channel is shared, reclaiming
+        one worker cannot disturb another's results.
+
+        Failures are classified and fed through the retry policy: a
+        retryable failure requeues the job (after its deterministic
+        backoff) until the attempt budget — the per-job circuit
+        breaker — is spent.  A whole-run deadline fails everything
+        still unfinished with a classified timeout.
         """
         opts = options_payload(self.options)
         context = self._context()
+        retry = self.retry
+        deadline = Deadline.after(self.deadline_seconds)
 
         def spawn() -> _WorkerHandle:
             parent_conn, child_conn = context.Pipe()
@@ -373,12 +531,67 @@ class Scheduler:
             return _WorkerHandle(process, parent_conn)
 
         remaining = deque(pending)
+        delayed: List[tuple] = []       # (ready_at, index) backoff queue
+        attempts = {index: 0 for index in pending}
         outcomes: Dict[int, JobOutcome] = {}
         next_pos = 0
+
+        def register_failure(index: int, kind: str, message: str,
+                             elapsed: float) -> None:
+            """Retry under policy, or record the final classified
+            outcome once the circuit breaker trips."""
+            attempt = attempts[index]
+            if retry.allows_retry(kind, attempt) and \
+                    (deadline is None or not deadline.expired()):
+                delayed.append(
+                    (time.perf_counter() + retry.backoff(attempt), index))
+                return
+            outcomes[index] = JobOutcome(
+                job=jobs[index], state="failed",
+                elapsed_seconds=elapsed, error=message,
+                failure_kind=final_failure_kind(kind), attempts=attempt)
+
         workers = [spawn() for _ in range(min(self.workers, len(pending)))]
         try:
             while next_pos < len(pending):
                 if stop_event is not None and stop_event.is_set():
+                    return
+                # Promote backed-off jobs whose wait is over.
+                if delayed:
+                    now = time.perf_counter()
+                    due = sorted(e for e in delayed if e[0] <= now)
+                    if due:
+                        delayed = [e for e in delayed if e[0] > now]
+                        for _, index in due:
+                            remaining.append(index)
+                # Whole-run deadline: fail everything unfinished with a
+                # classified timeout and wind down.
+                if deadline is not None and deadline.expired():
+                    now = time.perf_counter()
+                    for worker in workers:
+                        if worker.index is None:
+                            continue
+                        index = worker.index
+                        worker.index = None
+                        outcomes[index] = JobOutcome(
+                            job=jobs[index], state="failed",
+                            elapsed_seconds=now - worker.assigned_at,
+                            error="deadline exceeded after %.3gs"
+                                  % self.deadline_seconds,
+                            failure_kind=TIMEOUT,
+                            attempts=attempts[index])
+                        worker.shutdown(kill=True)
+                    for index in list(remaining) + [e[1] for e in delayed]:
+                        outcomes[index] = JobOutcome(
+                            job=jobs[index], state="failed",
+                            error="deadline exceeded before start",
+                            failure_kind=TIMEOUT,
+                            attempts=attempts[index])
+                    remaining.clear()
+                    delayed = []
+                    while next_pos < len(pending):
+                        yield outcomes.pop(pending[next_pos])
+                        next_pos += 1
                     return
                 # Hand jobs to idle workers; a worker that died while
                 # idle shows up as a broken pipe and is replaced, with
@@ -386,9 +599,12 @@ class Scheduler:
                 for position, worker in enumerate(workers):
                     if worker.index is None and remaining:
                         index = remaining.popleft()
+                        attempts[index] += 1
                         try:
-                            worker.assign(index, jobs[index].fragment_id)
+                            worker.assign(index, jobs[index].fragment_id,
+                                          attempts[index])
                         except (BrokenPipeError, OSError):
+                            attempts[index] -= 1
                             remaining.appendleft(index)
                             worker.shutdown(kill=False)
                             workers[position] = spawn()
@@ -402,28 +618,44 @@ class Scheduler:
                         (p, w) for p, w in enumerate(workers)
                         if w.conn is conn)
                     elapsed = time.perf_counter() - worker.assigned_at
+                    index = worker.index
                     try:
-                        index, ok, payload = conn.recv()
-                    except Exception:
+                        reply_index, ok, payload = conn.recv()
+                    except (EOFError, OSError):
                         # EOF/partial message: the worker died mid-job.
-                        worker.shutdown(kill=False)
-                        outcomes[worker.index] = JobOutcome(
-                            job=jobs[worker.index], state="failed",
-                            elapsed_seconds=elapsed,
-                            error="worker died (exit code %s)"
-                                  % worker.process.exitcode)
                         worker.index = None
-                        if remaining:
+                        worker.shutdown(kill=False)
+                        register_failure(
+                            index, CRASH,
+                            "worker died (exit code %s)"
+                            % worker.process.exitcode, elapsed)
+                        if remaining or delayed:
+                            workers[position] = spawn()
+                        continue
+                    except Exception as exc:
+                        # The reply arrived but would not decode; the
+                        # pipe stream may be desynced, so replace the
+                        # worker rather than trust its next frame.
+                        worker.index = None
+                        worker.shutdown(kill=True)
+                        register_failure(
+                            index, CORRUPT_PAYLOAD,
+                            "undecodable worker reply (%s: %s)"
+                            % (type(exc).__name__, exc), elapsed)
+                        if remaining or delayed:
                             workers[position] = spawn()
                         continue
                     worker.index = None
                     if ok:
-                        outcomes[index] = self._finish(jobs[index],
-                                                       payload, elapsed)
+                        outcomes[reply_index] = self._finish(
+                            jobs[reply_index], payload, elapsed,
+                            attempts=attempts[reply_index])
                     else:
-                        outcomes[index] = JobOutcome(
-                            job=jobs[index], state="failed",
-                            elapsed_seconds=elapsed, error=payload)
+                        kind, message = payload \
+                            if isinstance(payload, tuple) \
+                            else (PERMANENT, payload)
+                        register_failure(reply_index, kind, message,
+                                         elapsed)
                 # Reclaim workers whose job ran past the budget.
                 if self.job_timeout is not None:
                     now = time.perf_counter()
@@ -432,14 +664,14 @@ class Scheduler:
                             continue
                         busy_for = now - worker.assigned_at
                         if busy_for > self.job_timeout:
-                            outcomes[worker.index] = JobOutcome(
-                                job=jobs[worker.index], state="failed",
-                                elapsed_seconds=busy_for,
-                                error="timeout after %.3gs"
-                                      % self.job_timeout)
+                            index = worker.index
                             worker.index = None
                             worker.shutdown(kill=True)
-                            if remaining:
+                            register_failure(
+                                index, TIMEOUT,
+                                "timeout after %.3gs" % self.job_timeout,
+                                busy_for)
+                            if remaining or delayed:
                                 workers[position] = spawn()
                 # Yield the finished in-order prefix.
                 while next_pos < len(pending) \
@@ -459,9 +691,9 @@ class Scheduler:
             return multiprocessing.get_context()
 
     def _finish(self, job: QBSJob, payload: Dict[str, Any],
-                elapsed: float) -> JobOutcome:
+                elapsed: float, attempts: int = 1) -> JobOutcome:
         if self.cache is not None:
             self.cache.store(job, payload)
         return JobOutcome(job=job, state="done",
                           result=result_from_payload(payload),
-                          elapsed_seconds=elapsed)
+                          elapsed_seconds=elapsed, attempts=attempts)

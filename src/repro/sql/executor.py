@@ -52,6 +52,12 @@ class ExecutionStats:
     nested_loop_joins: int = 0
     index_scans: int = 0
     full_scans: int = 0
+    #: substrate degradations taken while executing (processes →
+    #: threads → serial rungs fallen; see docs/robustness.md).  Not
+    #: part of the parallel-identity contract: degraded runs must match
+    #: serial runs on every *work* counter above, while this one
+    #: records that the fallback happened.
+    degradations: int = 0
 
 
 def merge_stats(into: "ExecutionStats", delta: "ExecutionStats") -> None:
@@ -67,6 +73,7 @@ def merge_stats(into: "ExecutionStats", delta: "ExecutionStats") -> None:
     into.nested_loop_joins += delta.nested_loop_joins
     into.index_scans += delta.index_scans
     into.full_scans += delta.full_scans
+    into.degradations += delta.degradations
 
 
 @dataclass
@@ -111,6 +118,13 @@ class ExecutorOptions:
         Optimizer rule toggles: HAVING conjuncts over group keys move
         into WHERE; ORDER BY above a partition boundary runs as
         per-partition sorts plus a k-way merge.
+    ``deadline_seconds``
+        Whole-query budget for partition-parallel execution.  At
+        expiry, unfinished partitions are abandoned and the query
+        raises a classified
+        :class:`~repro.service.faults.DeadlineExceeded` instead of
+        blocking.  ``None`` (the default, and the seed behaviour)
+        never expires.
     """
 
     planner: bool = True
@@ -121,6 +135,7 @@ class ExecutorOptions:
     cost_based: bool = True
     having_pushdown: bool = True
     parallel_sort: bool = True
+    deadline_seconds: Optional[float] = None
 
 
 @dataclass

@@ -53,6 +53,8 @@ def render(root: PhysicalOp, analyze: bool = False) -> str:
             if parts is not None and any(n is not None for n in parts):
                 bits.append("parts=%s" % "|".join(
                     "?" if n is None else str(n) for n in parts))
+            if op.degraded is not None:
+                bits.append("degraded=%s" % op.degraded)
         if op.est_rows is not None:
             bits.append("est_rows=%s" % _estimate(op.est_rows))
         if op.est_cost is not None:

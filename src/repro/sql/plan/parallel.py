@@ -18,16 +18,37 @@ onto the configured backend:
 Both backends preserve partition order in the returned list, and both
 degrade to an inline loop for a single task, so ``parallel=1`` and
 serial execution share one code path.
+
+**Degradation ladder.**  Substrate failures — a forked child crashing,
+a payload that will not decode, a pool that cannot start — never fail
+the query.  :func:`run_tasks` classifies them through the shared
+``repro.service.faults`` taxonomy and retries the *whole task list*
+one rung down: ``processes → threads → serial``.  Tasks build a fresh
+per-partition context on every invocation, so a rerun is idempotent
+and the results stay row/column/stats-identical to serial execution
+(the mode-flags-not-forks invariant).  Application exceptions and
+deadline expiry propagate immediately: the ladder only absorbs
+substrate faults.  An optional :class:`~repro.service.faults.Deadline`
+bounds the whole fan-out; at expiry unfinished partitions are
+abandoned and a classified
+:class:`~repro.service.faults.DeadlineExceeded` surfaces instead of a
+block.  An installed :class:`~repro.service.faults.FaultPlan` perturbs
+each task by its deterministic partition key (``part:<index>``), which
+is how the chaos suites drive this path.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, List, Sequence
+from concurrent.futures import TimeoutError as _FutureTimeout
+from typing import Any, Callable, List, Optional, Sequence
 
 #: The backends :class:`~repro.sql.executor.ExecutorOptions` accepts.
 BACKENDS = ("threads", "processes")
+
+#: Next rung down for each substrate; ``None`` ends the ladder.
+_NEXT_RUNG = {"processes": "threads", "threads": "serial", "serial": None}
 
 
 def usable_cores() -> int:
@@ -45,22 +66,110 @@ def usable_cores() -> int:
 
 
 def run_tasks(tasks: Sequence[Callable[[], Any]],
-              backend: str = "threads") -> List[Any]:
-    """Run thunks, one per partition; results in partition order."""
+              backend: str = "threads",
+              deadline: Optional[Any] = None,
+              on_degrade: Optional[Callable[[str, str, Exception], None]]
+              = None) -> List[Any]:
+    """Run thunks, one per partition; results in partition order.
+
+    ``on_degrade(from_rung, to_rung, fault)`` is called once per rung
+    the ladder falls (EXPLAIN ANALYZE surfaces it); ``deadline`` is a
+    :class:`~repro.service.faults.Deadline` bounding the whole fan-out.
+    """
     if backend not in BACKENDS:
         raise ValueError("unknown parallel backend %r (expected one of %s)"
                          % (backend, ", ".join(BACKENDS)))
     tasks = list(tasks)
-    if len(tasks) <= 1:
+    # Imported lazily: repro.sql must stay importable without touching
+    # the service layer (which itself imports repro.sql).
+    from repro.service import faults
+
+    plan = faults.installed_plan()
+    if len(tasks) <= 1 and plan is None and deadline is None:
         return [task() for task in tasks]
-    if backend == "processes":
-        # Imported lazily: repro.sql must stay importable without
-        # touching the service layer (which itself imports repro.sql).
+    rung = backend
+    attempt = 1
+    while True:
+        active = _perturbed(tasks, plan, attempt, faults) \
+            if plan is not None else tasks
+        try:
+            return _run_rung(rung, active, deadline, faults)
+        except (faults.WorkerCrash, faults.CorruptPayload,
+                faults.SubstrateUnavailable) as fault:
+            next_rung = _NEXT_RUNG[rung]
+            if next_rung is None:
+                raise
+            if on_degrade is not None:
+                on_degrade(rung, next_rung, fault)
+            rung = next_rung
+            attempt += 1
+
+
+def _run_rung(rung: str, tasks: Sequence[Callable[[], Any]],
+              deadline, faults) -> List[Any]:
+    if rung == "serial":
+        results = []
+        for task in tasks:
+            if deadline is not None:
+                deadline.check("serial partition")
+            results.append(task())
+        return results
+    if rung == "processes":
         from repro.service.scheduler import fork_map
 
-        return fork_map(_call, tasks)
-    with ThreadPoolExecutor(max_workers=len(tasks)) as pool:
-        return list(pool.map(_call, tasks))
+        return fork_map(_call, tasks, deadline=deadline)
+    return _run_threads(tasks, deadline, faults)
+
+
+def _run_threads(tasks: Sequence[Callable[[], Any]],
+                 deadline, faults) -> List[Any]:
+    try:
+        pool = ThreadPoolExecutor(max_workers=len(tasks) or 1)
+    except Exception as exc:  # pragma: no cover - thread limit reached
+        raise faults.SubstrateUnavailable(
+            "thread pool unavailable: %s" % exc)
+    futures = []
+    try:
+        try:
+            for task in tasks:
+                futures.append(pool.submit(task))
+        except RuntimeError as exc:  # pragma: no cover - cannot start
+            raise faults.SubstrateUnavailable(
+                "could not start partition thread: %s" % exc)
+        results = []
+        for future in futures:
+            remaining = None if deadline is None else deadline.remaining()
+            try:
+                results.append(future.result(remaining))
+            except _FutureTimeout:
+                raise faults.DeadlineExceeded(
+                    "parallel deadline expired with %d/%d partitions "
+                    "unfinished" % (len(futures) - len(results),
+                                    len(futures)))
+        return results
+    finally:
+        for future in futures:
+            future.cancel()
+        # Never join: a partition hung past the deadline must not keep
+        # the query blocked (the abandoned thread is left to finish or
+        # die with the process).
+        pool.shutdown(wait=False)
+
+
+def _perturbed(tasks: Sequence[Callable[[], Any]], plan, attempt: int,
+               faults) -> List[Callable[[], Any]]:
+    """Wrap each task with the installed fault plan, keyed by its
+    deterministic partition index; the ladder attempt number lets
+    plans heal after ``faulty_attempts``."""
+    wrapped = []
+    for index, task in enumerate(tasks):
+        def chaotic(task=task, key="part:%d" % index):
+            poisoned = faults.perturb(plan, key, attempt)
+            if poisoned is not None:
+                return poisoned
+            return task()
+        wrapped.append(chaotic)
+    return wrapped
 
 
 def _call(task: Callable[[], Any]) -> Any:

@@ -66,6 +66,9 @@ class _Ctx:
     params: Dict[str, Any]
     stats: Any                          # ExecutionStats (engine-wide)
     scanned: List[_ScannedSource] = None
+    #: optional repro.service.faults.Deadline bounding the whole query;
+    #: partitioned drivers abandon unfinished partitions at expiry.
+    deadline: Any = None
 
     def __post_init__(self):
         if self.scanned is None:
@@ -87,6 +90,11 @@ class PhysicalOp:
         #: EXPLAIN printer renders them as ``est_rows=`` / ``cost=``.
         self.est_rows: Optional[float] = None
         self.est_cost: Optional[float] = None
+        #: substrate degradation path taken while executing this
+        #: operator (e.g. ``"processes->threads"``); None when the
+        #: requested backend worked.  EXPLAIN ANALYZE renders it as
+        #: ``degraded=``.
+        self.degraded: Optional[str] = None
 
     @property
     def children(self) -> Tuple["PhysicalOp", ...]:
@@ -859,8 +867,8 @@ def _chain_ops(op: PartitionedOp) -> List[PartitionedOp]:
 
 
 def _run_partitioned(chain: PartitionedOp, ctx: _Ctx, backend: str,
-                     worker, driver_op: Optional[PhysicalOp] = None
-                     ) -> List[Any]:
+                     worker, driver_op: Optional[PhysicalOp] = None,
+                     owner: Optional[PhysicalOp] = None) -> List[Any]:
     """Drive a partitioned chain: prepare serially, fan partitions out.
 
     ``worker(part, pctx)`` runs per partition on the configured backend
@@ -870,6 +878,13 @@ def _run_partitioned(chain: PartitionedOp, ctx: _Ctx, backend: str,
     ``rows_out`` are filled from the per-partition counters.
     ``driver_op`` (e.g. the partial-aggregation operator whose workers
     also record counts) joins the same ordinal space.
+
+    Substrate faults never fail the query: :func:`run_tasks` degrades
+    processes → threads → serial, and each task builds a fresh
+    :class:`_PartCtx`, so a degraded rerun merges exactly one run's
+    statistics and stays stats-identical to serial.  The path taken is
+    recorded on the gathering operator (``degraded``, surfaced by
+    EXPLAIN ANALYZE) and counted in ``ctx.stats.degradations``.
     """
     count = chain.prepare(ctx)
     ops = _chain_ops(chain)
@@ -887,8 +902,20 @@ def _run_partitioned(chain: PartitionedOp, ctx: _Ctx, backend: str,
             return worker(part, pctx), pctx.stats, pctx.recorded
         return task
 
+    if owner is None:
+        owner = driver_op if driver_op is not None else chain
+    rungs: List[str] = []
+
+    def on_degrade(from_rung: str, to_rung: str, fault: Exception) -> None:
+        ctx.stats.degradations += 1
+        if not rungs:
+            rungs.append(from_rung)
+        rungs.append(to_rung)
+        owner.degraded = "->".join(rungs)
+
     results = run_tasks([make_task(part) for part in range(count)],
-                        backend=backend)
+                        backend=backend, deadline=ctx.deadline,
+                        on_degrade=on_degrade)
     payloads = []
     for part, (payload, pstats, recorded) in enumerate(results):
         merge_stats(ctx.stats, pstats)
@@ -932,7 +959,8 @@ class GatherOp(EnvOp):
         # results are scalars.
         parts = _run_partitioned(
             child, ctx, "threads",
-            lambda part, pctx: child.run_partition(part, pctx))
+            lambda part, pctx: child.run_partition(part, pctx),
+            owner=self)
         out = [env for part in parts for env in part]
         self.rows_out = len(out)
         return out
@@ -995,7 +1023,8 @@ class GatherMergeOp(EnvOp):
             return executor._order(order_by, envs, scanned)
 
         # Threads only, like GatherOp: partition results are row sets.
-        parts = _run_partitioned(child, ctx, "threads", worker)
+        parts = _run_partitioned(child, ctx, "threads", worker,
+                                 owner=self)
 
         def key(env: Env):
             return tuple(
@@ -1433,6 +1462,13 @@ class PhysicalPlan:
 
     def execute(self, executor, params: Dict[str, Any],
                 stats) -> QueryResult:
-        ctx = _Ctx(executor=executor, params=params, stats=stats)
+        deadline = None
+        seconds = executor.options.deadline_seconds
+        if seconds is not None:
+            from repro.service.faults import Deadline
+
+            deadline = Deadline.after(seconds)
+        ctx = _Ctx(executor=executor, params=params, stats=stats,
+                   deadline=deadline)
         rows, columns = self.root.rows(ctx)
         return QueryResult(rows=rows, columns=columns, stats=stats)

@@ -1,0 +1,422 @@
+"""Chaos suite: deterministic fault injection against the scheduler.
+
+The resilience contract (``docs/robustness.md``): every failure gets a
+taxonomy code, retryable failures converge to the fault-free outcome
+fingerprint under the :class:`RetryPolicy`, poison jobs trip the
+per-job circuit breaker with the right final classification, and no
+failure mode — crash, hang, corrupt payload, SIGTERM-ignoring worker —
+leaks a zombie or hangs the parent.
+"""
+
+import os
+import signal
+import time
+from collections import Counter
+
+import pytest
+
+from repro.corpus.registry import (
+    ITRACKER_FRAGMENTS,
+    WILOS_FRAGMENTS,
+    select_fragments,
+)
+from repro.service import faults
+from repro.service import scheduler as scheduler_module
+from repro.service.faults import (
+    CorruptPayload,
+    Deadline,
+    DeadlineExceeded,
+    FaultPlan,
+    PermanentFault,
+    RetryPolicy,
+    TransientFault,
+    WorkerCrash,
+)
+from repro.service.jobs import execute_job
+from repro.service.scheduler import (
+    Scheduler,
+    _WorkerHandle,
+    fork_map,
+    outcome_fingerprint,
+)
+
+# -- taxonomy / policy units ---------------------------------------------------
+
+
+def test_backoff_schedule_is_deterministic_and_capped():
+    policy = RetryPolicy(max_attempts=5, backoff_base=0.05,
+                         backoff_multiplier=2.0, backoff_cap=0.15)
+    assert [policy.backoff(a) for a in (1, 2, 3, 4)] \
+        == [0.05, 0.1, 0.15, 0.15]
+
+
+def test_retry_policy_splits_retryable_from_permanent():
+    policy = RetryPolicy(max_attempts=3)
+    for kind in (faults.TIMEOUT, faults.CRASH, faults.CORRUPT_PAYLOAD,
+                 faults.TRANSIENT):
+        assert policy.allows_retry(kind, 1)
+        assert policy.allows_retry(kind, 2)
+        assert not policy.allows_retry(kind, 3)      # circuit breaker
+    assert not policy.allows_retry(faults.PERMANENT, 1)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+
+
+def test_final_failure_kind_converts_transient():
+    assert faults.final_failure_kind(faults.TRANSIENT) \
+        == faults.TRANSIENT_EXHAUSTED
+    for kind in (faults.TIMEOUT, faults.CRASH, faults.CORRUPT_PAYLOAD,
+                 faults.PERMANENT):
+        assert faults.final_failure_kind(kind) == kind
+
+
+def test_classify_exception_reads_fault_kinds():
+    assert faults.classify_exception(TransientFault("x")) == faults.TRANSIENT
+    assert faults.classify_exception(WorkerCrash("x")) == faults.CRASH
+    assert faults.classify_exception(ValueError("x")) == faults.PERMANENT
+    # Typed faults are still RuntimeErrors: pre-taxonomy catchers work.
+    assert isinstance(WorkerCrash("x"), RuntimeError)
+
+
+def test_deadline_budget_and_check():
+    assert Deadline.after(None) is None
+    deadline = Deadline.after(60.0)
+    assert 0 < deadline.remaining() <= 60.0 and not deadline.expired()
+    spent = Deadline.after(0.0)
+    assert spent.expired() and spent.remaining() == 0.0
+    with pytest.raises(DeadlineExceeded):
+        spent.check("unit test")
+
+
+def test_error_payload_round_trips_typed_faults():
+    corrupt = faults.fault_from_payload(
+        faults.error_payload(faults.CORRUPT_PAYLOAD, "garbled"))
+    assert isinstance(corrupt, CorruptPayload) and "garbled" in str(corrupt)
+    assert isinstance(
+        faults.fault_from_payload(
+            faults.error_payload(faults.TRANSIENT, "flaky")),
+        TransientFault)
+    assert isinstance(
+        faults.fault_from_payload(
+            faults.error_payload(faults.PERMANENT, "bug")),
+        PermanentFault)
+
+
+# -- fault-plan determinism ----------------------------------------------------
+
+
+def test_fault_plan_is_a_pure_function_of_seed_key_attempt():
+    plan = FaultPlan(seed=3, crash=0.2, hang=0.1, transient=0.2,
+                     corrupt=0.1)
+    keys = ["job-%d" % i for i in range(50)]
+    first = [plan.decide(k) for k in keys]
+    assert first == [plan.decide(k) for k in keys]          # no clocks
+    assert first == [FaultPlan(seed=3, crash=0.2, hang=0.1, transient=0.2,
+                               corrupt=0.1).decide(k) for k in keys]
+    assert any(first)                                       # it does inject
+    # A different seed reshuffles which keys fault.
+    other = [FaultPlan(seed=4, crash=0.2, hang=0.1, transient=0.2,
+                       corrupt=0.1).decide(k) for k in keys]
+    assert other != first
+
+
+def test_fault_plan_heals_after_faulty_attempts_except_poison():
+    plan = FaultPlan(faults={"flaky": faults.CRASH},
+                     poison={"doomed": faults.CRASH}, faulty_attempts=2)
+    assert plan.decide("flaky", attempt=1) == faults.CRASH
+    assert plan.decide("flaky", attempt=2) == faults.CRASH
+    assert plan.decide("flaky", attempt=3) is None          # healed
+    assert plan.decide("doomed", attempt=99) == faults.CRASH  # never heals
+    assert plan.decide("bystander", attempt=1) is None
+
+
+def test_fault_plan_validates_rates_and_kinds():
+    with pytest.raises(ValueError):
+        FaultPlan(crash=0.6, hang=0.6)
+    with pytest.raises(ValueError):
+        FaultPlan(crash=-0.1)
+    with pytest.raises(ValueError):
+        FaultPlan(faults={"j": "not-a-kind"})
+    with pytest.raises(ValueError):
+        FaultPlan(poison={"j": faults.TIMEOUT})  # timeout is not injectable
+
+
+def test_perturb_in_parent_raises_instead_of_exiting():
+    plan = FaultPlan(faults={"k": faults.CRASH})
+    with pytest.raises(WorkerCrash):
+        faults.perturb(plan, "k", attempt=1)
+    assert faults.perturb(plan, "k", attempt=2) is None     # healed
+    assert faults.perturb(None, "k") is None                # no plan, no-op
+    with pytest.raises(CorruptPayload):
+        faults.perturb(FaultPlan(poison={"k": faults.CORRUPT_PAYLOAD}), "k")
+    with pytest.raises(TransientFault):
+        faults.perturb(FaultPlan(poison={"k": faults.TRANSIENT}), "k")
+
+
+def test_injected_scopes_the_installed_plan():
+    assert faults.installed_plan() is None
+    plan = FaultPlan(seed=1)
+    with faults.injected(plan) as installed:
+        assert installed is plan and faults.installed_plan() is plan
+    assert faults.installed_plan() is None
+
+
+# -- chaos runs through the scheduler ------------------------------------------
+
+#: Chosen so the plan below faults >= 10% of the Fig. 13 corpus with
+#: every injectable kind represented (asserted in the test, so a
+#: corpus change that invalidates the seed fails loudly).
+_CHAOS_PLAN = FaultPlan(seed=0, crash=0.06, hang=0.05, transient=0.06,
+                        corrupt=0.06, faulty_attempts=1, hang_seconds=30.0)
+
+
+def _chaos_runner(fragment_id, options_dict):
+    """Worker entry that consults the installed fault plan first.
+
+    Fork-started workers inherit both this swap and the installed plan,
+    so one plan drives faults on both sides of the pipe."""
+    poisoned = faults.perturb(faults.installed_plan(), fragment_id)
+    if poisoned is not None:
+        return poisoned     # CorruptResult: explodes when the parent recvs
+    return execute_job(fragment_id, options_dict)
+
+
+def test_chaos_corpus_converges_to_fault_free_fingerprint(monkeypatch):
+    fragments = WILOS_FRAGMENTS + ITRACKER_FRAGMENTS
+    decided = {cf.fragment_id: _CHAOS_PLAN.decide(cf.fragment_id)
+               for cf in fragments}
+    faulted = {k: v for k, v in decided.items() if v is not None}
+    kinds = Counter(faulted.values())
+    assert len(faulted) >= max(2, len(fragments) // 10)     # >= 10% chaos
+    for kind in (faults.CRASH, faults.HANG, faults.CORRUPT_PAYLOAD,
+                 faults.TRANSIENT):
+        assert kinds[kind] >= 1, "plan seed no longer covers %s" % kind
+
+    baseline = Scheduler(workers=3).run(fragments)
+    assert baseline.failed == 0
+
+    monkeypatch.setattr(scheduler_module, "_JOB_RUNNER", _chaos_runner)
+    with faults.injected(_CHAOS_PLAN):
+        chaotic = Scheduler(
+            workers=3, job_timeout=0.75,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.01),
+        ).run(fragments)
+
+    assert chaotic.failed == 0      # every injected fault was absorbed
+    assert outcome_fingerprint(chaotic.outcomes) \
+        == outcome_fingerprint(baseline.outcomes)
+    by_id = {o.job.fragment_id: o for o in chaotic.outcomes}
+    for fragment_id, outcome in by_id.items():
+        if fragment_id in faulted:
+            assert outcome.attempts == 2, \
+                "%s (%s) should heal on the retry" \
+                % (fragment_id, faulted[fragment_id])
+        else:
+            assert outcome.attempts == 1, \
+                "%s was not faulted but retried" % fragment_id
+    assert chaotic.retried == len(faulted)
+
+
+def test_chaos_inline_path_has_same_semantics(monkeypatch):
+    # workers=1 runs in-process; crashes are raised, not exited.
+    plan = FaultPlan(faults={"w40": faults.CRASH, "i2": faults.TRANSIENT})
+    fragments = select_fragments(ids=["w40", "w42", "i2"])
+    baseline = Scheduler(workers=1).run(fragments)
+
+    monkeypatch.setattr(scheduler_module, "_JOB_RUNNER", _chaos_runner)
+    with faults.injected(plan):
+        chaotic = Scheduler(
+            workers=1,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.01),
+        ).run(fragments)
+
+    assert chaotic.failed == 0
+    assert outcome_fingerprint(chaotic.outcomes) \
+        == outcome_fingerprint(baseline.outcomes)
+    by_id = {o.job.fragment_id: o for o in chaotic.outcomes}
+    assert by_id["w40"].attempts == 2
+    assert by_id["i2"].attempts == 2
+    assert by_id["w42"].attempts == 1
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_poison_jobs_trip_the_circuit_breaker(monkeypatch, workers):
+    plan = FaultPlan(poison={"w40": faults.CRASH, "w42": faults.TRANSIENT})
+    monkeypatch.setattr(scheduler_module, "_JOB_RUNNER", _chaos_runner)
+    fragments = select_fragments(ids=["w40", "w42", "i2"])
+    with faults.injected(plan):
+        report = Scheduler(
+            workers=workers,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.01),
+        ).run(fragments)
+
+    by_id = {o.job.fragment_id: o for o in report.outcomes}
+    assert not by_id["w40"].ok
+    assert by_id["w40"].failure_kind == faults.CRASH
+    assert by_id["w40"].attempts == 3           # breaker: bounded respawns
+    assert not by_id["w42"].ok
+    assert by_id["w42"].failure_kind == faults.TRANSIENT_EXHAUSTED
+    assert by_id["w42"].attempts == 3
+    assert by_id["i2"].ok and by_id["i2"].failure_kind is None
+    assert report.failed == 2
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_permanent_failures_never_retry(monkeypatch, workers):
+    def buggy(fragment_id, options_dict):
+        if fragment_id == "w42":
+            raise ValueError("deterministic application bug")
+        return execute_job(fragment_id, options_dict)
+
+    monkeypatch.setattr(scheduler_module, "_JOB_RUNNER", buggy)
+    fragments = select_fragments(ids=["w40", "w42", "i2"])
+    report = Scheduler(
+        workers=workers, retry=RetryPolicy(max_attempts=4),
+    ).run(fragments)
+    by_id = {o.job.fragment_id: o for o in report.outcomes}
+    assert not by_id["w42"].ok
+    assert by_id["w42"].failure_kind == faults.PERMANENT
+    assert by_id["w42"].attempts == 1           # retrying cannot help
+    assert "deterministic application bug" in by_id["w42"].error
+    assert by_id["w40"].ok and by_id["i2"].ok
+
+
+def test_poison_corrupt_payload_classified_after_retries(monkeypatch):
+    plan = FaultPlan(poison={"w40": faults.CORRUPT_PAYLOAD})
+    monkeypatch.setattr(scheduler_module, "_JOB_RUNNER", _chaos_runner)
+    fragments = select_fragments(ids=["w40", "i2"])
+    with faults.injected(plan):
+        report = Scheduler(
+            workers=2, retry=RetryPolicy(max_attempts=2, backoff_base=0.01),
+        ).run(fragments)
+    by_id = {o.job.fragment_id: o for o in report.outcomes}
+    assert not by_id["w40"].ok
+    assert by_id["w40"].failure_kind == faults.CORRUPT_PAYLOAD
+    assert by_id["w40"].attempts == 2
+    assert by_id["i2"].ok
+
+
+def _sleepy_runner(fragment_id, options_dict):
+    time.sleep(60)
+    return execute_job(fragment_id, options_dict)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_run_deadline_fails_unfinished_work_classified(monkeypatch, workers):
+    if workers > 1:
+        monkeypatch.setattr(scheduler_module, "_JOB_RUNNER", _sleepy_runner)
+        monkeypatch.setattr(_WorkerHandle, "_JOIN_GRACE", 0.5)
+    else:
+        # Inline: the deadline is checked between jobs, so let the
+        # first job run normally and catch the rest at the boundary.
+        monkeypatch.setattr(scheduler_module, "_JOB_RUNNER",
+                            lambda f, o: (time.sleep(0.4),
+                                          execute_job(f, o))[1])
+    fragments = select_fragments(ids=["w40", "w42", "i2"])
+    start = time.perf_counter()
+    report = Scheduler(workers=workers, deadline=0.3).run(fragments)
+    elapsed = time.perf_counter() - start
+
+    assert elapsed < 10                       # wound down, did not block
+    assert len(report.outcomes) == 3          # every job got an outcome
+    timed_out = [o for o in report.outcomes if not o.ok]
+    assert timed_out
+    for outcome in timed_out:
+        assert outcome.failure_kind == faults.TIMEOUT
+        assert "deadline exceeded" in outcome.error
+
+
+# -- worker shutdown escalation (zombie-leak regression) -----------------------
+
+
+def _stubborn_worker_main(conn, options_dict):
+    """A worker that ignores both the sentinel and SIGTERM."""
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    conn.send("ready")
+    time.sleep(60)
+
+
+def test_shutdown_escalates_to_sigkill_for_stubborn_workers(monkeypatch):
+    import multiprocessing
+
+    monkeypatch.setattr(_WorkerHandle, "_JOIN_GRACE", 0.3)
+    context = multiprocessing.get_context("fork")
+    parent_conn, child_conn = context.Pipe()
+    process = context.Process(target=_stubborn_worker_main,
+                              args=(child_conn, {}), daemon=True)
+    process.start()
+    child_conn.close()
+    assert parent_conn.recv() == "ready"      # SIGTERM handler installed
+
+    handle = _WorkerHandle(process, parent_conn)
+    start = time.perf_counter()
+    handle.shutdown(kill=True)
+    elapsed = time.perf_counter() - start
+
+    assert not process.is_alive()             # actually reaped, no zombie
+    assert process.exitcode == -signal.SIGKILL
+    assert elapsed < 5                        # escalated, not full-grace x2
+
+
+# -- fork_map typed failures ---------------------------------------------------
+
+
+def test_fork_map_unpicklable_result_is_corrupt_payload():
+    import threading
+
+    def locky(x):
+        return threading.Lock() if x == 2 else x
+
+    with pytest.raises(CorruptPayload, match="not picklable"):
+        fork_map(locky, [1, 2, 3])
+
+
+def test_fork_map_unpicklable_exception_keeps_its_message():
+    class LocalBoom(Exception):     # local class: instance cannot pickle
+        pass
+
+    def boom(x):
+        if x == 2:
+            raise LocalBoom("original diagnosis %d" % x)
+        return x
+
+    with pytest.raises(PermanentFault, match="original diagnosis 2"):
+        fork_map(boom, [1, 2, 3])
+
+
+def test_fork_map_child_death_is_worker_crash():
+    def die(x):
+        if x == 2:
+            os._exit(5)
+        return x
+
+    with pytest.raises(WorkerCrash, match="exit code 5"):
+        fork_map(die, [1, 2, 3])
+
+
+def test_fork_map_corrupt_result_object_is_corrupt_payload():
+    def corrupted(x):
+        return faults.CorruptResult("part:%d" % x) if x == 2 else x
+
+    with pytest.raises(CorruptPayload):
+        fork_map(corrupted, [1, 2, 3])
+
+
+def test_fork_map_deadline_reaps_children():
+    def slow(x):
+        time.sleep(60)
+        return x
+
+    start = time.perf_counter()
+    with pytest.raises(DeadlineExceeded, match="0/2 results"):
+        fork_map(slow, [1, 2], deadline=Deadline.after(0.3))
+    assert time.perf_counter() - start < 10   # children terminated
+
+    # Single-item path checks the deadline too (it runs inline).
+    with pytest.raises(DeadlineExceeded):
+        fork_map(lambda x: x, [1], deadline=Deadline.after(0.0))
+
+
+def test_fork_map_still_succeeds_with_deadline_headroom():
+    assert fork_map(lambda x: x * 2, [1, 2, 3],
+                    deadline=Deadline.after(30.0)) == [2, 4, 6]

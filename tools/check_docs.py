@@ -28,6 +28,7 @@ DOCTEST_FILES = (
     "README.md",
     os.path.join("docs", "architecture.md"),
     os.path.join("docs", "explain.md"),
+    os.path.join("docs", "robustness.md"),
 )
 
 
