@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-smoke bench-synthesis bench bench-parallel \
 	bench-planner bench-join-order bench-parallel-scan serve-smoke \
-	chaos-smoke docs-check
+	chaos-smoke obs-smoke docs-check
 
 # Tier-1 verification: the full unit/property/regression suite.
 test:
@@ -69,6 +69,12 @@ serve-smoke:
 chaos-smoke:
 	$(PYTHON) -m pytest tests/service/test_faults.py \
 		tests/sql/test_parallel_faults.py -q
+
+# Observability canary: golden span trees, metrics exposition format,
+# untraced-off byte-identity, parallel trace stitching, and one real
+# traced benchmark run validated against the BENCH_*.json schema.
+obs-smoke:
+	$(PYTHON) -m pytest tests/obs -q
 
 # The complete paper-figure benchmark suite (pytest-benchmark).
 # Files are passed explicitly: they use the bench_* naming scheme,

@@ -13,6 +13,7 @@ Two claims from the paper:
 
 import time
 
+from repro.bench.harness import write_bench_artifact
 from repro.core.qbs import QBS, QBSOptions, QBSStatus
 from repro.core.synthesizer import SynthesisOptions, Synthesizer
 from repro.core.templates import TemplateGenerator
@@ -57,6 +58,11 @@ def test_ablation_symmetry_breaking(benchmark):
           % (time_sb, pool_sb))
     print("  without symmetry breaking: %6.2f s, candidate pool %d"
           % (time_nosb, pool_nosb))
+    write_bench_artifact(
+        "ablation_symmetry", pool_nosb > pool_sb,
+        extra={"with_sb": {"seconds": time_sb, "pool": pool_sb},
+               "without_sb": {"seconds": time_nosb, "pool": pool_nosb},
+               "fragments": ABLATION_IDS})
     # Disabling the optimization enlarges the search space.
     assert pool_nosb > pool_sb
 
@@ -76,6 +82,12 @@ def test_ablation_incremental_levels(benchmark, qbs):
     levels = benchmark.pedantic(measure_levels, rounds=1, iterations=1)
     print("\nTemplate level reached per translated Wilos fragment:")
     print("  " + ", ".join("%s:%d" % kv for kv in sorted(levels.items())))
+    write_bench_artifact(
+        "ablation_levels",
+        all(level <= 3 for level in levels.values())
+        and sum(1 for level in levels.values() if level <= 2)
+        >= len(levels) * 0.8,
+        extra={"levels": levels})
     # The paper: "most code examples require only a few (<3) iterations".
     assert all(level <= 3 for level in levels.values())
     assert sum(1 for level in levels.values() if level <= 2) \

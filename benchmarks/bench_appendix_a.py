@@ -10,6 +10,7 @@ under the paper's 5-minute timeout, and joins (categories E/F) remain
 the most expensive class, as the paper observes.
 """
 
+from repro.bench.harness import write_bench_artifact
 from repro.core.qbs import QBSStatus
 from repro.corpus.registry import ALL_FRAGMENTS, ITRACKER_FRAGMENTS, \
     WILOS_FRAGMENTS, run_fragment_through_qbs
@@ -30,6 +31,17 @@ def test_appendix_a_table(benchmark, qbs):
                               iterations=1)
     print("\nAppendix A reproduction "
           "(# class:line cat status measured-s paper-s):")
+    ok = all(result.status == cf.expected for cf, result in rows) and all(
+        result.elapsed_seconds < PAPER_TIMEOUT_SECONDS
+        for cf, result in rows if result.status is QBSStatus.TRANSLATED)
+    write_bench_artifact(
+        "appendix_a", ok,
+        measurements=[{"fragment": cf.fragment_id, "category": cf.category,
+                       "status": result.status.value,
+                       "seconds": result.elapsed_seconds,
+                       "paper_seconds": cf.paper_seconds}
+                      for cf, result in rows],
+        extra={"paper_timeout_seconds": PAPER_TIMEOUT_SECONDS})
     join_times, other_times = [], []
     for cf, result in rows:
         paper = ("%.0f" % cf.paper_seconds) if cf.paper_seconds else "-"

@@ -14,6 +14,7 @@ same outcome counts.
 
 from collections import Counter
 
+from repro.bench.harness import write_bench_artifact
 from repro.core.qbs import QBS, QBSStatus
 from repro.corpus.registry import (
     ITRACKER_FRAGMENTS,
@@ -39,6 +40,13 @@ def run_corpus():
 def test_fig13_fragment_counts(benchmark):
     counts = benchmark.pedantic(run_corpus, rounds=1, iterations=1)
     print("\nFig. 13 reproduction (paper values in parentheses):")
+    ok = all(counts[app][key] == expected
+             for app, paper in PAPER_COUNTS.items()
+             for key, expected in paper.items())
+    write_bench_artifact(
+        "fig13_corpus", ok,
+        extra={"measured": {app: dict(c) for app, c in counts.items()},
+               "paper": PAPER_COUNTS})
     for app in ("wilos", "itracker"):
         measured = counts[app]
         expected = PAPER_COUNTS[app]

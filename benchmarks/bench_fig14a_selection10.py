@@ -8,9 +8,16 @@ the original at every database size, in both lazy and eager modes, and
 the gap grows with size.
 """
 
+import dataclasses
+
 import pytest
 
-from repro.bench.harness import measure_original, measure_transformed, sweep
+from repro.bench.harness import (
+    measure_original,
+    measure_transformed,
+    sweep,
+    write_bench_artifact,
+)
 from repro.core.transform import TransformedFragment
 from repro.corpus.registry import WILOS_FRAGMENTS, run_fragment_through_qbs
 from repro.corpus.schema import create_wilos_database, populate_wilos
@@ -41,6 +48,9 @@ def run_sweep(transformed, selectivity):
                                        transformed, db))
         return out
 
+    # One discarded pass at a tiny size so the first measured bucket
+    # doesn't absorb one-time costs (compiled-eval caches, imports).
+    run_one(200)
     return sweep(SIZES, run_one)
 
 
@@ -50,14 +60,25 @@ def test_fig14a_selection_10pct(benchmark, transformed):
     measurements = benchmark.pedantic(run_sweep, args=(transformed,
                                                        SELECTIVITY),
                                       rounds=1, iterations=1)
-    _assert_selection_shape(measurements)
+    _assert_selection_shape(measurements, "fig14a_selection10")
 
 
-def _assert_selection_shape(measurements):
+def _assert_selection_shape(measurements, artifact_name):
     by_size = {}
     for m in measurements:
         key = "inferred" if m.fetch == "n/a" else m.fetch
         by_size.setdefault(m.db_size, {})[key] = m
+    sizes = sorted(by_size)
+    gaps = {size: by_size[size]["lazy"].seconds
+            / by_size[size]["inferred"].seconds for size in sizes}
+    ok = (gaps[sizes[-1]] > 1.0
+          and all(b["inferred"].seconds < b["lazy"].seconds
+                  and b["inferred"].seconds < b["eager"].seconds
+                  for b in by_size.values()))
+    write_bench_artifact(
+        artifact_name, ok,
+        measurements=[dataclasses.asdict(m) for m in measurements],
+        extra={"lazy_speedup_by_size": gaps})
     for size, bucket in by_size.items():
         # Inferred beats both original modes at every size.
         assert bucket["inferred"].seconds < bucket["lazy"].seconds
@@ -67,11 +88,6 @@ def _assert_selection_shape(measurements):
         # The inferred version hydrates only the selected fraction.
         assert bucket["inferred"].rows_returned \
             < bucket["lazy"].objects_hydrated
-    sizes = sorted(by_size)
-    small = by_size[sizes[0]]
-    large = by_size[sizes[-1]]
-    gap_small = small["lazy"].seconds / small["inferred"].seconds
-    gap_large = large["lazy"].seconds / large["inferred"].seconds
     print("  speedup @%d: %.1fx   @%d: %.1fx"
-          % (sizes[0], gap_small, sizes[-1], gap_large))
-    assert gap_large > 1.0
+          % (sizes[0], gaps[sizes[0]], sizes[-1], gaps[sizes[-1]]))
+    assert gaps[sizes[-1]] > 1.0

@@ -32,4 +32,4 @@ def test_fig14b_selection_50pct(benchmark, transformed):
     measurements = benchmark.pedantic(run_sweep, args=(transformed,
                                                        SELECTIVITY),
                                       rounds=1, iterations=1)
-    _assert_selection_shape(measurements)
+    _assert_selection_shape(measurements, "fig14b_selection50")

@@ -8,9 +8,16 @@ runs as an O(n) hash join inside the engine and hydrates only the
 output.  Paper shape: orders-of-magnitude gap, growing asymptotically.
 """
 
+import dataclasses
+
 import pytest
 
-from repro.bench.harness import measure_original, measure_transformed, sweep
+from repro.bench.harness import (
+    measure_original,
+    measure_transformed,
+    sweep,
+    write_bench_artifact,
+)
 from repro.core.transform import TransformedFragment
 from repro.corpus.registry import WILOS_FRAGMENTS, run_fragment_through_qbs
 from repro.corpus.schema import create_wilos_database, populate_wilos
@@ -64,6 +71,12 @@ def test_fig14c_join(benchmark, transformed):
     speedup_large = large["lazy"].seconds / large["inferred"].seconds
     print("  speedup @%d: %.1fx   @%d: %.1fx"
           % (sizes[0], speedup_small, sizes[-1], speedup_large))
+    write_bench_artifact(
+        "fig14c_join",
+        speedup_large > speedup_small and speedup_large > 10.0,
+        measurements=[dataclasses.asdict(m) for m in measurements],
+        extra={"speedup_small": speedup_small,
+               "speedup_large": speedup_large})
     # Asymptotic separation: the nested loop is O(n^2), the hash join
     # O(n), so the speedup must grow markedly with n.
     assert speedup_large > speedup_small

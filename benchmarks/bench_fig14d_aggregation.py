@@ -7,9 +7,16 @@ multiple orders of magnitude at scale, since the inferred version's
 result size is constant.
 """
 
+import dataclasses
+
 import pytest
 
-from repro.bench.harness import measure_original, measure_transformed, sweep
+from repro.bench.harness import (
+    measure_original,
+    measure_transformed,
+    sweep,
+    write_bench_artifact,
+)
 from repro.core.transform import TransformedFragment
 from repro.corpus.registry import WILOS_FRAGMENTS, run_fragment_through_qbs
 from repro.corpus.schema import create_wilos_database, populate_wilos
@@ -64,6 +71,10 @@ def test_fig14d_aggregation(benchmark, transformed):
     eager_speedup = large["eager"].seconds / large["inferred"].seconds
     print("  speedup @%d: %.0fx (lazy), %.0fx (eager)" % (
         sizes[-1], speedup, eager_speedup))
+    write_bench_artifact(
+        "fig14d_aggregation", speedup > 10.0 and eager_speedup > 30.0,
+        measurements=[dataclasses.asdict(m) for m in measurements],
+        extra={"lazy_speedup": speedup, "eager_speedup": eager_speedup})
     assert speedup > 10.0
     assert eager_speedup > 30.0
     # The gap grows with database size (the paper's diverging curves).

@@ -22,6 +22,7 @@ Run directly::
 import sys
 import time
 
+from repro.bench.harness import floor_entry, write_bench_artifact
 from repro.sql.database import Database
 from repro.sql.executor import ExecutorOptions
 
@@ -83,6 +84,14 @@ def run(smoke=False):
     print("%-28s %8.2fms vs %9.2fms   %6.1fx  (floor %.1fx)"
           % ("cost-based vs FROM order", cost_time * 1e3,
              greedy_time * 1e3, speedup, MIN_JOIN_ORDER_SPEEDUP))
+    write_bench_artifact(
+        "join_order", speedup >= MIN_JOIN_ORDER_SPEEDUP, smoke=smoke,
+        floors={"join_order": floor_entry(speedup,
+                                          MIN_JOIN_ORDER_SPEEDUP)},
+        extra={"sql": SQL, "cost_seconds": cost_time,
+               "greedy_seconds": greedy_time,
+               "tables": {"big": n_big, "mid": n_mid, "small": n_small},
+               "repeats": repeats})
     if speedup < MIN_JOIN_ORDER_SPEEDUP:
         print("FAIL: join-order speedup %.2fx < %.1fx"
               % (speedup, MIN_JOIN_ORDER_SPEEDUP))

@@ -36,6 +36,7 @@ import os
 import sys
 import time
 
+from repro.bench.harness import floor_entry, write_bench_artifact
 from repro.sql.database import Database
 from repro.sql.executor import ExecutorOptions
 
@@ -137,6 +138,16 @@ def run(smoke=False):
              cores, "s" if cores != 1 else "",
              "" if floor_applies else
              " — floor skipped, needs >= %d" % MIN_CORES_FOR_FLOOR))
+    ok = (not floor_applies
+          or speedups["processes"] >= MIN_PARALLEL_SPEEDUP)
+    write_bench_artifact(
+        "parallel_scan", ok, smoke=smoke,
+        floors={"parallel_scan": floor_entry(speedups["processes"],
+                                             MIN_PARALLEL_SPEEDUP,
+                                             asserted=floor_applies)},
+        extra={"partitions": PARTITIONS, "usable_cores": cores,
+               "rows": n_rows, "repeats": repeats,
+               "threads_speedup": speedups["threads"]})
     if floor_applies and speedups["processes"] < MIN_PARALLEL_SPEEDUP:
         print("FAIL: parallel-scan speedup %.2fx < %.1fx"
               % (speedups["processes"], MIN_PARALLEL_SPEEDUP))

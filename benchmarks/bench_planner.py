@@ -28,6 +28,7 @@ non-zero exit when a floor regresses.)
 import sys
 import time
 
+from repro.bench.harness import floor_entry, write_bench_artifact
 from repro.corpus.registry import fragment_by_id, run_fragment_through_qbs
 from repro.sql.database import Database
 from repro.sql.executor import ExecutorOptions
@@ -126,6 +127,16 @@ def run(smoke=False):
     if index_speedup < MIN_INDEX_SCAN_SPEEDUP:
         failures.append("index-scan speedup %.2fx < %.1fx"
                         % (index_speedup, MIN_INDEX_SCAN_SPEEDUP))
+    write_bench_artifact(
+        "planner", not failures, smoke=smoke,
+        floors={
+            "hash_chain": floor_entry(chain_speedup,
+                                      MIN_HASH_CHAIN_SPEEDUP),
+            "index_scan": floor_entry(index_speedup,
+                                      MIN_INDEX_SCAN_SPEEDUP),
+        },
+        extra={"sql": sql, "tables": {"r": n_r, "s": n_s, "u": n_u},
+               "repeats": repeats})
     print()
     if failures:
         for failure in failures:

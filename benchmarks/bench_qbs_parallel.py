@@ -38,7 +38,9 @@ import tempfile
 from repro.bench.harness import (
     corpus_outcome_fingerprint,
     corpus_speedup,
+    floor_entry,
     measure_corpus_run,
+    write_bench_artifact,
 )
 from repro.corpus.registry import ALL_FRAGMENTS
 from repro.service.cache import ResultCache
@@ -142,9 +144,26 @@ def test_parallel_corpus_service(benchmark):
 
 
 def main(argv):
-    repeats = 1 if "--smoke" in argv else 3
+    smoke = "--smoke" in argv
+    repeats = 1 if smoke else 3
     sequential, parallel, retrying, cached = run_comparison(repeats=repeats)
     ok, _ = check(sequential, parallel, retrying, cached, verbose=True)
+    cores = usable_cores()
+    floor_applies = cores >= MIN_CORES_FOR_FLOOR
+    write_bench_artifact(
+        "qbs_parallel", ok, smoke=smoke,
+        floors={
+            "parallel": floor_entry(corpus_speedup(sequential, parallel),
+                                    MIN_PARALLEL_SPEEDUP,
+                                    asserted=floor_applies),
+            "retry_armed": floor_entry(
+                corpus_speedup(sequential, retrying),
+                MIN_PARALLEL_SPEEDUP, asserted=floor_applies),
+        },
+        extra={"workers": PARALLEL_WORKERS, "usable_cores": cores,
+               "fragments": len(sequential.outcomes),
+               "all_cached": all(o.from_cache for o in cached.outcomes),
+               "repeats": repeats})
     print("RESULT: %s" % ("PASS" if ok else "FAIL"))
     return 0 if ok else 1
 

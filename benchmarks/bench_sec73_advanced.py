@@ -10,6 +10,7 @@ Expectations come from the corpus registry, so fragments added to
 picked up without editing this file.
 """
 
+from repro.bench.harness import write_bench_artifact
 from repro.corpus.registry import ADVANCED_FRAGMENTS, run_fragment_through_qbs
 
 
@@ -22,6 +23,15 @@ def test_sec73_advanced_idioms(benchmark, qbs):
     results = benchmark.pedantic(run_advanced, args=(qbs,), rounds=1,
                                  iterations=1)
     print("\nSec. 7.3 advanced idioms:")
+    write_bench_artifact(
+        "sec73_advanced",
+        all(results[cf.fragment_id].status == cf.expected
+            for cf in ADVANCED_FRAGMENTS),
+        measurements=[{"fragment": cf.fragment_id,
+                       "status": results[cf.fragment_id].status.value,
+                       "sql": results[cf.fragment_id].sql.sql
+                       if results[cf.fragment_id].sql else None}
+                      for cf in ADVANCED_FRAGMENTS])
     for cf in ADVANCED_FRAGMENTS:
         result = results[cf.fragment_id]
         sql = result.sql.sql if result.sql else "-"

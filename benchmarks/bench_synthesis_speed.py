@@ -25,13 +25,16 @@ Run directly for the full table::
 through pytest with the rest of the benchmark suite.
 """
 
+import dataclasses
 import itertools
 import sys
 
 from repro.bench.harness import (
+    floor_entry,
     measure_synthesis,
     seed_synthesis_options,
     synthesis_speedup,
+    write_bench_artifact,
 )
 from repro.core.enumerate import EnumerationStats, best_first_product
 from repro.core.synthesizer import SynthesisOptions, Synthesizer
@@ -153,6 +156,17 @@ def main(argv):
           and ratios["eval_calls"] >= MIN_EVAL_CALL_REDUCTION
           and len(synth_peaks) == 2 and synth_peaks[0] == synth_peaks[1]
           and enum_peak < product_size / 100)
+    write_bench_artifact(
+        "synthesis_speed", ok, smoke=smoke,
+        floors={
+            "wall_clock": floor_entry(ratios["wall_clock"],
+                                      MIN_WALL_CLOCK_SPEEDUP),
+            "eval_calls": floor_entry(ratios["eval_calls"],
+                                      MIN_EVAL_CALL_REDUCTION),
+        },
+        measurements=[dataclasses.asdict(m) for m in measurements],
+        extra={"synth_peaks": synth_peaks, "enum_peak": enum_peak,
+               "product_size": product_size, "repeats": repeats})
     print("RESULT: %s" % ("PASS" if ok else "FAIL"))
     return 0 if ok else 1
 

@@ -256,3 +256,101 @@ def synthesis_speedup(measurements: List[SynthesisSpeedMeasurement]
         out["wall_clock"] = seed["seconds"] / optimized["seconds"]
         out["eval_calls"] = seed["executed"] / optimized["executed"]
     return out
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable bench artifacts (BENCH_<name>.json)
+# ---------------------------------------------------------------------------
+
+#: artifact schema identifier; bump when the shape changes.
+BENCH_ARTIFACT_SCHEMA = "repro-bench-artifact/v1"
+
+#: environment override for where artifacts land (default: CWD).
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+#: keys every artifact must carry (validated by the obs smoke tests
+#: and re-checkable by any downstream trajectory tooling).
+BENCH_ARTIFACT_KEYS = ("schema", "name", "created_unix", "ok", "smoke",
+                      "floors", "measurements", "metrics", "python")
+
+
+def bench_artifact_dir() -> str:
+    import os
+
+    return os.environ.get(BENCH_DIR_ENV) or os.getcwd()
+
+
+def floor_entry(value: float, floor: float,
+                asserted: bool = True) -> Dict[str, Any]:
+    """One speedup-floor record: the measured ratio, the floor it is
+    held to, whether it passed, and whether the benchmark actually
+    asserted it (floors gated on core count report ``asserted=False``
+    on small machines)."""
+    return {"value": value, "floor": floor,
+            "passed": bool(value >= floor), "asserted": bool(asserted)}
+
+
+def write_bench_artifact(name: str, ok: bool,
+                         floors: Optional[Dict[str, Dict[str, Any]]] = None,
+                         measurements: Optional[List[Any]] = None,
+                         extra: Optional[Dict[str, Any]] = None,
+                         smoke: bool = False) -> str:
+    """Persist one benchmark run as ``BENCH_<name>.json``.
+
+    The perf trajectory is durable: timings, the floors with their
+    pass/fail verdicts, and a full metrics-registry snapshot land in
+    one JSON document next to the working directory (override with
+    ``$REPRO_BENCH_DIR``).  Written atomically (tempfile + rename) so
+    a killed benchmark never leaves a half-written artifact.
+    Non-JSON-serializable measurement values degrade to ``repr`` —
+    an artifact write must never fail the benchmark it documents.
+    """
+    import json
+    import os
+    import tempfile
+    import sys
+
+    from repro.obs import metrics as obs_metrics
+
+    payload = {
+        "schema": BENCH_ARTIFACT_SCHEMA,
+        "name": name,
+        "created_unix": time.time(),
+        "ok": bool(ok),
+        "smoke": bool(smoke),
+        "floors": floors or {},
+        "measurements": measurements or [],
+        "metrics": obs_metrics.REGISTRY.snapshot(),
+        "python": sys.version.split()[0],
+    }
+    if extra:
+        payload["extra"] = extra
+    directory = bench_artifact_dir()
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "BENCH_%s.json" % name)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True,
+                      default=repr)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return path
+
+
+def validate_bench_artifact(payload: Dict[str, Any]) -> None:
+    """Raise ValueError unless ``payload`` is a well-formed artifact."""
+    missing = [key for key in BENCH_ARTIFACT_KEYS if key not in payload]
+    if missing:
+        raise ValueError("bench artifact missing keys: %s"
+                         % ", ".join(missing))
+    if payload["schema"] != BENCH_ARTIFACT_SCHEMA:
+        raise ValueError("unknown bench artifact schema: %r"
+                         % payload["schema"])
+    for label, entry in payload["floors"].items():
+        for key in ("value", "floor", "passed", "asserted"):
+            if key not in entry:
+                raise ValueError("floor %r missing %r" % (label, key))

@@ -449,6 +449,13 @@ class BoundedChecker:
         # every candidate's check would conclude).
         self._static_guard_cache: Dict[Tuple, List] = {}
 
+    @property
+    def cegis_cache_size(self) -> int:
+        """Counterexamples accumulated by the CEGIS loop — the number
+        of killer states replayed against new candidates (surfaced on
+        the ``synthesis`` trace span)."""
+        return len(self._cache)
+
     # -- candidate fingerprints ---------------------------------------------
 
     def _sig_id(self, vc: VC, assignment: Assignment) -> int:

@@ -36,9 +36,20 @@ from repro.core.synthesizer import (
 from repro.kernel import ast as K
 from repro.kernel.analysis import query_assignments
 from repro.kernel.ast import KernelValidationError, validate_expression
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.tor import ast as T
 from repro.tor.sqlgen import SQLTranslation, translate
 from repro.tor.trans import NotTranslatableError
+
+
+#: prover normal-form memo traffic, accumulated per fragment run.
+_PROVER_NF_HITS = obs_metrics.counter(
+    "repro_prover_nf_cache_hits_total",
+    "prover normal-form memo hits")
+_PROVER_NF_MISSES = obs_metrics.counter(
+    "repro_prover_nf_cache_misses_total",
+    "prover normal-form memo misses")
 
 
 class QBSStatus(enum.Enum):
@@ -165,10 +176,19 @@ class QBS:
                 except NotTranslatableError:
                     return False
             if prover is not None:
-                return prover.validate(assignment).proved
+                with obs_trace.span("prove") as pspan:
+                    proof = prover.validate(assignment)
+                if pspan:
+                    pspan.tag(proved=proof.proved,
+                              nf_cache_hits=prover.nf_cache_hits,
+                              nf_cache_misses=prover.nf_cache_misses)
+                return proof.proved
             return True
 
         synth = synthesizer.synthesize(accept=accept)
+        if prover is not None:
+            _PROVER_NF_HITS.inc(prover.nf_cache_hits)
+            _PROVER_NF_MISSES.inc(prover.nf_cache_misses)
         if not synth.succeeded:
             return QBSResult(fragment=fragment, status=QBSStatus.FAILED,
                              stats=synth.stats,

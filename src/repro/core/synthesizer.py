@@ -38,6 +38,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.checker import BoundedChecker, Counterexample, eval_formula
 from repro.core.enumerate import EnumerationStats, best_first_product
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.core.features import extract_features
 from repro.core.logic import (
     And,
@@ -61,6 +63,36 @@ from repro.kernel.interp import ExecutionError, execute
 from repro.tor import ast as T
 from repro.tor.compile import Evaluator
 from repro.tor.semantics import EvalError
+
+# Synthesis metrics, recorded once per run from the aggregate
+# SynthesisStats — never inside the enumeration or evaluation hot
+# loops, so the counters cost nothing the benchmarks can see.
+_SYNTH_RUNS = obs_metrics.counter(
+    "repro_synthesis_runs_total", "synthesis runs by outcome")
+_SYNTH_COMBINATIONS = obs_metrics.counter(
+    "repro_synthesis_combinations_total",
+    "template combinations bounded-checked")
+_SYNTH_EVAL_REQUESTS = obs_metrics.counter(
+    "repro_synthesis_eval_requests_total", "TOR evaluator requests")
+_SYNTH_EVAL_EXECUTED = obs_metrics.counter(
+    "repro_synthesis_eval_executed_total",
+    "TOR evaluator requests that actually executed (memo misses)")
+_SYNTH_EVAL_MEMO_HITS = obs_metrics.counter(
+    "repro_synthesis_eval_memo_hits_total",
+    "TOR evaluator requests answered from the memo")
+_SYNTH_SECONDS = obs_metrics.histogram(
+    "repro_synthesis_seconds", "synthesis wall clock per run")
+
+
+def _record_synthesis_metrics(result: "SynthesisResult") -> None:
+    stats = result.stats
+    outcome = "succeeded" if result.assignment is not None else "failed"
+    _SYNTH_RUNS.inc(outcome=outcome)
+    _SYNTH_COMBINATIONS.inc(stats.combinations_checked)
+    _SYNTH_EVAL_REQUESTS.inc(stats.eval_requests)
+    _SYNTH_EVAL_EXECUTED.inc(stats.eval_executed)
+    _SYNTH_EVAL_MEMO_HITS.inc(stats.eval_memo_hits)
+    _SYNTH_SECONDS.observe(stats.elapsed_seconds)
 
 
 @dataclass
@@ -239,6 +271,24 @@ class Synthesizer:
         (the paper's "ask the synthesizer for other candidates" loop,
         Sec. 5).
         """
+        with obs_trace.span("synthesis",
+                            fragment=self.fragment.name) as span:
+            result = self._synthesize(accept)
+        if span:
+            stats = result.stats
+            span.tag(succeeded=result.assignment is not None,
+                     level=stats.level,
+                     combinations=stats.combinations_checked,
+                     houdini_drops=stats.houdini_drops,
+                     eval_requests=stats.eval_requests,
+                     eval_executed=stats.eval_executed,
+                     eval_memo_hits=stats.eval_memo_hits,
+                     enum_peak_frontier=stats.enum_peak_frontier,
+                     cegis_cache=self.checker.cegis_cache_size)
+        _record_synthesis_metrics(result)
+        return result
+
+    def _synthesize(self, accept=None) -> SynthesisResult:
         start = time.time()
         stats = SynthesisStats()
         if not self._has_evidence():
@@ -255,7 +305,12 @@ class Synthesizer:
         failure = "no candidate template produced"
         for level in range(1, self.options.max_level + 1):
             stats.level = level
-            result = self._synthesize_at_level(level, stats, accept)
+            with obs_trace.span("level", level=level) as level_span:
+                result = self._synthesize_at_level(level, stats, accept)
+            if level_span:
+                level_span.tag(found=result is not None,
+                               pcon_pool=stats.postcondition_pool,
+                               pcon_survivors=stats.postcondition_survivors)
             if result is not None:
                 self._finalize_stats(stats, start)
                 return SynthesisResult(assignment=result[0],

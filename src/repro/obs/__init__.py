@@ -1,0 +1,25 @@
+"""Observability: trace spans + metrics shared by every subsystem.
+
+Two halves with different defaults:
+
+* :mod:`repro.obs.trace` — hierarchical spans on a contextvar.
+  **Off by default**; when no trace is active, instrumented code pays
+  one contextvar read and takes the exact seed code path (equivalence
+  suites and bench floors hold with tracing off).
+* :mod:`repro.obs.metrics` — a process-local registry of counters /
+  gauges / histograms, updated only at cold sites (per query, per
+  job, per synthesis run) and therefore always on.
+
+See ``docs/observability.md`` for the user-facing tour.
+"""
+
+from repro.obs.trace import (NULL_SPAN, Span, current_span, enabled,
+                             format_tree, span)
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               REGISTRY, counter, gauge, histogram)
+
+__all__ = [
+    "NULL_SPAN", "Span", "current_span", "enabled", "format_tree", "span",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
+    "counter", "gauge", "histogram",
+]

@@ -1,0 +1,258 @@
+"""A process-local metrics registry: counters, gauges, histograms.
+
+Stdlib-only, Prometheus-flavoured: instruments are created
+get-or-create by name on a :class:`MetricsRegistry`, carry optional
+label sets per sample, and export two ways —
+
+* :meth:`MetricsRegistry.exposition` — the Prometheus text format
+  (``# HELP`` / ``# TYPE`` headers, ``name{label="v"} value`` lines),
+  suitable for scraping or eyeballing;
+* :meth:`MetricsRegistry.snapshot` — a plain JSON-serializable dict,
+  the form embedded in ``BENCH_*.json`` artifacts and ``repro-qbs
+  --json`` output.
+
+Instrument updates are cheap dict operations and are only placed at
+cold sites (per query, per job, per synthesis run — never per row or
+per evaluator call), so the registry is always on; *tracing* is the
+default-off half of the observability layer (see
+:mod:`repro.obs.trace`).  Samples iterate sorted by label so all
+output is deterministic for a deterministic run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) \
+        -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join('%s="%s"' % (k, v.replace("\\", "\\\\")
+                                 .replace('"', '\\"').replace("\n", "\\n"))
+                    for k, v in pairs)
+    return "{%s}" % body
+
+
+class _Instrument:
+    """Base: one named metric holding samples keyed by label set."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = name
+        self.help_text = help_text
+
+    def samples(self) -> List[Dict[str, Any]]:  # pragma: no cover
+        raise NotImplementedError
+
+    def exposition_lines(self) -> List[str]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total, per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = ""):
+        super().__init__(name, help_text)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up: %r" % amount)
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label set."""
+        return sum(self._values.values())
+
+    def samples(self) -> List[Dict[str, Any]]:
+        return [{"labels": dict(key), "value": self._values[key]}
+                for key in sorted(self._values)]
+
+    def exposition_lines(self) -> List[str]:
+        return ["%s%s %s" % (self.name, _render_labels(key), _num(value))
+                for key, value in sorted(self._values.items())]
+
+
+class Gauge(_Instrument):
+    """A point-in-time value, per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = ""):
+        super().__init__(name, help_text)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> List[Dict[str, Any]]:
+        return [{"labels": dict(key), "value": self._values[key]}
+                for key in sorted(self._values)]
+
+    def exposition_lines(self) -> List[str]:
+        return ["%s%s %s" % (self.name, _render_labels(key), _num(value))
+                for key, value in sorted(self._values.items())]
+
+
+#: default histogram buckets — seconds, spanning sub-ms ops to
+#: multi-second synthesis jobs.
+DEFAULT_BUCKETS = (0.001, 0.005, 0.025, 0.1, 0.5, 1.0, 5.0, 30.0)
+
+
+class Histogram(_Instrument):
+    """Bucketed observations with sum and count, per label set."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help_text)
+        self.buckets = tuple(sorted(buckets))
+        # per label set: (bucket cumulative counts..., +Inf count,
+        # sum, count) kept as a mutable list.
+        self._values: Dict[LabelKey, List[float]] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        slot = self._values.get(key)
+        if slot is None:
+            slot = [0.0] * (len(self.buckets) + 3)
+            self._values[key] = slot
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                slot[i] += 1
+        slot[len(self.buckets)] += 1          # +Inf
+        slot[len(self.buckets) + 1] += value  # sum
+        slot[len(self.buckets) + 2] += 1      # count
+
+    def samples(self) -> List[Dict[str, Any]]:
+        out = []
+        for key in sorted(self._values):
+            slot = self._values[key]
+            out.append({
+                "labels": dict(key),
+                "buckets": {str(b): slot[i]
+                            for i, b in enumerate(self.buckets)},
+                "inf": slot[len(self.buckets)],
+                "sum": slot[len(self.buckets) + 1],
+                "count": slot[len(self.buckets) + 2],
+            })
+        return out
+
+    def exposition_lines(self) -> List[str]:
+        lines = []
+        for key, slot in sorted(self._values.items()):
+            for i, bound in enumerate(self.buckets):
+                lines.append("%s_bucket%s %s" % (
+                    self.name, _render_labels(key, [("le", _num(bound))]),
+                    _num(slot[i])))
+            lines.append("%s_bucket%s %s" % (
+                self.name, _render_labels(key, [("le", "+Inf")]),
+                _num(slot[len(self.buckets)])))
+            lines.append("%s_sum%s %s" % (
+                self.name, _render_labels(key),
+                _num(slot[len(self.buckets) + 1])))
+            lines.append("%s_count%s %s" % (
+                self.name, _render_labels(key),
+                _num(slot[len(self.buckets) + 2])))
+        return lines
+
+
+def _num(value: float) -> str:
+    """Render a float the way Prometheus does: integers bare."""
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(value)
+
+
+class MetricsRegistry:
+    """Named instruments, get-or-create, deterministic export."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _get(self, name: str, factory: Any, kind: str) -> Any:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if existing.kind != kind:
+                raise ValueError("metric %r already registered as %s"
+                                 % (name, existing.kind))
+            return existing
+        instrument = factory()
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get(name, lambda: Counter(name, help_text), "counter")
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get(name, lambda: Gauge(name, help_text), "gauge")
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, lambda: Histogram(name, help_text, buckets),
+                         "histogram")
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        return self._instruments.get(name)
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and fresh CLI runs)."""
+        self._instruments.clear()
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable view of every instrument's samples."""
+        return {
+            name: {
+                "type": inst.kind,
+                "help": inst.help_text,
+                "samples": inst.samples(),
+            }
+            for name, inst in sorted(self._instruments.items())
+        }
+
+    def exposition(self) -> str:
+        """Prometheus text exposition of the whole registry."""
+        lines: List[str] = []
+        for name, inst in sorted(self._instruments.items()):
+            if inst.help_text:
+                lines.append("# HELP %s %s" % (name, inst.help_text))
+            lines.append("# TYPE %s %s" % (name, inst.kind))
+            lines.extend(inst.exposition_lines())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: the process-wide default registry every subsystem records into.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, help_text: str = "") -> Counter:
+    return REGISTRY.counter(name, help_text)
+
+
+def gauge(name: str, help_text: str = "") -> Gauge:
+    return REGISTRY.gauge(name, help_text)
+
+
+def histogram(name: str, help_text: str = "",
+              buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+    return REGISTRY.histogram(name, help_text, buckets)

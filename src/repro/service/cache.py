@@ -22,7 +22,18 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.obs import metrics as obs_metrics
 from repro.service.jobs import JOB_SCHEMA_VERSION, QBSJob
+
+#: process-wide cache traffic, across every ResultCache instance (the
+#: per-instance numbers stay on ``ResultCache.stats``).
+_CACHE_HITS = obs_metrics.counter(
+    "repro_cache_hits_total", "result-cache lookups answered from disk")
+_CACHE_MISSES = obs_metrics.counter(
+    "repro_cache_misses_total",
+    "result-cache lookups that missed (or read corrupt entries)")
+_CACHE_STORES = obs_metrics.counter(
+    "repro_cache_stores_total", "result-cache entries written")
 
 #: environment override for the cache location.
 CACHE_DIR_ENV = "REPRO_QBS_CACHE_DIR"
@@ -68,14 +79,17 @@ class ResultCache:
                 entry = json.load(handle)
         except (OSError, ValueError):
             self.stats.misses += 1
+            _CACHE_MISSES.inc()
             return None
         result = entry.get("result") if isinstance(entry, dict) else None
         if not isinstance(result, dict) \
                 or entry.get("version") != JOB_SCHEMA_VERSION \
                 or entry.get("key") != job.key:
             self.stats.misses += 1
+            _CACHE_MISSES.inc()
             return None
         self.stats.hits += 1
+        _CACHE_HITS.inc()
         return result
 
     def store(self, job: QBSJob, result_payload: Dict[str, Any]) -> str:
@@ -103,6 +117,7 @@ class ResultCache:
                 os.unlink(tmp)
             raise
         self.stats.stores += 1
+        _CACHE_STORES.inc()
         return path
 
     # -- maintenance -------------------------------------------------------

@@ -2,9 +2,10 @@
 
 Subcommands::
 
-    repro-qbs run     # run fragments through the scheduler + cache
-    repro-qbs status  # corpus coverage of the current cache
-    repro-qbs cache   # cache maintenance: info | list | clear | gc
+    repro-qbs run      # run fragments through the scheduler + cache
+    repro-qbs status   # corpus coverage of the current cache
+    repro-qbs cache    # cache maintenance: info | list | clear | gc
+    repro-qbs metrics  # corpus run + metrics registry snapshot
 
 ``run`` prints the Appendix-A style marker table (X translated,
 * failed, † rejected) with per-fragment timing, cache provenance and
@@ -17,6 +18,13 @@ entry per fragment, carrying the ``QBSResult.to_json_dict`` payload).
 ``cache gc --max-bytes N`` evicts oldest-modification-time entries
 until the store fits the budget — the persistent cache otherwise grows
 without bound across corpus versions.
+
+Observability (``docs/observability.md``): ``run --trace out.json``
+executes the batch under a trace and writes the stitched span tree as
+JSON; ``run --metrics`` appends the metrics registry's Prometheus text
+exposition (or a ``"metrics"`` key under ``--json``).  ``metrics`` is
+the standalone form: a corpus run followed by the registry snapshot
+with derived cache-hit-ratio / retry / degradation summary lines.
 """
 
 from __future__ import annotations
@@ -29,6 +37,8 @@ from typing import List, Optional
 
 from repro.core.qbs import QBSOptions
 from repro.corpus.registry import select_fragments
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.service.cache import ResultCache, default_cache_dir
 from repro.service.faults import RetryPolicy
 from repro.service.jobs import job_for
@@ -105,6 +115,34 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true", dest="json_output",
                      help="emit one JSON document (per-fragment results "
                           "+ summary) instead of the table")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     dest="trace_path",
+                     help="run under a trace and write the span tree "
+                          "as JSON to PATH (job spans; plus synthesis "
+                          "and query spans with --workers 1)")
+    run.add_argument("--metrics", action="store_true",
+                     dest="show_metrics",
+                     help="print the metrics registry after the run "
+                          "(text exposition, or a 'metrics' key with "
+                          "--json)")
+
+    metrics_cmd = sub.add_parser(
+        "metrics",
+        help="run fragments, then print the metrics registry snapshot")
+    _add_selection_args(metrics_cmd)
+    _add_cache_args(metrics_cmd)
+    metrics_cmd.add_argument("--workers", type=_positive_int, default=1,
+                             metavar="N",
+                             help="worker processes for the run")
+    metrics_cmd.add_argument("--retries", type=_nonnegative_int,
+                             default=0, metavar="N",
+                             help="retry budget for the run (as in run)")
+    metrics_cmd.add_argument("--refresh", action="store_true",
+                             help="recompute even on cache hit")
+    metrics_cmd.add_argument("--json", action="store_true",
+                             dest="json_output",
+                             help="JSON snapshot instead of the text "
+                                  "exposition")
 
     status = sub.add_parser("status",
                             help="cache coverage of the corpus")
@@ -164,7 +202,14 @@ def cmd_run(args) -> int:
                           refresh=args.refresh,
                           retry=RetryPolicy(max_attempts=args.retries + 1),
                           deadline=args.deadline)
-    report = scheduler.run(fragments)
+    if args.trace_path:
+        root = obs_trace.Span("corpus-run", workers=args.workers,
+                              fragments=len(fragments))
+        with root:
+            report = scheduler.run(fragments)
+        _write_trace(args.trace_path, root)
+    else:
+        report = scheduler.run(fragments)
 
     if args.json_output:
         return _emit_run_json(args, fragments, report)
@@ -216,12 +261,80 @@ def cmd_run(args) -> int:
         print(line)
     if mismatches:
         print("  %d outcome(s) disagree with the paper's table" % mismatches)
+    if args.trace_path:
+        print("  trace written to %s" % args.trace_path)
+    if args.show_metrics:
+        print()
+        sys.stdout.write(obs_metrics.REGISTRY.exposition())
     if args.check and (mismatches or report.failed):
         return 1
     if args.expect_cached and report.cache_hits < len(report.outcomes):
         print("  expected a fully cached run, but %d fragment(s) were "
               "computed" % (len(report.outcomes) - report.cache_hits))
         return 1
+    return 0
+
+
+def _write_trace(path: str, root) -> None:
+    """Persist one run's span tree as a JSON document."""
+    document = {"schema": "repro-trace/v1", "trace": root.to_dict()}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+
+
+def _counter_total(name: str) -> float:
+    instrument = obs_metrics.REGISTRY.get(name)
+    total = getattr(instrument, "total", None)
+    return total() if total is not None else 0.0
+
+
+def _metrics_summary() -> dict:
+    """Derived headline numbers over the registry: cache hit ratio,
+    retry counts, degradation totals."""
+    hits = _counter_total("repro_cache_hits_total")
+    misses = _counter_total("repro_cache_misses_total")
+    lookups = hits + misses
+    return {
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_hit_ratio": (hits / lookups) if lookups else None,
+        "jobs": _counter_total("repro_jobs_total"),
+        "retried_jobs": _counter_total("repro_job_retries_total"),
+        "backoff_waits": _counter_total("repro_backoff_waits_total"),
+        "degradations": _counter_total("repro_degradations_total"),
+    }
+
+
+def cmd_metrics(args) -> int:
+    """A corpus run followed by the registry snapshot."""
+    fragments = _selected(args)
+    cache = _cache_for(args)
+    scheduler = Scheduler(workers=args.workers, cache=cache,
+                          options=QBSOptions(), refresh=args.refresh,
+                          retry=RetryPolicy(max_attempts=args.retries + 1))
+    report = scheduler.run(fragments)
+    summary = _metrics_summary()
+    if args.json_output:
+        print(json.dumps({
+            "summary": dict(summary,
+                            fragments=len(report.outcomes),
+                            wall_seconds=report.wall_seconds,
+                            failed_jobs=report.failed),
+            "metrics": obs_metrics.REGISTRY.snapshot(),
+        }, indent=1, sort_keys=True))
+        return 0
+    print("Run: %d fragments in %.2fs  (%d computed, %d from cache, "
+          "%d failed jobs, workers=%d)" % (
+              len(report.outcomes), report.wall_seconds, report.computed,
+              report.cache_hits, report.failed, args.workers))
+    ratio = summary["cache_hit_ratio"]
+    print("cache hit ratio : %s" % (
+        "n/a (no lookups)" if ratio is None else "%.1f%%" % (ratio * 100)))
+    print("retried jobs    : %d  (backoff waits: %d)" % (
+        summary["retried_jobs"], summary["backoff_waits"]))
+    print("degradations    : %d" % summary["degradations"])
+    print()
+    sys.stdout.write(obs_metrics.REGISTRY.exposition())
     return 0
 
 
@@ -279,6 +392,8 @@ def _emit_run_json(args, fragments, report) -> int:
             "mismatches": mismatches,
         },
     }
+    if args.show_metrics:
+        document["metrics"] = obs_metrics.REGISTRY.snapshot()
     print(json.dumps(document, indent=1, sort_keys=True))
     if args.check and (mismatches or report.failed):
         return 1
@@ -364,7 +479,7 @@ def cmd_cache(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"run": cmd_run, "status": cmd_status,
-               "cache": cmd_cache}[args.command]
+               "cache": cmd_cache, "metrics": cmd_metrics}[args.command]
     try:
         return handler(args)
     except SelectionError as exc:

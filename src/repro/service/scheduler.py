@@ -41,6 +41,8 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from repro.core.qbs import QBSOptions, QBSResult
 from repro.corpus.registry import CorpusFragment
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.service import faults
 from repro.service.cache import ResultCache
 from repro.service.faults import (
@@ -68,6 +70,29 @@ from repro.service.jobs import (
 #: worker entry indirection: tests (and embedders) can swap the runner;
 #: fork-started workers inherit the swap.
 _JOB_RUNNER = execute_job
+
+# Scheduler metrics, recorded parent-side from each JobOutcome (pool
+# workers are separate processes; everything observable already rides
+# home on the outcome).  Job *spans* are likewise built parent-side
+# when the run happens under an ambient trace — see
+# :meth:`Scheduler._observe`.
+_JOBS = obs_metrics.counter(
+    "repro_jobs_total", "scheduler job outcomes by state")
+_JOB_ATTEMPTS = obs_metrics.counter(
+    "repro_job_attempts_total", "attempts consumed across all jobs")
+_JOB_RETRIES = obs_metrics.counter(
+    "repro_job_retries_total", "jobs that needed more than one attempt")
+_JOB_FAILURES = obs_metrics.counter(
+    "repro_job_failures_total", "failed jobs by classified kind")
+_JOB_SECONDS = obs_metrics.histogram(
+    "repro_job_seconds", "per-job wall clock (cache hits excluded)")
+_BACKOFF_WAITS = obs_metrics.counter(
+    "repro_backoff_waits_total", "retry backoff waits")
+_BACKOFF_SECONDS = obs_metrics.counter(
+    "repro_backoff_seconds_total", "seconds committed to retry backoff")
+_DEADLINE_MARGIN = obs_metrics.gauge(
+    "repro_deadline_margin_seconds",
+    "whole-run deadline margin when the last outcome was delivered")
 
 
 def _fork_child(conn, fn, item):
@@ -410,7 +435,15 @@ class Scheduler:
         facade's cancelled stream) makes the run wind down early: no
         new jobs start, workers are reclaimed, and the iterator ends
         without yielding the remaining outcomes.
+
+        Every outcome is observed on its way out (:meth:`_observe`):
+        metrics counters always, and — when the run happens under an
+        ambient trace — one ``job`` span per outcome, parented into
+        the caller's tree in submission order and closed with the
+        outcome's authoritative elapsed time.
         """
+        parent_span = obs_trace.current_span()
+        run_started = time.perf_counter()
         jobs = [job_for(cf, self.options) for cf in fragments]
         cached: Dict[int, JobOutcome] = {}
         pending: List[int] = []
@@ -428,7 +461,9 @@ class Scheduler:
                 pending.append(index)
 
         if not pending:
-            yield from (cached[i] for i in range(len(jobs)))
+            for i in range(len(jobs)):
+                self._observe(cached[i], parent_span, run_started)
+                yield cached[i]
             return
 
         if self.workers == 1:
@@ -441,12 +476,47 @@ class Scheduler:
         # next in-order job finishes.
         try:
             for index in range(len(jobs)):
-                if index in cached:
-                    yield cached[index]
-                else:
-                    yield next(compute)
+                outcome = cached[index] if index in cached \
+                    else next(compute)
+                self._observe(outcome, parent_span, run_started)
+                yield outcome
         except StopIteration:   # compute wound down early (stop_event)
             return
+
+    def _observe(self, outcome: JobOutcome, parent_span,
+                 run_started: float) -> None:
+        """Record one outcome's metrics and (if tracing) its span.
+
+        Runs parent-side for both execution strategies — the pool's
+        workers are separate processes, but everything worth recording
+        already crosses the pipe on the outcome: state, cache
+        provenance, attempts, the classified failure kind and the
+        honest per-job elapsed time (used via :meth:`Span.finish`
+        rather than re-timing).
+        """
+        _JOBS.inc(state=outcome.state)
+        _JOB_ATTEMPTS.inc(outcome.attempts)
+        if outcome.attempts > 1:
+            _JOB_RETRIES.inc()
+        if outcome.failure_kind is not None:
+            _JOB_FAILURES.inc(kind=outcome.failure_kind)
+        if not outcome.from_cache:
+            _JOB_SECONDS.observe(outcome.elapsed_seconds)
+        margin = None
+        if self.deadline_seconds is not None:
+            margin = self.deadline_seconds \
+                - (time.perf_counter() - run_started)
+            _DEADLINE_MARGIN.set(margin)
+        if parent_span is not None:
+            span = parent_span.child(
+                "job", fragment=outcome.job.fragment_id,
+                state=outcome.state, from_cache=outcome.from_cache,
+                attempts=outcome.attempts)
+            if outcome.failure_kind is not None:
+                span.tag(failure_kind=outcome.failure_kind)
+            if margin is not None:
+                span.tag(deadline_margin_seconds=round(margin, 6))
+            span.finish(outcome.elapsed_seconds)
 
     # -- execution strategies ---------------------------------------------
 
@@ -479,7 +549,10 @@ class Scheduler:
                     kind = classify_exception(exc)
                     if retry.allows_retry(kind, attempt) and \
                             (deadline is None or not deadline.expired()):
-                        time.sleep(retry.backoff(attempt))
+                        backoff = retry.backoff(attempt)
+                        _BACKOFF_WAITS.inc()
+                        _BACKOFF_SECONDS.inc(backoff)
+                        time.sleep(backoff)
                         continue
                     yield JobOutcome(
                         job=job, state="failed",
@@ -543,8 +616,11 @@ class Scheduler:
             attempt = attempts[index]
             if retry.allows_retry(kind, attempt) and \
                     (deadline is None or not deadline.expired()):
+                backoff = retry.backoff(attempt)
+                _BACKOFF_WAITS.inc()
+                _BACKOFF_SECONDS.inc(backoff)
                 delayed.append(
-                    (time.perf_counter() + retry.backoff(attempt), index))
+                    (time.perf_counter() + backoff, index))
                 return
             outcomes[index] = JobOutcome(
                 job=jobs[index], state="failed",

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Iterable, Optional
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.sql.catalog import Catalog, Table
 from repro.sql.executor import (
     ExecutionStats,
@@ -14,6 +17,12 @@ from repro.sql.executor import (
 )
 from repro.sql.parser import parse
 from repro.tor import ast as T
+
+#: per-query totals and latency, recorded once per Database.execute.
+_QUERIES = obs_metrics.counter(
+    "repro_queries_total", "queries executed, by engine mode")
+_QUERY_SECONDS = obs_metrics.histogram(
+    "repro_query_seconds", "query wall-clock latency")
 
 
 class Database:
@@ -94,24 +103,51 @@ class Database:
     # -- querying --------------------------------------------------------------
 
     def execute(self, sql: str,
-                params: Optional[Dict[str, Any]] = None) -> QueryResult:
-        """Parse (with caching) and execute one SELECT statement."""
+                params: Optional[Dict[str, Any]] = None,
+                trace: bool = False) -> QueryResult:
+        """Parse (with caching) and execute one SELECT statement.
+
+        ``trace=True`` runs the query under a trace span: every
+        physical operator opens a child span (timed, tagged with its
+        description and observed rows; parallel partitions stitch in
+        partition-index order), and the root comes back as
+        ``result.trace``.  The same happens when an ambient trace is
+        already active (e.g. a traced service job), in which case the
+        query span also parents into it.  Off by default — the
+        untraced path is the seed execution, bit for bit.
+        """
         plan = self._plan_cache.get(sql)
         if plan is None:
             plan = parse(sql)
             self._plan_cache[sql] = plan
-        result = self.executor.execute(plan, params)
+        mode = "planner" if self.executor.options.planner else "legacy"
+        started = time.perf_counter()
+        if trace or obs_trace.enabled():
+            root = obs_trace.span("query", sql=sql, mode=mode)
+            if not root:
+                root = obs_trace.Span("query", sql=sql, mode=mode)
+            with root:
+                result = self.executor.execute(plan, params)
+            root.tag(rows=len(result.rows))
+            result.trace = root
+        else:
+            result = self.executor.execute(plan, params)
+        _QUERY_SECONDS.observe(time.perf_counter() - started)
+        _QUERIES.inc(mode=mode)
         self._accumulate(result.stats)
         return result
 
     def explain(self, sql: str, params: Optional[Dict[str, Any]] = None,
-                analyze: bool = False) -> str:
+                analyze: bool = False, timing: bool = False) -> str:
         """EXPLAIN one SELECT: the optimizer's physical operator tree.
 
         With ``analyze=True`` the query is executed and each operator
-        line reports its observed output cardinality.
+        line reports its observed output cardinality; ``timing=True``
+        (implies analyze) additionally times each operator under a
+        trace and prints ``time=``.
         """
-        return self.executor.explain(parse(sql), params, analyze=analyze)
+        return self.executor.explain(parse(sql), params, analyze=analyze,
+                                     timing=timing)
 
     def _accumulate(self, stats: ExecutionStats) -> None:
         merge_stats(self.total_stats, stats)

@@ -145,6 +145,11 @@ class QueryResult:
     rows: List[Record]
     columns: Tuple[str, ...]
     stats: ExecutionStats = field(default_factory=ExecutionStats)
+    #: the query's span tree (:class:`repro.obs.trace.Span`) when the
+    #: query ran with ``Database.execute(..., trace=True)`` or under an
+    #: ambient trace; None otherwise.  Excluded from equality — tracing
+    #: must never make two otherwise-identical results compare unequal.
+    trace: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def scalar(self) -> Any:
         """The single value of a one-row, one-column result."""
@@ -193,18 +198,26 @@ class Executor:
 
     def explain(self, select: S.Select,
                 params: Optional[Dict[str, Any]] = None,
-                analyze: bool = False) -> str:
+                analyze: bool = False, timing: bool = False) -> str:
         """EXPLAIN: the physical plan as an operator tree.
 
         ``analyze=True`` executes the plan first so every line carries
-        the operator's observed output cardinality.
+        the operator's observed output cardinality.  ``timing=True``
+        (implies analyze) runs that execution under a trace so each
+        line also carries the operator's wall-clock ``time=``; off by
+        default, keeping the output byte-identical to the seed's.
         """
+        from repro.obs import trace as obs_trace
         from repro.sql.plan import render
 
         plan = self._plan(select)
-        if analyze:
-            plan.execute(self, params or {}, ExecutionStats())
-        return render(plan.root, analyze=analyze)
+        if analyze or timing:
+            if timing and not obs_trace.enabled():
+                with obs_trace.Span("explain"):
+                    plan.execute(self, params or {}, ExecutionStats())
+            else:
+                plan.execute(self, params or {}, ExecutionStats())
+        return render(plan.root, analyze=analyze or timing, timing=timing)
 
     def _plan(self, select: S.Select):
         from repro.sql.plan import OptimizerOptions, plan_select

@@ -39,8 +39,16 @@ def _estimate(value: float) -> str:
     return "%.1f" % value
 
 
-def render(root: PhysicalOp, analyze: bool = False) -> str:
-    """Render the operator tree rooted at ``root``."""
+def render(root: PhysicalOp, analyze: bool = False,
+           timing: bool = False) -> str:
+    """Render the operator tree rooted at ``root``.
+
+    ``timing`` adds a ``time=`` column with each operator's wall-clock
+    milliseconds, available when the plan executed under an active
+    trace (``Database.explain(sql, analyze=True, timing=True)`` opens
+    one).  It is off by default so EXPLAIN output stays byte-identical
+    to the untraced engine's.
+    """
     lines: List[str] = []
 
     def emit(op: PhysicalOp, prefix: str, child_prefix: str) -> None:
@@ -48,6 +56,8 @@ def render(root: PhysicalOp, analyze: bool = False) -> str:
         bits = []
         if analyze and op.rows_out is not None:
             bits.append("rows=%d" % op.rows_out)
+        if analyze and timing and op.elapsed_seconds is not None:
+            bits.append("time=%.3fms" % (op.elapsed_seconds * 1000.0))
         if analyze:
             parts = op.partition_rows
             if parts is not None and any(n is not None for n in parts):
@@ -55,6 +65,9 @@ def render(root: PhysicalOp, analyze: bool = False) -> str:
                     "?" if n is None else str(n) for n in parts))
             if op.degraded is not None:
                 bits.append("degraded=%s" % op.degraded)
+                if op.degraded_kinds:
+                    bits.append("degrade_kind=%s"
+                                % "|".join(op.degraded_kinds))
         if op.est_rows is not None:
             bits.append("est_rows=%s" % _estimate(op.est_rows))
         if op.est_cost is not None:

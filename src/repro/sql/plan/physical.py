@@ -35,9 +35,12 @@ row/column/stats-identical to the serial plan for every K.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.sql import ast as S
 from repro.sql.errors import SQLExecutionError
 from repro.sql.executor import (
@@ -55,7 +58,15 @@ from repro.sql.executor import (
 )
 from repro.sql.plan import logical as L
 from repro.sql.plan.parallel import run_tasks
+from repro.service.faults import classify_exception
 from repro.tor.values import Record
+
+#: degradation events by rung transition and classified failure kind —
+#: the metrics face of the ``degraded=`` / ``degrade_kind=`` EXPLAIN
+#: annotations.
+_DEGRADATIONS = obs_metrics.counter(
+    "repro_degradations_total",
+    "substrate degradation events by rung transition and failure kind")
 
 
 @dataclass
@@ -75,10 +86,63 @@ class _Ctx:
             self.scanned = []
 
 
+#: operator entry points that open a trace span when a trace is active.
+_TRACED_METHODS = ("scanned", "envs", "rows", "run_partition")
+
+
+def _traced(method):
+    """Wrap an operator entry point with an optional trace span.
+
+    With tracing off (the default) the wrapper is one contextvar read
+    and a direct call — the operator body is untouched, so results,
+    statistics and EXPLAIN output are exactly the seed's.  With a
+    trace active it opens a child span named after the operator,
+    tagged with the serial-equivalent description (``trace_name``) and
+    the observed row count.  ``run_partition`` timings stay in the
+    span only (partition tasks may run on pool threads or in forked
+    children, where mutating the shared operator would race or be
+    lost); driver-side methods also accumulate ``elapsed_seconds`` on
+    the operator for EXPLAIN's ``time=`` column.
+    """
+    is_partition = method.__name__ == "run_partition"
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        parent = obs_trace.current_span()
+        if parent is None:
+            return method(self, *args, **kwargs)
+        node = parent.child(type(self).name)
+        with node:
+            out = method(self, *args, **kwargs)
+        node.tag(op=self.trace_name())
+        if is_partition:
+            if isinstance(out, list):
+                node.tag(rows=len(out))
+        else:
+            if self.rows_out is not None:
+                node.tag(rows=self.rows_out)
+            self.elapsed_seconds = ((self.elapsed_seconds or 0.0)
+                                    + (node.elapsed_seconds or 0.0))
+        return out
+
+    wrapper._obs_traced = True
+    return wrapper
+
+
 class PhysicalOp:
     """Base class: explain metadata plus per-operator statistics."""
 
     name = "op"
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        # Every operator subclass gets its entry points span-wrapped
+        # exactly once, so no call site needs tracing code.
+        for attr in _TRACED_METHODS:
+            fn = cls.__dict__.get(attr)
+            if fn is not None and callable(fn) \
+                    and not getattr(fn, "_obs_traced", False):
+                setattr(cls, attr, _traced(fn))
 
     def __init__(self):
         self.rows_out: Optional[int] = None
@@ -95,6 +159,14 @@ class PhysicalOp:
         #: requested backend worked.  EXPLAIN ANALYZE renders it as
         #: ``degraded=``.
         self.degraded: Optional[str] = None
+        #: classified failure kind for each degradation step (same
+        #: length as the arrows in ``degraded``), rendered by EXPLAIN
+        #: ANALYZE as ``degrade_kind=``.
+        self.degraded_kinds: Optional[List[str]] = None
+        #: wall-clock seconds spent in this operator, accumulated by
+        #: the span wrapper when tracing is active; None otherwise.
+        #: EXPLAIN renders it as ``time=`` when asked (``timing=True``).
+        self.elapsed_seconds: Optional[float] = None
 
     @property
     def children(self) -> Tuple["PhysicalOp", ...]:
@@ -102,6 +174,17 @@ class PhysicalOp:
 
     def describe(self) -> str:
         return self.name
+
+    def trace_name(self) -> str:
+        """The operator description used as the span's ``op`` tag.
+
+        Partition-parallel operators override this with their serial
+        operator's description, so a stitched parallel trace carries
+        the same operator set as the serial trace (the partitioning is
+        visible in the span *names* and the ``partition`` nodes, not
+        in the operator identity).
+        """
+        return self.describe()
 
 
 # -- scans -------------------------------------------------------------------
@@ -705,6 +788,9 @@ class PartitionedScanOp(PartitionedOp):
         return "%s(%s, partitions=%d)" % (self.name, self.scan.describe(),
                                           self.partitions)
 
+    def trace_name(self) -> str:
+        return self.scan.describe()
+
     def prepare(self, ctx: _Ctx) -> int:
         source = self.scan._rows(ctx)   # scan-level stats count once here
         self._alias = source.alias
@@ -760,6 +846,11 @@ class PartitionedHashJoinOp(PartitionedOp):
 
         return "%s(%s)" % (self.name, expr_sql(self.predicate))
 
+    def trace_name(self) -> str:
+        from repro.sql.pretty import expr_sql
+
+        return "HashJoin(%s)" % expr_sql(self.predicate)
+
     def prepare(self, ctx: _Ctx) -> int:
         partitions = self.left.prepare(ctx)
         source = self.right.scanned(ctx)
@@ -791,6 +882,9 @@ class PartitionedNestedLoopOp(PartitionedOp):
     @property
     def children(self):
         return (self.left, self.right)
+
+    def trace_name(self) -> str:
+        return "NestedLoop"
 
     def prepare(self, ctx: _Ctx) -> int:
         partitions = self.left.prepare(ctx)
@@ -828,6 +922,12 @@ class PartitionedFilterOp(PartitionedOp):
 
         return "%s(%s)" % (self.name, " AND ".join(
             expr_sql(p) for p in self.predicates))
+
+    def trace_name(self) -> str:
+        from repro.sql.pretty import expr_sql
+
+        return "Filter(%s)" % " AND ".join(
+            expr_sql(p) for p in self.predicates)
 
     def prepare(self, ctx: _Ctx) -> int:
         return self.child.prepare(ctx)
@@ -895,32 +995,56 @@ def _run_partitioned(chain: PartitionedOp, ctx: _Ctx, backend: str,
         op.partition_rows = [None] * count
 
     executor, params = ctx.executor, ctx.params
+    # Cross-process stitching: when a trace is active, every partition
+    # task builds a *detached* root span locally (a fresh one per
+    # attempt, so a degraded rerun never double-counts) and ships its
+    # ``to_dict`` payload home beside the stats — the same transport
+    # partition statistics already ride, picklable for the fork
+    # backend.  The driver re-parents them below in partition-index
+    # order, so the stitched tree's child order is deterministic
+    # regardless of completion order.
+    parent_span = obs_trace.current_span()
+    traced = parent_span is not None
 
     def make_task(part: int):
         def task():
             pctx = _PartCtx(executor, params)
-            return worker(part, pctx), pctx.stats, pctx.recorded
+            if traced:
+                pspan = obs_trace.Span("partition", part=part)
+                with pspan:
+                    payload = worker(part, pctx)
+                pspan.tag(backend=backend)
+                return payload, pctx.stats, pctx.recorded, pspan.to_dict()
+            return worker(part, pctx), pctx.stats, pctx.recorded, None
         return task
 
     if owner is None:
         owner = driver_op if driver_op is not None else chain
     rungs: List[str] = []
+    kinds: List[str] = []
 
     def on_degrade(from_rung: str, to_rung: str, fault: Exception) -> None:
         ctx.stats.degradations += 1
+        kind = classify_exception(fault)
         if not rungs:
             rungs.append(from_rung)
         rungs.append(to_rung)
+        kinds.append(kind)
         owner.degraded = "->".join(rungs)
+        owner.degraded_kinds = list(kinds)
+        _DEGRADATIONS.inc(**{"from": from_rung, "to": to_rung,
+                             "kind": kind})
 
     results = run_tasks([make_task(part) for part in range(count)],
                         backend=backend, deadline=ctx.deadline,
                         on_degrade=on_degrade)
     payloads = []
-    for part, (payload, pstats, recorded) in enumerate(results):
+    for part, (payload, pstats, recorded, span_dict) in enumerate(results):
         merge_stats(ctx.stats, pstats)
         for ordinal, rows in recorded.items():
             ops[ordinal].partition_rows[part] = rows
+        if span_dict is not None and parent_span is not None:
+            parent_span.adopt(span_dict)
         payloads.append(payload)
     for op in ops:
         op.rows_out = sum(rows for rows in op.partition_rows
@@ -1190,6 +1314,17 @@ class PartialAggregateOp(RowOp):
         body = "PartialGroupBy(%s, partitions=%d)" % (
             ", ".join(expr_sql(e) for e in self.group_by),
             self.partitions)
+        if self.having is not None:
+            body += " having %s" % expr_sql(self.having)
+        return body
+
+    def trace_name(self) -> str:
+        from repro.sql.pretty import expr_sql
+
+        if not self.group_by:
+            return "Aggregate(whole input)"
+        body = "GroupBy(%s)" % ", ".join(expr_sql(e)
+                                         for e in self.group_by)
         if self.having is not None:
             body += " having %s" % expr_sql(self.having)
         return body

@@ -1,0 +1,116 @@
+"""Unit contract of the metrics registry and its two export formats."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import REGISTRY, Histogram, MetricsRegistry
+
+
+def test_counter_accumulates_per_label_set():
+    reg = MetricsRegistry()
+    c = reg.counter("hits_total", "cache hits")
+    c.inc()
+    c.inc(2, table="ev")
+    c.inc(table="ev")
+    assert c.value() == 1
+    assert c.value(table="ev") == 3
+    assert c.total() == 4
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_overwrites():
+    reg = MetricsRegistry()
+    g = reg.gauge("margin_seconds")
+    g.set(5.0)
+    g.set(2.5)
+    assert g.value() == 2.5
+
+
+def test_histogram_buckets_sum_count():
+    reg = MetricsRegistry()
+    h = reg.histogram("seconds", buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 3.0):
+        h.observe(v)
+    (sample,) = h.samples()
+    assert sample["buckets"] == {"0.1": 1, "1.0": 2}
+    assert sample["inf"] == 3
+    assert sample["count"] == 3
+    assert sample["sum"] == pytest.approx(3.55)
+
+
+def test_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    assert reg.counter("a_total") is reg.counter("a_total")
+    with pytest.raises(ValueError):
+        reg.gauge("a_total")  # name already bound to a counter
+    assert reg.get("a_total").kind == "counter"
+    assert reg.get("missing") is None
+
+
+def test_reset_clears_everything():
+    reg = MetricsRegistry()
+    reg.counter("x_total").inc()
+    reg.reset()
+    assert reg.get("x_total") is None
+    assert reg.snapshot() == {}
+    assert reg.exposition() == ""
+
+
+def test_exposition_format_is_prometheus_text():
+    reg = MetricsRegistry()
+    c = reg.counter("queries_total", "queries served")
+    c.inc(2, mode="planner")
+    c.inc(mode="legacy")
+    reg.gauge("up").set(1)
+    text = reg.exposition()
+    assert text.splitlines() == [
+        "# HELP queries_total queries served",
+        "# TYPE queries_total counter",
+        'queries_total{mode="legacy"} 1',
+        'queries_total{mode="planner"} 2',
+        "# TYPE up gauge",
+        "up 1",
+    ]
+    assert text.endswith("\n")
+
+
+def test_exposition_escapes_label_values():
+    reg = MetricsRegistry()
+    reg.counter("odd_total").inc(sql='SELECT "x"\nFROM t')
+    line = reg.exposition().splitlines()[-1]
+    assert line == 'odd_total{sql="SELECT \\"x\\"\\nFROM t"} 1'
+
+
+def test_histogram_exposition_has_cumulative_buckets():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    lines = reg.exposition().splitlines()
+    assert 'lat_bucket{le="0.1"} 1' in lines
+    assert 'lat_bucket{le="1"} 2' in lines
+    assert 'lat_bucket{le="+Inf"} 2' in lines
+    assert "lat_count 2" in lines
+
+
+def test_snapshot_is_json_serializable_and_sorted():
+    reg = MetricsRegistry()
+    reg.counter("b_total").inc(worker=3)
+    reg.histogram("a_seconds").observe(0.01)
+    snap = reg.snapshot()
+    assert list(snap) == ["a_seconds", "b_total"]
+    assert snap["b_total"]["type"] == "counter"
+    assert snap["b_total"]["samples"] == [
+        {"labels": {"worker": "3"}, "value": 1}]
+    json.dumps(snap)  # must not raise
+
+
+def test_global_registry_carries_engine_instruments():
+    """Importing the engine registers its cold-site instruments."""
+    import repro.sql.database  # noqa: F401  (registers on import)
+    import repro.service.cache  # noqa: F401
+    assert REGISTRY.get("repro_queries_total") is not None
+    assert REGISTRY.get("repro_cache_hits_total") is not None
+    assert isinstance(REGISTRY.get("repro_query_seconds"), Histogram)

@@ -29,6 +29,7 @@ DOCTEST_FILES = (
     os.path.join("docs", "architecture.md"),
     os.path.join("docs", "explain.md"),
     os.path.join("docs", "robustness.md"),
+    os.path.join("docs", "observability.md"),
 )
 
 
