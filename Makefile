@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-smoke bench-synthesis bench bench-parallel \
 	bench-planner bench-join-order bench-parallel-scan serve-smoke \
-	chaos-smoke obs-smoke docs-check
+	chaos-smoke obs-smoke profile-smoke bench-report docs-check
 
 # Tier-1 verification: the full unit/property/regression suite.
 test:
@@ -75,6 +75,25 @@ chaos-smoke:
 # traced benchmark run validated against the BENCH_*.json schema.
 obs-smoke:
 	$(PYTHON) -m pytest tests/obs -q
+
+# Profiler canary: one profiled corpus run through the CLI (the
+# collapsed-stack file must come out non-empty), then the profiler's
+# own contract suite — off-path byte-identity, masked span-universe
+# goldens (serial == K=1; K=4 attributes to the serial span set over
+# threads and fork), and the cross-process sample transport.
+profile-smoke:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(PYTHON) -m repro.service.cli run --fragments w40 --workers 1 \
+		--no-cache --quiet --profile "$$dir/profile.txt" && \
+	test -s "$$dir/profile.txt"
+	$(PYTHON) -m pytest tests/obs/test_profile.py -q
+
+# Perf-trajectory report over BENCH_HISTORY.jsonl (append-only,
+# written by every bench artifact).  Report-only: regressions print,
+# they do not fail the target — use `repro-qbs bench-report --strict`
+# as a blocking gate.
+bench-report:
+	$(PYTHON) -m repro.service.cli bench-report
 
 # The complete paper-figure benchmark suite (pytest-benchmark).
 # Files are passed explicitly: they use the bench_* naming scheme,

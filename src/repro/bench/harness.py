@@ -263,21 +263,72 @@ def synthesis_speedup(measurements: List[SynthesisSpeedMeasurement]
 # ---------------------------------------------------------------------------
 
 #: artifact schema identifier; bump when the shape changes.
-BENCH_ARTIFACT_SCHEMA = "repro-bench-artifact/v1"
+#: v2 added the trajectory-store join keys: ``git_commit`` and the
+#: monotonic-safe ``created_utc`` ISO-8601 form of ``created_unix``.
+BENCH_ARTIFACT_SCHEMA = "repro-bench-artifact/v2"
 
 #: environment override for where artifacts land (default: CWD).
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"
 
 #: keys every artifact must carry (validated by the obs smoke tests
 #: and re-checkable by any downstream trajectory tooling).
-BENCH_ARTIFACT_KEYS = ("schema", "name", "created_unix", "ok", "smoke",
-                      "floors", "measurements", "metrics", "python")
+BENCH_ARTIFACT_KEYS = ("schema", "name", "created_unix", "created_utc",
+                      "git_commit", "ok", "smoke", "floors",
+                      "measurements", "metrics", "python")
 
 
 def bench_artifact_dir() -> str:
     import os
 
     return os.environ.get(BENCH_DIR_ENV) or os.getcwd()
+
+
+#: memoized ``git rev-parse HEAD`` (False = not looked up yet).
+_GIT_COMMIT: Any = False
+
+
+def _git_commit() -> Optional[str]:
+    """Best-effort commit hash for the working directory; None outside
+    a git repo (or with git missing / timing out).  Memoized — one
+    subprocess per process, not per artifact."""
+    global _GIT_COMMIT
+    if _GIT_COMMIT is False:
+        import subprocess
+
+        commit: Optional[str] = None
+        try:
+            proc = subprocess.run(["git", "rev-parse", "HEAD"],
+                                  capture_output=True, timeout=10)
+            if proc.returncode == 0:
+                commit = proc.stdout.decode("ascii", "replace").strip() \
+                    or None
+        except Exception:
+            commit = None
+        _GIT_COMMIT = commit
+    return _GIT_COMMIT
+
+
+#: high-water mark for :func:`_utc_stamp`.
+_LAST_STAMP = 0.0
+
+
+def _utc_stamp() -> float:
+    """``time.time()``, clamped to never run backwards within this
+    process: the wall clock can step under NTP, but trajectory history
+    keys must stay ordered for the append-only store."""
+    global _LAST_STAMP
+    now = time.time()
+    if now < _LAST_STAMP:
+        now = _LAST_STAMP
+    _LAST_STAMP = now
+    return now
+
+
+def _iso_utc(stamp: float) -> str:
+    from datetime import datetime, timezone
+
+    return datetime.fromtimestamp(stamp, tz=timezone.utc) \
+        .isoformat().replace("+00:00", "Z")
 
 
 def floor_entry(value: float, floor: float,
@@ -312,10 +363,13 @@ def write_bench_artifact(name: str, ok: bool,
 
     from repro.obs import metrics as obs_metrics
 
+    created = _utc_stamp()
     payload = {
         "schema": BENCH_ARTIFACT_SCHEMA,
         "name": name,
-        "created_unix": time.time(),
+        "created_unix": created,
+        "created_utc": _iso_utc(created),
+        "git_commit": _git_commit(),
         "ok": bool(ok),
         "smoke": bool(smoke),
         "floors": floors or {},
@@ -338,6 +392,15 @@ def write_bench_artifact(name: str, ok: bool,
         if os.path.exists(tmp):
             os.unlink(tmp)
         raise
+    try:
+        # Every artifact also lands in the append-only perf-trajectory
+        # store (BENCH_HISTORY.jsonl, same directory) — best-effort,
+        # because history must never fail the benchmark it documents.
+        from repro.bench import trajectory
+
+        trajectory.append_entry(payload, directory)
+    except Exception:
+        pass
     return path
 
 

@@ -1,0 +1,229 @@
+"""The perf-trajectory store: ``BENCH_HISTORY.jsonl`` + trend reports.
+
+PR 7's ``BENCH_<name>.json`` artifacts are single snapshots — the
+newest run overwrites the last.  This module makes the trajectory
+itself durable: every artifact write also appends one trimmed line to
+an append-only ``BENCH_HISTORY.jsonl`` in the same directory, keyed by
+bench name + git commit + (monotonic-safe) timestamp.  Over that
+history the *regression sentinel* classifies each measurement's latest
+value against a rolling-median baseline of its prior runs:
+
+* ``improvement`` — latest ≥ baseline × (1 + band)
+* ``steady``      — within the noise band either way
+* ``regression``  — latest ≤ baseline ÷ (1 + band)
+* ``first-run``   — no prior runs to compare against
+
+The tracked measurements are the benchmarks' speedup floors (higher is
+better — the asserted perf trajectory), so a run-over-run drop shows
+up the PR it lands, not three releases later.  The band is
+*multiplicative and symmetric* (a ratio, like the measurements
+themselves): with the default ``band=1.0`` a run is steady while it
+stays within 2x of the rolling median either way.  That is deliberate
+— single-repeat smoke timings on shared CI runners jitter by tens of
+percent, and what the sentinel exists to catch is the
+order-of-magnitude cliff (a parallel floor collapsing to 1x, a memo
+layer silently disabled), not scheduler wiggle.  Tighten with
+``--band`` where runners are quiet.  Rendered by ``repro-qbs
+bench-report`` / ``make bench-report`` (text or ``--markdown``); CI
+runs it report-only, never blocking.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.bench.harness import bench_artifact_dir
+
+#: history entry schema identifier.
+HISTORY_SCHEMA = "repro-bench-history/v1"
+
+#: the append-only store's file name (lives in the artifact directory).
+HISTORY_BASENAME = "BENCH_HISTORY.jsonl"
+
+#: rolling-median window: the baseline is the median of this many
+#: most-recent prior runs.
+DEFAULT_WINDOW = 5
+
+#: multiplicative noise band: a run is steady while its ratio to the
+#: baseline stays within [1/(1+band), 1+band].
+DEFAULT_BAND = 1.0
+
+IMPROVEMENT = "improvement"
+STEADY = "steady"
+REGRESSION = "regression"
+FIRST_RUN = "first-run"
+
+
+def history_path(directory: Optional[str] = None) -> str:
+    return os.path.join(directory or bench_artifact_dir(),
+                        HISTORY_BASENAME)
+
+
+def entry_from_artifact(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Trim one bench artifact to its history line: the join keys and
+    the floor measurements, not the embedded metrics snapshot."""
+    return {
+        "schema": HISTORY_SCHEMA,
+        "name": payload.get("name"),
+        "git_commit": payload.get("git_commit"),
+        "created_unix": payload.get("created_unix"),
+        "created_utc": payload.get("created_utc"),
+        "ok": payload.get("ok"),
+        "smoke": payload.get("smoke"),
+        "python": payload.get("python"),
+        "floors": payload.get("floors", {}),
+    }
+
+
+def append_entry(payload: Dict[str, Any],
+                 directory: Optional[str] = None) -> str:
+    """Append one artifact's history line; returns the store's path.
+
+    A single ``write`` in append mode — concurrent benchmarks at worst
+    interleave whole lines, and :func:`load_history` skips anything
+    torn rather than failing the report.
+    """
+    path = history_path(directory)
+    line = json.dumps(entry_from_artifact(payload), sort_keys=True,
+                      default=repr)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+    return path
+
+
+def load_history(directory: Optional[str] = None,
+                 name: Optional[str] = None) -> List[Dict[str, Any]]:
+    """History entries oldest-first (empty when no store exists);
+    ``name`` restricts to one bench."""
+    path = history_path(directory)
+    entries: List[Dict[str, Any]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # torn line: skip, the report must render
+                if not isinstance(entry, dict):
+                    continue
+                if name is not None and entry.get("name") != name:
+                    continue
+                entries.append(entry)
+    except OSError:
+        return []
+    entries.sort(key=lambda e: e.get("created_unix") or 0.0)
+    return entries
+
+
+def rolling_baseline(prior_values: List[float],
+                     window: int = DEFAULT_WINDOW) -> Optional[float]:
+    """Median of the last ``window`` prior values; None with no priors."""
+    if not prior_values:
+        return None
+    recent = sorted(prior_values[-window:])
+    mid = len(recent) // 2
+    if len(recent) % 2:
+        return recent[mid]
+    return (recent[mid - 1] + recent[mid]) / 2.0
+
+
+def classify(value: float, prior_values: List[float],
+             band: float = DEFAULT_BAND,
+             window: int = DEFAULT_WINDOW) -> Dict[str, Any]:
+    """Classify ``value`` against the rolling-median baseline of its
+    prior runs.  Higher is better (the tracked measurements are
+    speedup ratios), and the band is symmetric in ratio space:
+    improvement at ≥ baseline×(1+band), regression at
+    ≤ baseline/(1+band), steady between."""
+    baseline = rolling_baseline(prior_values, window)
+    if baseline is None:
+        return {"classification": FIRST_RUN, "baseline": None,
+                "ratio": None}
+    if baseline <= 0:
+        # A degenerate baseline (failed historical run recorded 0)
+        # cannot anchor a ratio; call it steady rather than divide.
+        return {"classification": STEADY, "baseline": baseline,
+                "ratio": None}
+    ratio = value / baseline
+    if ratio >= 1.0 + band:
+        verdict = IMPROVEMENT
+    elif ratio <= 1.0 / (1.0 + band):
+        verdict = REGRESSION
+    else:
+        verdict = STEADY
+    return {"classification": verdict, "baseline": baseline,
+            "ratio": ratio}
+
+
+def series(entries: List[Dict[str, Any]]
+           ) -> Dict[Tuple[str, str], List[float]]:
+    """Per-measurement value series, oldest first, keyed by
+    ``(bench name, floor label)``."""
+    out: Dict[Tuple[str, str], List[float]] = {}
+    for entry in entries:
+        bench = entry.get("name") or "?"
+        for label, floor in sorted((entry.get("floors") or {}).items()):
+            value = floor.get("value") if isinstance(floor, dict) else None
+            if isinstance(value, (int, float)):
+                out.setdefault((bench, label), []).append(float(value))
+    return out
+
+
+def trend_report(entries: List[Dict[str, Any]],
+                 band: float = DEFAULT_BAND,
+                 window: int = DEFAULT_WINDOW,
+                 markdown: bool = False) -> str:
+    """The trend table: one row per measurement, latest run classified
+    against its rolling-median baseline."""
+    measurements = series(entries)
+    if not measurements:
+        return "no bench history (run `make bench-smoke` to seed %s)" \
+            % HISTORY_BASENAME
+    header = "perf trajectory: %d run(s), %d measurement(s)  " \
+        "(steady within %.3gx of baseline, window=%d)" \
+        % (len(entries), len(measurements), 1.0 + band, window)
+    rows = []
+    for (bench, label), values in sorted(measurements.items()):
+        verdict = classify(values[-1], values[:-1], band=band,
+                           window=window)
+        baseline = verdict["baseline"]
+        ratio = verdict["ratio"]
+        rows.append((
+            bench, label, str(len(values)),
+            "-" if baseline is None else "%.2f" % baseline,
+            "%.2f" % values[-1],
+            "-" if ratio is None else "%+.1f%%" % ((ratio - 1.0) * 100),
+            verdict["classification"],
+        ))
+    if markdown:
+        lines = [header, "",
+                 "| bench | measurement | runs | baseline | latest "
+                 "| change | class |",
+                 "|---|---|---|---|---|---|---|"]
+        lines.extend("| %s |" % " | ".join(row) for row in rows)
+        return "\n".join(lines)
+    lines = [header,
+             "%-16s %-14s %5s %9s %9s %8s  %s"
+             % ("bench", "measurement", "runs", "baseline", "latest",
+                "change", "class")]
+    lines.extend("%-16s %-14s %5s %9s %9s %8s  %s" % row for row in rows)
+    return "\n".join(lines)
+
+
+def regressions(entries: List[Dict[str, Any]],
+                band: float = DEFAULT_BAND,
+                window: int = DEFAULT_WINDOW) -> List[Tuple[str, str]]:
+    """The ``(bench, measurement)`` pairs whose latest run classifies
+    as a regression (``bench-report --strict`` exits non-zero on any)."""
+    out = []
+    for (bench, label), values in sorted(series(entries).items()):
+        verdict = classify(values[-1], values[:-1], band=band,
+                           window=window)
+        if verdict["classification"] == REGRESSION:
+            out.append((bench, label))
+    return out

@@ -262,7 +262,7 @@ class Synthesizer:
 
     # -- candidate assembly -------------------------------------------------------
 
-    def synthesize(self, accept=None) -> SynthesisResult:
+    def synthesize(self, accept=None, profiler=None) -> SynthesisResult:
         """Run the full search across template levels.
 
         ``accept`` is an optional final filter — the driver passes the
@@ -270,9 +270,27 @@ class Synthesizer:
         does not prove sends the search onward instead of ending it
         (the paper's "ask the synthesizer for other candidates" loop,
         Sec. 5).
+
+        ``profiler`` is an optional
+        :class:`repro.obs.profile.Profiler`: the whole search runs
+        under it (started only if idle), so Fig. 13 runs can be
+        profiled end-to-end with samples attributed to the synthesis
+        spans.  None (the default) is the seed path, untouched.
         """
-        with obs_trace.span("synthesis",
-                            fragment=self.fragment.name) as span:
+        if profiler is not None:
+            with profiler.sampling():
+                # Samples attribute to spans, so profiling forces the
+                # synthesis span into existence even without an ambient
+                # trace (same move as Database.execute(profile=...)).
+                return self._synthesize_observed(accept, force_trace=True)
+        return self._synthesize_observed(accept)
+
+    def _synthesize_observed(self, accept=None,
+                             force_trace=False) -> SynthesisResult:
+        span = obs_trace.span("synthesis", fragment=self.fragment.name)
+        if force_trace and not span:
+            span = obs_trace.Span("synthesis", fragment=self.fragment.name)
+        with span:
             result = self._synthesize(accept)
         if span:
             stats = result.stats

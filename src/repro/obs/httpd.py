@@ -1,0 +1,160 @@
+"""A tiny stdlib ops endpoint: the repo's first network listener.
+
+``OpsServer`` wraps :class:`http.server.ThreadingHTTPServer` around
+four read-only GET routes:
+
+* ``/metrics``       — the metrics registry's Prometheus text
+  exposition (``text/plain; version=0.0.4``), scrape-ready;
+* ``/healthz``       — liveness: ``{"status": "ok", ...}`` with pid
+  and uptime;
+* ``/traces/recent`` — the completed-root-span ring buffer as JSON
+  (enable with :func:`repro.obs.trace.keep_recent_roots`; empty list
+  otherwise);
+* ``/bench/latest``  — the newest ``BENCH_<name>.json`` artifact per
+  bench found in the bench artifact directory.
+
+Everything is read-only and process-local — this is an observability
+window, not a control plane — and it is a deliberate stepping stone to
+the ROADMAP's network front door: the serving tier will grow out of
+the same listener discipline (daemon threads, port 0 for tests,
+explicit ``close()``).
+
+Started via ``repro-qbs serve-metrics --port N`` (foreground) or
+``OpsServer(...).start()`` (background daemon thread, for tests and
+embedding).  The server observes itself: each request increments
+``repro_http_requests_total{path=...,status=...}`` in the registry it
+serves, so a scrape sees the scraping.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+#: the content type Prometheus scrapers expect from /metrics.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_HTTP_REQUESTS = obs_metrics.counter(
+    "repro_http_requests_total", "ops endpoint requests by path and status")
+
+
+def _latest_bench_artifacts(directory: str) -> Dict[str, Any]:
+    """The newest artifact per bench name, keyed by name."""
+    benches: Dict[str, Any] = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            continue  # torn or foreign file: skip, never 500 a scrape
+        name = payload.get("name") or \
+            os.path.basename(path)[len("BENCH_"):-len(".json")]
+        benches[name] = {
+            "ok": payload.get("ok"),
+            "smoke": payload.get("smoke"),
+            "created_unix": payload.get("created_unix"),
+            "created_utc": payload.get("created_utc"),
+            "git_commit": payload.get("git_commit"),
+            "floors": payload.get("floors", {}),
+        }
+    return benches
+
+
+class _OpsHandler(BaseHTTPRequestHandler):
+    server_version = "repro-qbs-ops/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = self.server.registry.exposition()  # type: ignore
+            self._reply(200, METRICS_CONTENT_TYPE, body.encode("utf-8"))
+        elif path == "/healthz":
+            self._json(200, {
+                "status": "ok",
+                "pid": os.getpid(),
+                "uptime_seconds": round(
+                    time.perf_counter() - self.server.started,  # type: ignore
+                    3),
+            })
+        elif path == "/traces/recent":
+            self._json(200, {"traces": obs_trace.recent_roots()})
+        elif path == "/bench/latest":
+            self._json(200, {"benches": _latest_bench_artifacts(
+                self.server.bench_dir)})  # type: ignore
+        else:
+            self._json(404, {"error": "no such route",
+                             "routes": ["/metrics", "/healthz",
+                                        "/traces/recent", "/bench/latest"]})
+
+    def _json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, indent=1, sort_keys=True).encode("utf-8")
+        self._reply(status, "application/json", body)
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        _HTTP_REQUESTS.inc(path=self.path.split("?", 1)[0],
+                           status=str(status))
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        pass  # scrapes every few seconds would drown stderr
+
+
+class OpsServer:
+    """The ops endpoint, bound at construction (``port=0`` = ephemeral,
+    the test-friendly default; read the resolved one back via
+    :attr:`port`)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 registry: Optional[obs_metrics.MetricsRegistry] = None,
+                 bench_dir: Optional[str] = None):
+        from repro.bench.harness import bench_artifact_dir
+
+        self._httpd = ThreadingHTTPServer((host, port), _OpsHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.registry = registry or obs_metrics.REGISTRY
+        self._httpd.bench_dir = bench_dir or bench_artifact_dir()
+        self._httpd.started = time.perf_counter()
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    def url(self, path: str = "/") -> str:
+        return "http://%s:%d%s" % (self.host, self.port, path)
+
+    def start(self) -> "OpsServer":
+        """Serve from a background daemon thread (tests, embedding)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-ops-httpd", daemon=True)
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI foreground path)."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

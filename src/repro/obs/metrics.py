@@ -30,13 +30,25 @@ def _label_key(labels: Dict[str, Any]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def escape_label_value(value: str) -> str:
+    """Escape one label value per the Prometheus text exposition
+    format: backslash, double-quote and newline, in that order."""
+    return value.replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """``# HELP`` lines escape backslash and newline only (the spec
+    leaves quotes alone there)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) \
         -> str:
     pairs = list(key) + list(extra)
     if not pairs:
         return ""
-    body = ",".join('%s="%s"' % (k, v.replace("\\", "\\\\")
-                                 .replace('"', '\\"').replace("\n", "\\n"))
+    body = ",".join('%s="%s"' % (k, escape_label_value(v))
                     for k, v in pairs)
     return "{%s}" % body
 
@@ -55,6 +67,11 @@ class _Instrument:
 
     def exposition_lines(self) -> List[str]:  # pragma: no cover
         raise NotImplementedError
+
+    def reset_values(self) -> None:
+        """Drop every recorded sample, keeping the instrument itself
+        (and therefore every module-level reference to it) alive."""
+        self._values.clear()  # type: ignore[attr-defined]
 
 
 class Counter(_Instrument):
@@ -214,8 +231,22 @@ class MetricsRegistry:
         return self._instruments.get(name)
 
     def reset(self) -> None:
-        """Drop every instrument (tests and fresh CLI runs)."""
+        """Drop every instrument *registration*.
+
+        Careful with the global :data:`REGISTRY`: engine modules hold
+        import-time references to their instruments, and after a full
+        ``reset()`` those keep recording into orphans the registry no
+        longer exports.  Test isolation wants :meth:`reset_values`.
+        """
         self._instruments.clear()
+
+    def reset_values(self) -> None:
+        """Zero every sample but keep all registrations — the test
+        isolation primitive (``tests/obs/conftest.py`` applies it
+        before every test so metrics asserted in one test cannot bleed
+        into the next)."""
+        for instrument in self._instruments.values():
+            instrument.reset_values()
 
     # -- export ------------------------------------------------------------
 
@@ -235,7 +266,8 @@ class MetricsRegistry:
         lines: List[str] = []
         for name, inst in sorted(self._instruments.items()):
             if inst.help_text:
-                lines.append("# HELP %s %s" % (name, inst.help_text))
+                lines.append("# HELP %s %s"
+                             % (name, _escape_help(inst.help_text)))
             lines.append("# TYPE %s %s" % (name, inst.kind))
             lines.extend(inst.exposition_lines())
         return "\n".join(lines) + ("\n" if lines else "")

@@ -2,10 +2,12 @@
 
 Subcommands::
 
-    repro-qbs run      # run fragments through the scheduler + cache
-    repro-qbs status   # corpus coverage of the current cache
-    repro-qbs cache    # cache maintenance: info | list | clear | gc
-    repro-qbs metrics  # corpus run + metrics registry snapshot
+    repro-qbs run            # run fragments through the scheduler + cache
+    repro-qbs status         # corpus coverage of the current cache
+    repro-qbs cache          # cache maintenance: info | list | clear | gc
+    repro-qbs metrics        # corpus run + metrics registry snapshot
+    repro-qbs bench-report   # perf-trajectory trend report
+    repro-qbs serve-metrics  # live ops endpoint (/metrics, /healthz, ...)
 
 ``run`` prints the Appendix-A style marker table (X translated,
 * failed, † rejected) with per-fragment timing, cache provenance and
@@ -21,15 +23,22 @@ without bound across corpus versions.
 
 Observability (``docs/observability.md``): ``run --trace out.json``
 executes the batch under a trace and writes the stitched span tree as
-JSON; ``run --metrics`` appends the metrics registry's Prometheus text
+JSON; ``run --profile out.txt`` additionally samples the run and
+writes a collapsed-stack profile (``.json`` for the JSON summary);
+``run --metrics`` appends the metrics registry's Prometheus text
 exposition (or a ``"metrics"`` key under ``--json``).  ``metrics`` is
 the standalone form: a corpus run followed by the registry snapshot
 with derived cache-hit-ratio / retry / degradation summary lines.
+``bench-report`` reads ``BENCH_HISTORY.jsonl`` (appended by every
+bench artifact write) and classifies each measurement's latest run
+against its rolling baseline; ``serve-metrics`` serves the live ops
+endpoint until interrupted.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from collections import Counter
@@ -120,6 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run under a trace and write the span tree "
                           "as JSON to PATH (job spans; plus synthesis "
                           "and query spans with --workers 1)")
+    run.add_argument("--profile", default=None, metavar="PATH",
+                     dest="profile_path",
+                     help="sample the run with the span-attributed "
+                          "profiler and write collapsed stacks to PATH "
+                          "(.json extension writes the JSON summary "
+                          "instead); implies an ambient trace; pool "
+                          "workers are not sampled, so pair with "
+                          "--workers 1 for full attribution")
     run.add_argument("--metrics", action="store_true",
                      dest="show_metrics",
                      help="print the metrics registry after the run "
@@ -143,6 +160,51 @@ def build_parser() -> argparse.ArgumentParser:
                              dest="json_output",
                              help="JSON snapshot instead of the text "
                                   "exposition")
+
+    bench_report = sub.add_parser(
+        "bench-report",
+        help="perf-trajectory report over BENCH_HISTORY.jsonl")
+    bench_report.add_argument("--dir", default=None, metavar="PATH",
+                              dest="history_dir",
+                              help="where the history lives (default: "
+                                   "repo root, or $REPRO_BENCH_DIR)")
+    bench_report.add_argument("--bench", default=None, metavar="NAME",
+                              help="restrict to one benchmark's series")
+    bench_report.add_argument("--window", type=_positive_int, default=5,
+                              metavar="N",
+                              help="rolling-baseline window: median of "
+                                   "the last N prior runs (default 5)")
+    bench_report.add_argument("--band", type=float, default=1.0,
+                              metavar="FRAC",
+                              help="multiplicative noise band: steady "
+                                   "while the latest run stays within "
+                                   "baseline/(1+FRAC) .. "
+                                   "baseline*(1+FRAC) (default 1.0 = "
+                                   "within 2x either way)")
+    bench_report.add_argument("--markdown", action="store_true",
+                              help="emit a markdown table instead of "
+                                   "plain text")
+    bench_report.add_argument("--strict", action="store_true",
+                              help="exit 1 if any measurement "
+                                   "classifies as a regression (CI "
+                                   "runs report-only, without this)")
+
+    serve = sub.add_parser(
+        "serve-metrics",
+        help="serve /metrics, /healthz, /traces/recent, /bench/latest")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=_nonnegative_int, default=9121,
+                       metavar="N",
+                       help="bind port; 0 picks a free one "
+                            "(default 9121)")
+    serve.add_argument("--trace-ring", type=_nonnegative_int, default=32,
+                       metavar="N",
+                       help="keep the last N completed root spans for "
+                            "/traces/recent; 0 disables (default 32)")
+    serve.add_argument("--bench-dir", default=None, metavar="PATH",
+                       help="where /bench/latest looks for BENCH_*.json "
+                            "(default: repo root, or $REPRO_BENCH_DIR)")
 
     status = sub.add_parser("status",
                             help="cache coverage of the corpus")
@@ -202,12 +264,24 @@ def cmd_run(args) -> int:
                           refresh=args.refresh,
                           retry=RetryPolicy(max_attempts=args.retries + 1),
                           deadline=args.deadline)
-    if args.trace_path:
-        root = obs_trace.Span("corpus-run", workers=args.workers,
-                              fragments=len(fragments))
-        with root:
+    profiler = None
+    if args.trace_path or args.profile_path:
+        # Profiling samples the run's spans, so --profile implies the
+        # same ambient corpus-run trace --trace sets up.
+        with contextlib.ExitStack() as stack:
+            if args.profile_path:
+                from repro.obs import profile as obs_profile
+
+                profiler = obs_profile.Profiler()
+                stack.enter_context(profiler.sampling())
+            root = obs_trace.Span("corpus-run", workers=args.workers,
+                                  fragments=len(fragments))
+            stack.enter_context(root)
             report = scheduler.run(fragments)
-        _write_trace(args.trace_path, root)
+        if args.trace_path:
+            _write_trace(args.trace_path, root)
+        if args.profile_path:
+            _write_profile(args.profile_path, profiler)
     else:
         report = scheduler.run(fragments)
 
@@ -263,6 +337,10 @@ def cmd_run(args) -> int:
         print("  %d outcome(s) disagree with the paper's table" % mismatches)
     if args.trace_path:
         print("  trace written to %s" % args.trace_path)
+    if args.profile_path:
+        print("  profile written to %s  (%d samples, %d spans)" % (
+            args.profile_path, profiler.samples_total,
+            len(profiler.spans_seen)))
     if args.show_metrics:
         print()
         sys.stdout.write(obs_metrics.REGISTRY.exposition())
@@ -280,6 +358,16 @@ def _write_trace(path: str, root) -> None:
     document = {"schema": "repro-trace/v1", "trace": root.to_dict()}
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=1, sort_keys=True)
+
+
+def _write_profile(path: str, profiler) -> None:
+    """Persist a profile: collapsed stacks, or JSON for ``.json``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if path.endswith(".json"):
+            json.dump(profiler.summary(), handle, indent=1,
+                      sort_keys=True)
+        else:
+            handle.write(profiler.collapsed())
 
 
 def _counter_total(name: str) -> float:
@@ -335,6 +423,46 @@ def cmd_metrics(args) -> int:
     print("degradations    : %d" % summary["degradations"])
     print()
     sys.stdout.write(obs_metrics.REGISTRY.exposition())
+    return 0
+
+
+def cmd_bench_report(args) -> int:
+    """Perf-trajectory report: classify each measurement's latest run
+    against its rolling-median baseline."""
+    from repro.bench import trajectory
+
+    entries = trajectory.load_history(args.history_dir, name=args.bench)
+    print(trajectory.trend_report(entries, band=args.band,
+                                  window=args.window,
+                                  markdown=args.markdown))
+    if args.strict:
+        regressed = trajectory.regressions(entries, band=args.band,
+                                           window=args.window)
+        if regressed:
+            print()
+            print("regressions: %s" % ", ".join(
+                "%s/%s" % pair for pair in regressed))
+            return 1
+    return 0
+
+
+def cmd_serve_metrics(args) -> int:
+    """Foreground ops endpoint; Ctrl-C exits cleanly."""
+    from repro.obs import httpd as obs_httpd
+
+    if args.trace_ring:
+        obs_trace.keep_recent_roots(args.trace_ring)
+    server = obs_httpd.OpsServer(host=args.host, port=args.port,
+                                 bench_dir=args.bench_dir)
+    print("serving ops endpoint on http://%s:%d  "
+          "(/metrics /healthz /traces/recent /bench/latest)"
+          % (server.host, server.port))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
     return 0
 
 
@@ -479,7 +607,9 @@ def cmd_cache(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"run": cmd_run, "status": cmd_status,
-               "cache": cmd_cache, "metrics": cmd_metrics}[args.command]
+               "cache": cmd_cache, "metrics": cmd_metrics,
+               "bench-report": cmd_bench_report,
+               "serve-metrics": cmd_serve_metrics}[args.command]
     try:
         return handler(args)
     except SelectionError as exc:

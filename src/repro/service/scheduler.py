@@ -93,6 +93,10 @@ _BACKOFF_SECONDS = obs_metrics.counter(
 _DEADLINE_MARGIN = obs_metrics.gauge(
     "repro_deadline_margin_seconds",
     "whole-run deadline margin when the last outcome was delivered")
+_JOBS_INFLIGHT = obs_metrics.gauge(
+    "repro_jobs_inflight",
+    "jobs executing right now (the live-ops view a /metrics scrape "
+    "sees mid-run)")
 
 
 def _fork_child(conn, fn, item):
@@ -540,6 +544,7 @@ class Scheduler:
                 continue
             attempt = 0
             start = time.perf_counter()
+            _JOBS_INFLIGHT.set(1)
             while True:
                 attempt += 1
                 faults.set_current_attempt(attempt)
@@ -565,6 +570,7 @@ class Scheduler:
                                    time.perf_counter() - start,
                                    attempts=attempt)
                 break
+            _JOBS_INFLIGHT.set(0)
 
     #: parent poll interval while waiting on workers.
     _POLL_SECONDS = 0.02
@@ -686,6 +692,7 @@ class Scheduler:
                             workers[position] = spawn()
                 # Collect results from whichever workers have them.
                 busy = [w for w in workers if w.index is not None]
+                _JOBS_INFLIGHT.set(len(busy))
                 ready = _connection_wait([w.conn for w in busy],
                                          timeout=self._POLL_SECONDS) \
                     if busy else ()
@@ -755,6 +762,7 @@ class Scheduler:
                     yield outcomes.pop(pending[next_pos])
                     next_pos += 1
         finally:
+            _JOBS_INFLIGHT.set(0)
             for worker in workers:
                 worker.shutdown(kill=worker.index is not None)
 

@@ -104,7 +104,8 @@ class Database:
 
     def execute(self, sql: str,
                 params: Optional[Dict[str, Any]] = None,
-                trace: bool = False) -> QueryResult:
+                trace: bool = False,
+                profile: Optional[Any] = None) -> QueryResult:
         """Parse (with caching) and execute one SELECT statement.
 
         ``trace=True`` runs the query under a trace span: every
@@ -115,6 +116,18 @@ class Database:
         already active (e.g. a traced service job), in which case the
         query span also parents into it.  Off by default — the
         untraced path is the seed execution, bit for bit.
+
+        ``profile`` runs the query under the sampling profiler
+        (:mod:`repro.obs.profile`): pass ``True`` for a fresh
+        :class:`~repro.obs.profile.Profiler` or an existing instance
+        to accumulate across queries (started only if idle).  Samples
+        attribute to the query's spans, so profiling implies the
+        traced path; the profiler comes back as ``result.profile``
+        (and the span tree as ``result.trace``).  Fork-backend
+        partitions ship their sample buffers home beside their stats.
+        With ``profile`` unset (the default) this path does not run at
+        all — results, EXPLAIN, traces and metrics are byte-identical,
+        pinned by ``tests/obs/test_profile.py``.
         """
         plan = self._plan_cache.get(sql)
         if plan is None:
@@ -122,7 +135,21 @@ class Database:
             self._plan_cache[sql] = plan
         mode = "planner" if self.executor.options.planner else "legacy"
         started = time.perf_counter()
-        if trace or obs_trace.enabled():
+        if profile is not None and profile is not False:
+            from repro.obs import profile as obs_profile
+
+            profiler = obs_profile.Profiler() if profile is True \
+                else profile
+            root = obs_trace.span("query", sql=sql, mode=mode)
+            if not root:
+                root = obs_trace.Span("query", sql=sql, mode=mode)
+            with profiler.sampling():
+                with root:
+                    result = self.executor.execute(plan, params)
+            root.tag(rows=len(result.rows))
+            result.trace = root
+            result.profile = profiler
+        elif trace or obs_trace.enabled():
             root = obs_trace.span("query", sql=sql, mode=mode)
             if not root:
                 root = obs_trace.Span("query", sql=sql, mode=mode)

@@ -150,6 +150,11 @@ class QueryResult:
     #: ambient trace; None otherwise.  Excluded from equality — tracing
     #: must never make two otherwise-identical results compare unequal.
     trace: Optional[Any] = field(default=None, compare=False, repr=False)
+    #: the query's sampling profiler
+    #: (:class:`repro.obs.profile.Profiler`) when the query ran with
+    #: ``Database.execute(..., profile=...)``; None otherwise.  Same
+    #: equality exclusion as ``trace``.
+    profile: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def scalar(self) -> Any:
         """The single value of a one-row, one-column result."""

@@ -115,9 +115,20 @@ def _run_rung(rung: str, tasks: Sequence[Callable[[], Any]],
             results.append(task())
         return results
     if rung == "processes":
+        from repro.obs import profile as obs_profile
         from repro.service.scheduler import fork_map
 
-        return fork_map(_call, tasks, deadline=deadline)
+        if obs_profile.installed() is None:
+            return fork_map(_call, tasks, deadline=deadline)
+        # A sampler thread does not survive fork, so each child runs
+        # its partition under a fresh child profiler and ships the
+        # sample buffer home beside its result — the same picklable
+        # transport the partition stats and detached spans ride.  The
+        # driver merges buffers in partition order (deterministic) and
+        # unwraps the bare results.  The threads rung needs none of
+        # this: the parent's sampler already sees every thread.
+        return obs_profile.absorb_shipped(
+            fork_map(obs_profile.call_profiled, tasks, deadline=deadline))
     return _run_threads(tasks, deadline, faults)
 
 

@@ -111,10 +111,13 @@ def _traced(method):
         parent = obs_trace.current_span()
         if parent is None:
             return method(self, *args, **kwargs)
-        node = parent.child(type(self).name)
+        # The op tag rides on the span from creation (trace_name is
+        # constructor state) so the sampling profiler can attribute
+        # samples to the serial-equivalent operator label live, while
+        # the operator is still running.
+        node = parent.child(type(self).name, op=self.trace_name())
         with node:
             out = method(self, *args, **kwargs)
-        node.tag(op=self.trace_name())
         if is_partition:
             if isinstance(out, list):
                 node.tag(rows=len(out))
@@ -1011,6 +1014,10 @@ def _run_partitioned(chain: PartitionedOp, ctx: _Ctx, backend: str,
             pctx = _PartCtx(executor, params)
             if traced:
                 pspan = obs_trace.Span("partition", part=part)
+                # Worker-local by construction: it exits with no
+                # ambient parent and is stitched into the driver's
+                # tree afterwards — not a root for the recent ring.
+                pspan.detached = True
                 with pspan:
                     payload = worker(part, pctx)
                 pspan.tag(backend=backend)

@@ -1,0 +1,25 @@
+"""Shared obs-test hygiene.
+
+Metric *values* are zeroed before every test with
+``MetricsRegistry.reset_values()`` — ``reset()`` would unregister the
+instruments and orphan the module-level references the engine holds
+(``repro.sql.database._QUERIES`` etc. would keep counting into objects
+no exposition ever renders).  Teardown also stops any profiler a
+failing test left installed and disables the recent-roots ring.
+"""
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs import trace as obs_trace
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    obs_metrics.REGISTRY.reset_values()
+    yield
+    leftover = obs_profile.installed()
+    if leftover is not None:
+        leftover.stop()
+    obs_trace.keep_recent_roots(0)

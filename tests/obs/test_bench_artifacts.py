@@ -3,6 +3,7 @@
 import json
 import os
 import sys
+import time
 
 import pytest
 
@@ -50,6 +51,43 @@ def test_write_and_validate_roundtrip(bench_dir):
     # The embedded metrics snapshot is the registry's JSON form.
     assert isinstance(payload["metrics"], dict)
     assert payload["created_unix"] > 0
+
+
+def test_artifact_carries_provenance(bench_dir):
+    """v2 additions: ISO timestamp and the producing git commit."""
+    path = write_bench_artifact("prov", True)
+    with open(path) as fh:
+        payload = json.load(fh)
+    assert payload["schema"] == "repro-bench-artifact/v2"
+    assert payload["created_utc"].endswith("Z")
+    assert payload["created_utc"].startswith(
+        time.strftime("%Y-", time.gmtime(payload["created_unix"])))
+    # This test runs inside the repo, so the commit resolves; the
+    # field is best-effort null when benchmarks run from a tarball.
+    commit = payload["git_commit"]
+    assert commit is None or (
+        len(commit) == 40 and all(c in "0123456789abcdef" for c in commit))
+
+
+def test_validate_rejects_missing_v2_keys(bench_dir):
+    path = write_bench_artifact("v2", True)
+    with open(path) as fh:
+        payload = json.load(fh)
+    for key in ("created_utc", "git_commit"):
+        broken = json.loads(json.dumps(payload))
+        broken.pop(key)
+        with pytest.raises(ValueError):
+            validate_bench_artifact(broken)
+
+
+def test_artifact_write_leaves_history_beside_it(bench_dir):
+    write_bench_artifact("hist", True, smoke=True)
+    store = bench_dir / "BENCH_HISTORY.jsonl"
+    assert store.exists()
+    (line,) = store.read_text().strip().splitlines()
+    entry = json.loads(line)
+    assert entry["name"] == "hist"
+    assert entry["schema"] == "repro-bench-history/v1"
 
 
 def test_unasserted_floor_is_recorded_not_enforced(bench_dir):

@@ -1,0 +1,121 @@
+"""Socket-level contract of the ops endpoint.
+
+Every test binds ``port=0`` (the OS picks a free ephemeral port) and
+talks real HTTP through ``urllib`` — the same path a Prometheus
+scraper takes.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.bench.harness import BENCH_DIR_ENV, write_bench_artifact
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.httpd import METRICS_CONTENT_TYPE, OpsServer
+
+
+@pytest.fixture()
+def server(tmp_path, monkeypatch):
+    monkeypatch.setenv(BENCH_DIR_ENV, str(tmp_path))
+    ops = OpsServer(port=0).start()
+    yield ops
+    ops.close()
+
+
+def _get(server, path):
+    with urllib.request.urlopen(server.url(path), timeout=5) as response:
+        return (response.status, response.headers.get("Content-Type"),
+                response.read().decode("utf-8"))
+
+
+def test_metrics_route_is_prometheus_exposition(server):
+    obs_metrics.counter("repro_queries_total").inc(mode="planner")
+    status, content_type, body = _get(server, "/metrics")
+    assert status == 200
+    assert content_type == METRICS_CONTENT_TYPE
+    assert content_type.startswith("text/plain; version=0.0.4")
+    lines = body.splitlines()
+    assert "# TYPE repro_queries_total counter" in lines
+    assert 'repro_queries_total{mode="planner"} 1' in lines
+    # The server observes itself: this scrape shows up in the next.
+    _, _, again = _get(server, "/metrics")
+    assert 'repro_http_requests_total{path="/metrics",status="200"}' in again
+
+
+def test_healthz(server):
+    status, content_type, body = _get(server, "/healthz")
+    assert status == 200
+    assert content_type == "application/json"
+    payload = json.loads(body)
+    assert payload["status"] == "ok"
+    assert payload["pid"] > 0
+    assert payload["uptime_seconds"] >= 0
+
+
+def test_traces_recent_ring(server):
+    status, _, body = _get(server, "/traces/recent")
+    assert json.loads(body) == {"traces": []}  # ring off by default
+    obs_trace.keep_recent_roots(4)
+    try:
+        with obs_trace.Span("query", sql="SELECT 1"):
+            pass
+        status, _, body = _get(server, "/traces/recent")
+        (trace,) = json.loads(body)["traces"]
+        assert trace["trace"]["name"] == "query"
+        assert trace["trace"]["tags"]["sql"] == "SELECT 1"
+    finally:
+        obs_trace.keep_recent_roots(0)
+
+
+def test_bench_latest(server, tmp_path):
+    write_bench_artifact("unit", True, smoke=True)
+    status, _, body = _get(server, "/bench/latest")
+    assert status == 200
+    benches = json.loads(body)["benches"]
+    assert benches["unit"]["ok"] is True
+    assert benches["unit"]["smoke"] is True
+
+
+def test_unknown_route_404s_with_route_list(server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(server, "/nope")
+    assert excinfo.value.code == 404
+    payload = json.loads(excinfo.value.read().decode("utf-8"))
+    assert "/metrics" in payload["routes"]
+
+
+def test_scrape_during_a_live_corpus_run(server):
+    """The acceptance scenario: /metrics and /healthz answer while the
+    scheduler is mid-run on another thread."""
+    from repro.corpus.registry import select_fragments
+    from repro.service.scheduler import Scheduler
+
+    fragments = select_fragments(ids=["w40", "w46", "i2"])
+    done = threading.Event()
+    reports = []
+
+    def run():
+        scheduler = Scheduler(workers=1, cache=None)
+        reports.append(scheduler.run(fragments))
+        done.set()
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    scraped = []
+    while not done.is_set():
+        status, _, body = _get(server, "/metrics")
+        assert status == 200
+        scraped.append(body)
+        health, _, hbody = _get(server, "/healthz")
+        assert health == 200 and json.loads(hbody)["status"] == "ok"
+    thread.join()
+    (report,) = reports
+    assert report.failed == 0
+    # After the run the jobs counter is visible to a scrape.
+    _, _, final = _get(server, "/metrics")
+    assert "repro_jobs_total" in final
+    assert "repro_jobs_inflight" in final

@@ -83,6 +83,51 @@ def test_exposition_escapes_label_values():
     assert line == 'odd_total{sql="SELECT \\"x\\"\\nFROM t"} 1'
 
 
+def test_exposition_escapes_hostile_label_values():
+    """All three escapes at once, backslash first — a raw ``\\`` in the
+    value must not double-escape the quote that follows it."""
+    from repro.obs.metrics import escape_label_value
+
+    hostile = 'a\\b"c\nd'
+    assert escape_label_value(hostile) == 'a\\\\b\\"c\\nd'
+    reg = MetricsRegistry()
+    reg.counter("h_total").inc(v=hostile)
+    line = reg.exposition().splitlines()[-1]
+    assert line == 'h_total{v="a\\\\b\\"c\\nd"} 1'
+    # One escaped line: no raw newline leaked into the exposition.
+    assert len(reg.exposition().splitlines()) == 2
+
+
+def test_exposition_escapes_help_text():
+    """HELP lines escape backslash and newline (but not quotes — the
+    exposition format only quotes label values)."""
+    reg = MetricsRegistry()
+    reg.counter("w_total", 'matches "x\\y"\nacross lines')
+    help_line = reg.exposition().splitlines()[0]
+    assert help_line == \
+        '# HELP w_total matches "x\\\\y"\\nacross lines'
+
+
+def test_reset_values_keeps_registrations():
+    """The test-isolation primitive: values go to zero, the instruments
+    (and every module-level reference to them) stay registered —
+    unlike reset(), which orphans them."""
+    reg = MetricsRegistry()
+    c = reg.counter("x_total", "things")
+    g = reg.gauge("y")
+    h = reg.histogram("z_seconds")
+    c.inc(5, mode="a")
+    g.set(3.0)
+    h.observe(0.25)
+    reg.reset_values()
+    assert reg.counter("x_total") is c     # same object, still bound
+    assert c.total() == 0
+    assert g.value() == 0
+    assert h.samples() == []
+    c.inc()                                # the old reference still counts
+    assert "x_total 1" in reg.exposition()
+
+
 def test_histogram_exposition_has_cumulative_buckets():
     reg = MetricsRegistry()
     h = reg.histogram("lat", buckets=(0.1, 1.0))

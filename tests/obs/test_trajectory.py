@@ -1,0 +1,167 @@
+"""The perf-trajectory store and regression sentinel."""
+
+import json
+
+import pytest
+
+from repro.bench import trajectory
+from repro.bench.harness import (
+    BENCH_DIR_ENV,
+    floor_entry,
+    write_bench_artifact,
+)
+from repro.bench.trajectory import (
+    DEFAULT_BAND,
+    FIRST_RUN,
+    IMPROVEMENT,
+    REGRESSION,
+    STEADY,
+    classify,
+    load_history,
+    rolling_baseline,
+    trend_report,
+)
+
+
+@pytest.fixture()
+def bench_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(BENCH_DIR_ENV, str(tmp_path))
+    return tmp_path
+
+
+def _entry(name, value, stamp, label="speed"):
+    return {"schema": trajectory.HISTORY_SCHEMA, "name": name,
+            "created_unix": stamp, "ok": True, "smoke": True,
+            "floors": {label: floor_entry(value, 1.0)}}
+
+
+# -- classification ----------------------------------------------------------
+
+
+def test_classify_no_priors_is_first_run():
+    verdict = classify(2.0, [])
+    assert verdict == {"classification": FIRST_RUN, "baseline": None,
+                       "ratio": None}
+
+
+def test_classify_band_edges():
+    # baseline 2.0, default band 1.0: steady within (1.0, 4.0), i.e.
+    # within 2x of the baseline either way (multiplicative, symmetric).
+    assert DEFAULT_BAND == 1.0
+    assert classify(4.0, [2.0])["classification"] == IMPROVEMENT
+    assert classify(3.99, [2.0])["classification"] == STEADY
+    assert classify(2.0, [2.0])["classification"] == STEADY
+    assert classify(1.01, [2.0])["classification"] == STEADY
+    assert classify(1.0, [2.0])["classification"] == REGRESSION
+    # A tighter band moves both edges symmetrically in ratio space.
+    assert classify(2.5, [2.0], band=0.25)["classification"] \
+        == IMPROVEMENT
+    assert classify(1.6, [2.0], band=0.25)["classification"] \
+        == REGRESSION
+    assert classify(1.7, [2.0], band=0.25)["classification"] == STEADY
+
+
+def test_classify_uses_rolling_median_window():
+    # Window 3 over the last 3 priors [4, 4, 1000]: median 4, so a
+    # single historical outlier does not move the baseline to 1000.
+    priors = [2.0, 4.0, 4.0, 1000.0]
+    verdict = classify(4.0, priors, window=3)
+    assert verdict["baseline"] == 4.0
+    assert verdict["classification"] == STEADY
+    assert rolling_baseline(priors, window=3) == 4.0
+    assert rolling_baseline([1.0, 3.0], window=5) == 2.0  # even: mean of mid
+
+
+def test_classify_degenerate_baseline_is_steady_not_crash():
+    verdict = classify(2.0, [0.0])
+    assert verdict["classification"] == STEADY
+    assert verdict["ratio"] is None
+
+
+# -- the store ---------------------------------------------------------------
+
+
+def test_artifact_write_appends_history(bench_dir):
+    write_bench_artifact("unit", True, smoke=True,
+                         floors={"speed": floor_entry(2.4, 2.0)})
+    write_bench_artifact("unit", True, smoke=True,
+                         floors={"speed": floor_entry(2.5, 2.0)})
+    store = bench_dir / trajectory.HISTORY_BASENAME
+    assert store.exists()
+    lines = store.read_text().strip().splitlines()
+    assert len(lines) == 2
+    entry = json.loads(lines[0])
+    assert entry["schema"] == trajectory.HISTORY_SCHEMA
+    assert entry["name"] == "unit"
+    assert "metrics" not in entry  # history lines are trimmed
+    history = load_history(str(bench_dir))
+    assert [e["floors"]["speed"]["value"] for e in history] == [2.4, 2.5]
+
+
+def test_load_history_skips_torn_lines_and_filters_by_name(bench_dir):
+    store = bench_dir / trajectory.HISTORY_BASENAME
+    store.write_text(
+        json.dumps(_entry("a", 2.0, 1.0)) + "\n"
+        + '{"torn": \n'                     # torn write: skipped
+        + "not json at all\n"
+        + json.dumps(_entry("b", 3.0, 2.0)) + "\n"
+        + json.dumps(_entry("a", 2.1, 3.0)) + "\n")
+    assert len(load_history(str(bench_dir))) == 3
+    assert [e["name"] for e in load_history(str(bench_dir), name="a")] \
+        == ["a", "a"]
+
+
+def test_load_history_empty_when_store_missing(tmp_path):
+    assert load_history(str(tmp_path)) == []
+
+
+# -- the report --------------------------------------------------------------
+
+
+def test_trend_report_empty_history():
+    assert trend_report([]).startswith("no bench history")
+
+
+def test_trend_report_classifies_each_measurement():
+    entries = [_entry("join", 2.0, 1.0), _entry("join", 2.1, 2.0),
+               _entry("par", 5.0, 1.0), _entry("par", 2.0, 2.0)]
+    report = trend_report(entries)
+    assert "perf trajectory: 4 run(s), 2 measurement(s)" in report
+    join_row = next(l for l in report.splitlines()
+                    if l.startswith("join"))
+    par_row = next(l for l in report.splitlines() if l.startswith("par"))
+    assert join_row.endswith(STEADY)
+    assert par_row.endswith(REGRESSION)
+    assert trajectory.regressions(entries) == [("par", "speed")]
+
+
+def test_trend_report_single_run_is_first_run():
+    report = trend_report([_entry("solo", 2.0, 1.0)])
+    assert FIRST_RUN in report
+
+
+def test_trend_report_markdown_form():
+    report = trend_report([_entry("m", 2.0, 1.0)], markdown=True)
+    assert "| bench | measurement |" in report
+    assert "| m | speed | 1 | - | 2.00 | - | first-run |" in report
+
+
+# -- the CLI sentinel --------------------------------------------------------
+
+
+def test_bench_report_cli(bench_dir, capsys):
+    from repro.service.cli import main
+
+    assert main(["bench-report"]) == 0
+    assert "no bench history" in capsys.readouterr().out
+
+    store = bench_dir / trajectory.HISTORY_BASENAME
+    store.write_text(json.dumps(_entry("par", 5.0, 1.0)) + "\n"
+                     + json.dumps(_entry("par", 2.0, 2.0)) + "\n")
+    assert main(["bench-report"]) == 0          # report-only: exit 0
+    out = capsys.readouterr().out
+    assert REGRESSION in out
+    assert main(["bench-report", "--strict"]) == 1
+    assert "regressions: par/speed" in capsys.readouterr().out
+    # A wide-open band (steady within 3x) turns the same history steady.
+    assert main(["bench-report", "--strict", "--band", "2"]) == 0
