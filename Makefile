@@ -5,7 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-smoke bench-synthesis bench bench-parallel \
-	bench-planner bench-join-order bench-parallel-scan serve-smoke \
+	bench-planner bench-join-order bench-parallel-scan \
+	bench-vectorized-scan fuzz-smoke serve-smoke \
 	chaos-smoke obs-smoke profile-smoke bench-report docs-check
 
 # Tier-1 verification: the full unit/property/regression suite.
@@ -20,12 +21,15 @@ test:
 # join-order floor (>= 2x vs. the greedy FROM-order chain on a skewed
 # four-table corpus), then the partition-parallel scan floor (>= 1.8x
 # at 4 partitions with the process backend, asserted on >= 4 usable
-# cores, reported otherwise).  Perf regressions surface in seconds.
+# cores, reported otherwise), and the vectorized-execution floor
+# (>= 2x on a 200k-row scan+filter+aggregate, asserted
+# unconditionally).  Perf regressions surface in seconds.
 bench-smoke:
 	$(PYTHON) benchmarks/bench_synthesis_speed.py --smoke
 	$(PYTHON) benchmarks/bench_planner.py --smoke
 	$(PYTHON) benchmarks/bench_join_order.py --smoke
 	$(PYTHON) benchmarks/bench_parallel_scan.py --smoke
+	$(PYTHON) benchmarks/bench_vectorized_scan.py --smoke
 
 # Query-planner comparison at full size (best of 3 repeats).
 bench-planner:
@@ -38,6 +42,18 @@ bench-join-order:
 # Partition-parallel execution comparison at full size.
 bench-parallel-scan:
 	$(PYTHON) benchmarks/bench_parallel_scan.py
+
+# Vectorized batch-at-a-time execution vs. the row plan at full size.
+bench-vectorized-scan:
+	$(PYTHON) benchmarks/bench_vectorized_scan.py
+
+# Cross-mode differential fuzzing canary: a fixed-seed subset of the
+# generative SQL fuzzer plus the metamorphic relations.  Full scale
+# runs in tier-1 (200 cases); crank REPRO_FUZZ_ITERS for soak runs.
+fuzz-smoke:
+	REPRO_FUZZ_ITERS=40 $(PYTHON) -m pytest \
+		tests/sql/test_differential_fuzz.py \
+		tests/sql/test_metamorphic.py -q
 
 # Full synthesis-speed table (per-fragment rows, best of 3 repeats).
 bench-synthesis:

@@ -231,14 +231,15 @@ class MetricsRegistry:
         return self._instruments.get(name)
 
     def reset(self) -> None:
-        """Drop every instrument *registration*.
+        """Zero every sample; an alias of :meth:`reset_values`.
 
-        Careful with the global :data:`REGISTRY`: engine modules hold
-        import-time references to their instruments, and after a full
-        ``reset()`` those keep recording into orphans the registry no
-        longer exports.  Test isolation wants :meth:`reset_values`.
+        ``reset`` used to drop the *registrations* themselves, which
+        orphaned the import-time instrument references engine modules
+        hold — they kept recording into objects the registry no longer
+        exported.  Registrations are module lifetime by design, so
+        resetting now only clears the recorded values.
         """
-        self._instruments.clear()
+        self.reset_values()
 
     def reset_values(self) -> None:
         """Zero every sample but keep all registrations — the test

@@ -125,6 +125,19 @@ class ExecutorOptions:
         :class:`~repro.service.faults.DeadlineExceeded` instead of
         blocking.  ``None`` (the default, and the seed behaviour)
         never expires.
+    ``vectorized`` / ``batch_size``
+        Batch-at-a-time execution: the plan lowers to vectorized
+        operators (``repro.sql.plan.vector``) that stream column
+        batches of ``batch_size`` rows and evaluate once-compiled
+        predicate/projection closures per batch instead of walking the
+        expression tree per row.  ``False`` (the default) is the
+        row-at-a-time engine, unchanged, and the equivalence baseline;
+        every vectorized query is pinned row/column/stats-identical to
+        it (``tests/sql/test_vectorized.py``,
+        ``tests/sql/test_differential_fuzz.py``).  Composes with
+        ``parallel=K``: partition workers filter and fold batches
+        while the partition protocol (currency, merge order, stats)
+        stays untouched.  Requires the planner.
     """
 
     planner: bool = True
@@ -136,6 +149,8 @@ class ExecutorOptions:
     having_pushdown: bool = True
     parallel_sort: bool = True
     deadline_seconds: Optional[float] = None
+    vectorized: bool = False
+    batch_size: int = 1024
 
 
 @dataclass
@@ -187,6 +202,15 @@ class Executor:
             raise ValueError(
                 "parallel execution requires the planner "
                 "(ExecutorOptions(planner=True))")
+        batch_size = self.options.batch_size
+        if not isinstance(batch_size, int) or isinstance(batch_size, bool) \
+                or batch_size < 1:
+            raise ValueError("batch_size must be a positive integer, "
+                             "got %r" % (batch_size,))
+        if self.options.vectorized and not self.options.planner:
+            raise ValueError(
+                "vectorized execution requires the planner "
+                "(ExecutorOptions(planner=True))")
         self._nested: Optional["Executor"] = None
 
     # -- public entry ----------------------------------------------------------
@@ -233,7 +257,9 @@ class Executor:
             parallel=self.options.parallel,
             cost_based=self.options.cost_based,
             having_pushdown=self.options.having_pushdown,
-            parallel_sort=self.options.parallel_sort))
+            parallel_sort=self.options.parallel_sort,
+            vectorized=self.options.vectorized,
+            batch_size=self.options.batch_size))
 
     # -- the seed pipeline (ExecutorOptions(planner=False)) --------------------
 
@@ -656,7 +682,9 @@ class Executor:
                 hash_joins=self.options.hash_joins,
                 cost_based=self.options.cost_based,
                 having_pushdown=self.options.having_pushdown,
-                parallel_sort=self.options.parallel_sort)
+                parallel_sort=self.options.parallel_sort,
+                vectorized=self.options.vectorized,
+                batch_size=self.options.batch_size)
             self._nested = Executor(self.catalog, serial)
         return self._nested
 

@@ -70,4 +70,4 @@ def plan_select(select: S.Select, catalog: Catalog,
     """Build, optimize and lower the plan for one SELECT."""
     logical = build_logical(select)
     optimized = optimize(logical, catalog, options)
-    return PhysicalPlan(lower(optimized))
+    return PhysicalPlan(lower(optimized, options))

@@ -106,6 +106,11 @@ class OptimizerOptions:
     cost_based: bool = True
     having_pushdown: bool = True
     parallel_sort: bool = True
+    #: lowering concerns, not rewrite rules: ``optimize`` ignores them
+    #: (the logical plan is mode-independent) and ``lower`` consumes
+    #: them to pick vectorized physical operators.
+    vectorized: bool = False
+    batch_size: int = 1024
 
 
 def resolve_auto_partitions(est_rows: float, cores: int) -> int:

@@ -58,6 +58,12 @@ from repro.sql.executor import (
 )
 from repro.sql.plan import logical as L
 from repro.sql.plan.parallel import run_tasks
+from repro.sql.plan.vector import (
+    Batch,
+    compile_filter,
+    compile_scalar,
+    vectorizable,
+)
 from repro.service.faults import classify_exception
 from repro.tor.values import Record
 
@@ -87,7 +93,7 @@ class _Ctx:
 
 
 #: operator entry points that open a trace span when a trace is active.
-_TRACED_METHODS = ("scanned", "envs", "rows", "run_partition")
+_TRACED_METHODS = ("scanned", "envs", "rows", "run_partition", "batches")
 
 
 def _traced(method):
@@ -149,6 +155,10 @@ class PhysicalOp:
 
     def __init__(self):
         self.rows_out: Optional[int] = None
+        #: number of column batches this operator emitted (vectorized
+        #: operators only; None elsewhere).  EXPLAIN ANALYZE renders it
+        #: as ``batches=``.
+        self.batches_out: Optional[int] = None
         #: per-partition output counts, filled by the parallel driver
         #: (None on serial operators).
         self.partition_rows: Optional[List[Optional[int]]] = None
@@ -798,6 +808,17 @@ class PartitionedScanOp(PartitionedOp):
         source = self.scan._rows(ctx)   # scan-level stats count once here
         self._alias = source.alias
         self._slices = _split_ranges(source.rows, self.partitions)
+        # Under ExecutorOptions(vectorized=True) the per-partition
+        # predicate filter runs batch-at-a-time when the compiler
+        # covers the predicates.  Pushed-down predicates are pure
+        # comparisons, so the compiled filter keeps the exact rows and
+        # touches no statistics — partition output is unchanged.
+        self._vec_filter = None
+        options = ctx.executor.options
+        if (getattr(options, "vectorized", False) and self.scan.predicates
+                and all(vectorizable(p) for p in self.scan.predicates)):
+            self._vec_filter = compile_filter(self.scan.predicates)
+            self._vec_size = options.batch_size
         # Register the source for downstream column resolution (ORDER
         # BY / projection); consumers only read alias and columns, so
         # the filtered row payload stays partition-private.
@@ -808,7 +829,17 @@ class PartitionedScanOp(PartitionedOp):
 
     def run_partition(self, part: int, pctx: _PartCtx) -> List[Env]:
         rows = self._slices[part]
-        if self.scan.predicates:
+        if self._vec_filter is not None:
+            size = self._vec_size
+            filtered = []
+            for start in range(0, len(rows), size):
+                batch = Batch.from_pairs(self._alias,
+                                         rows[start:start + size])
+                batch = self._vec_filter(batch, pctx.params)
+                if batch.n:
+                    filtered.extend(batch.pairs[self._alias])
+            rows = filtered
+        elif self.scan.predicates:
             executor = pctx.executor
             filtered = []
             for rowid, record in rows:
@@ -1337,6 +1368,7 @@ class PartialAggregateOp(RowOp):
         return body
 
     def rows(self, ctx: _Ctx) -> Tuple[List[Record], Tuple[str, ...]]:
+        self._setup_vec(ctx)
         child = self.child
         if self.group_by:
             worker = self._grouped_partition
@@ -1353,20 +1385,90 @@ class PartialAggregateOp(RowOp):
 
     # -- per-partition workers (run on the parallel substrate) -------------
 
+    def _setup_vec(self, ctx: _Ctx) -> None:
+        """Compile per-partition argument/key closures when the query
+        runs under ``ExecutorOptions(vectorized=True)``.
+
+        Workers then fold column series instead of walking envs; the
+        fold runs in row order with the same arithmetic, so partial
+        states are identical.  The closures stay on this operator and
+        only scalar states cross the partition boundary, so the forked
+        ``"processes"`` backend (which inherits memory) still works.
+        """
+        self._vec = None
+        options = ctx.executor.options
+        if not getattr(options, "vectorized", False):
+            return
+        for call in self._agg_calls:
+            if call.arg is not None and not vectorizable(call.arg):
+                return
+        if self.group_by and not all(vectorizable(e)
+                                     for e in self.group_by):
+            return
+        self._vec = {
+            "args": {id(call): (compile_scalar(call.arg)
+                                if call.arg is not None else None)
+                     for call in self._agg_calls},
+            "keys": [compile_scalar(e) for e in self.group_by],
+            "size": options.batch_size,
+        }
+
+    def _vec_series(self, compiled, envs: List[Env], params) -> List[Any]:
+        if not envs:
+            return []
+        is_const, fn = compiled
+        if is_const:
+            return [fn(params)] * len(envs)
+        size = self._vec["size"]
+        aliases = tuple(envs[0])
+        out: List[Any] = []
+        for start in range(0, len(envs), size):
+            batch = Batch.from_envs(envs[start:start + size], aliases)
+            out.extend(fn(batch, params))
+        return out
+
+    def _vec_state(self, call: S.FuncCall, envs: List[Env],
+                   params) -> Any:
+        # Partial-state semantics of the four combinable aggregates
+        # (see _partial_state): COUNT(*) = len, COUNT(x) drops None,
+        # SUM of an empty series = 0, MIN/MAX of an empty series = None.
+        if call.arg is None:
+            return len(envs)                     # COUNT(*)
+        series = self._vec_series(self._vec["args"][id(call)], envs,
+                                  params)
+        if call.name == "COUNT":
+            return sum(1 for v in series if v is not None)
+        if call.name == "SUM":
+            return sum(series) if series else 0
+        if call.name == "MAX":
+            return max(series) if series else None
+        return min(series) if series else None   # MIN
+
     def _whole_partition(self, envs: List[Env], pctx: _PartCtx):
-        states = tuple(_partial_state(call, envs, pctx.executor,
-                                      pctx.params, pctx.stats)
-                       for call in self._agg_calls)
+        if self._vec is not None:
+            states = tuple(self._vec_state(call, envs, pctx.params)
+                           for call in self._agg_calls)
+        else:
+            states = tuple(_partial_state(call, envs, pctx.executor,
+                                          pctx.params, pctx.stats)
+                           for call in self._agg_calls)
         pctx.record(self, len(envs))
         return states
 
     def _grouped_partition(self, envs: List[Env], pctx: _PartCtx):
         executor, params, stats = pctx.executor, pctx.params, pctx.stats
+        vec = self._vec
+        if vec is not None:
+            key_vecs = [self._vec_series(c, envs, params)
+                        for c in vec["keys"]]
+            keys = list(zip(*key_vecs)) if key_vecs else []
+        else:
+            keys = [tuple(executor._eval(e, env, params, stats)
+                          for e in self.group_by)
+                    for env in envs]
         buckets: Dict[Tuple, List[Env]] = {}
         order: List[Tuple] = []
-        for env in envs:
-            key = tuple(executor._eval(e, env, params, stats)
-                        for e in self.group_by)
+        for env, key in zip(envs, keys):
             bucket = buckets.get(key)
             if bucket is None:
                 buckets[key] = bucket = []
@@ -1375,9 +1477,13 @@ class PartialAggregateOp(RowOp):
         out = []
         for key in order:
             group = buckets[key]
-            states = tuple(_partial_state(call, group, executor, params,
-                                          stats)
-                           for call in self._agg_calls)
+            if vec is not None:
+                states = tuple(self._vec_state(call, group, params)
+                               for call in self._agg_calls)
+            else:
+                states = tuple(_partial_state(call, group, executor,
+                                              params, stats)
+                               for call in self._agg_calls)
             leaves = tuple(executor._eval(leaf, group[0], params, stats)
                            for leaf in self._leaves)
             out.append((key, states, leaves))
@@ -1481,11 +1587,772 @@ def _collect_partial_nodes(expr: S.Expr, agg_calls: List[S.FuncCall],
     leaves.append(expr)
 
 
+# -- vectorized (batch-at-a-time) operators -----------------------------------
+
+
+class VecOp(PhysicalOp):
+    """Base class for operators streaming column batches.
+
+    The vectorized counterpart of :class:`EnvOp`: ``batches`` returns
+    a list of :class:`~repro.sql.plan.vector.Batch` objects whose
+    concatenation is exactly the row operator's environment stream
+    (same pairs, same order).  Every batch is non-empty; empty batches
+    are dropped at the producer so downstream closures never see
+    ``n == 0``.
+    """
+
+    def batches(self, ctx: _Ctx) -> List[Batch]:
+        raise NotImplementedError
+
+
+def _concat_batches(batches: List[Batch]):
+    """Concatenate batches into ``(aliases, pairs, n)``; None if empty."""
+    if not batches:
+        return None
+    first = batches[0]
+    aliases = first.aliases
+    pairs = {a: list(first.pairs[a]) for a in aliases}
+    for batch in batches[1:]:
+        for a in aliases:
+            pairs[a].extend(batch.pairs[a])
+    return aliases, pairs, len(pairs[aliases[0]])
+
+
+def _chunk_pairs(aliases: Tuple[str, ...], pairs, n: int,
+                 size: int) -> List[Batch]:
+    """Re-chunk concatenated pair lists into batches of ``size``."""
+    out = []
+    for start in range(0, n, size):
+        chunk = {a: rows[start:start + size]
+                 for a, rows in pairs.items()}
+        out.append(Batch(aliases, chunk, min(size, n - start)))
+    return out
+
+
+class VecScanOp(VecOp):
+    """A scan emitting filtered column batches.
+
+    The underlying access path (:meth:`ScanOp._rows`) is unchanged —
+    full-scan / index-probe statistics count exactly as in row mode —
+    then the row list is sliced into batches and the scan's pushed-down
+    predicates, compiled once at plan time, filter each batch.
+    """
+
+    name = "VecScan"
+
+    def __init__(self, scan: ScanOp, batch_size: int):
+        super().__init__()
+        self.scan = scan
+        self.batch_size = batch_size
+        self._filter = (compile_filter(scan.predicates)
+                        if scan.predicates else None)
+
+    def describe(self) -> str:
+        return "%s(%s, batch=%d)" % (self.name, self.scan.describe(),
+                                     self.batch_size)
+
+    def trace_name(self) -> str:
+        return self.scan.describe()
+
+    def batches(self, ctx: _Ctx) -> List[Batch]:
+        source = self.scan._rows(ctx)
+        # Register for downstream name resolution (``*`` expansion,
+        # ORDER BY aliasing); consumers only read alias and columns,
+        # so the row payload stays with the batches (the same contract
+        # PartitionedScanOp established).
+        ctx.scanned.append(_ScannedSource(alias=source.alias,
+                                          columns=source.columns,
+                                          rows=[], table=source.table))
+        rows = source.rows
+        size = self.batch_size
+        out: List[Batch] = []
+        total = 0
+        for start in range(0, len(rows), size):
+            batch = Batch.from_pairs(source.alias, rows[start:start + size])
+            if self._filter is not None:
+                batch = self._filter(batch, ctx.params)
+            if batch.n:
+                out.append(batch)
+                total += batch.n
+        self.rows_out = total
+        self.batches_out = len(out)
+        return out
+
+
+class EnvsToVecOp(VecOp):
+    """Adapter: re-batch an environment stream (e.g. above a Gather,
+    or above a row-mode fallback segment)."""
+
+    name = "Rebatch"
+
+    def __init__(self, child: EnvOp, batch_size: int):
+        super().__init__()
+        self.child = child
+        self.batch_size = batch_size
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "%s(batch=%d)" % (self.name, self.batch_size)
+
+    def batches(self, ctx: _Ctx) -> List[Batch]:
+        envs = self.child.envs(ctx)
+        out: List[Batch] = []
+        if envs:
+            aliases = tuple(envs[0])
+            size = self.batch_size
+            for start in range(0, len(envs), size):
+                out.append(Batch.from_envs(envs[start:start + size],
+                                           aliases))
+        self.rows_out = len(envs)
+        self.batches_out = len(out)
+        return out
+
+
+class VecToEnvsOp(EnvOp):
+    """Adapter: concatenate batches back into an environment stream
+    (for row-mode fallback operators above a vectorized segment)."""
+
+    name = "Unbatch"
+
+    def __init__(self, child: VecOp):
+        super().__init__()
+        self.child = child
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def envs(self, ctx: _Ctx) -> List[Env]:
+        out: List[Env] = []
+        for batch in self.child.batches(ctx):
+            out.extend(batch.envs())
+        self.rows_out = len(out)
+        return out
+
+
+class VecFilterOp(VecOp):
+    """Residual predicates applied per batch via a compiled closure."""
+
+    name = "VecFilter"
+
+    def __init__(self, child: VecOp, predicates: Tuple[S.Expr, ...]):
+        super().__init__()
+        self.child = child
+        self.predicates = predicates
+        self._filter = compile_filter(predicates)
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        from repro.sql.pretty import expr_sql
+
+        return "%s(%s)" % (self.name, " AND ".join(
+            expr_sql(p) for p in self.predicates))
+
+    def trace_name(self) -> str:
+        from repro.sql.pretty import expr_sql
+
+        return "Filter(%s)" % " AND ".join(
+            expr_sql(p) for p in self.predicates)
+
+    def batches(self, ctx: _Ctx) -> List[Batch]:
+        out: List[Batch] = []
+        total = 0
+        for batch in self.child.batches(ctx):
+            batch = self._filter(batch, ctx.params)
+            if batch.n:
+                out.append(batch)
+                total += batch.n
+        self.rows_out = total
+        self.batches_out = len(out)
+        return out
+
+
+class VecHashJoinOp(VecOp):
+    """Hash join probing with whole batches.
+
+    The build phase is the shared :func:`_hash_build`; the probe key
+    is compiled once and evaluated as a vector per batch, then matches
+    expand probe-major (probe position order, then bucket order) via
+    index gather — the exact row order of :class:`HashJoinOp`.
+    """
+
+    name = "VecHashJoin"
+
+    def __init__(self, left: VecOp, right: ScanOp, predicate: S.BinOp):
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        from repro.sql.pretty import expr_sql
+
+        return "%s(%s)" % (self.name, expr_sql(self.predicate))
+
+    def trace_name(self) -> str:
+        from repro.sql.pretty import expr_sql
+
+        return "HashJoin(%s)" % expr_sql(self.predicate)
+
+    def batches(self, ctx: _Ctx) -> List[Batch]:
+        incoming = self.left.batches(ctx)
+        source = self.right.scanned(ctx)
+        ctx.stats.hash_joins += 1
+        buckets, probe_expr = _hash_build(source, self.predicate)
+        build_alias = source.alias
+        _, probe = compile_scalar(probe_expr)    # ColumnRef: never const
+        out: List[Batch] = []
+        total = 0
+        for batch in incoming:
+            values = probe(batch, ctx.params)
+            idx: List[int] = []
+            rows: List = []
+            for i, value in enumerate(values):
+                matches = buckets.get(value)
+                if matches:
+                    for row in matches:
+                        idx.append(i)
+                        rows.append(row)
+            if not idx:
+                continue
+            pairs = {a: [ps[i] for i in idx]
+                     for a, ps in batch.pairs.items()}
+            pairs[build_alias] = rows
+            joined = Batch(batch.aliases + (build_alias,), pairs,
+                           len(rows))
+            out.append(joined)
+            total += joined.n
+        self.rows_out = total
+        self.batches_out = len(out)
+        return out
+
+
+class VecNestedLoopOp(VecOp):
+    """Cross product with the new source, by index expansion."""
+
+    name = "VecNestedLoop"
+
+    def __init__(self, left: VecOp, right: ScanOp):
+        super().__init__()
+        self.left = left
+        self.right = right
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def trace_name(self) -> str:
+        return "NestedLoop"
+
+    def batches(self, ctx: _Ctx) -> List[Batch]:
+        incoming = self.left.batches(ctx)
+        source = self.right.scanned(ctx)
+        ctx.stats.nested_loop_joins += 1
+        rows = source.rows
+        alias = source.alias
+        out: List[Batch] = []
+        total = 0
+        if rows:
+            m = len(rows)
+            for batch in incoming:
+                # Prefix-major, like the row operator: each prefix row
+                # pairs with every source row before the next prefix row.
+                idx = [i for i in range(batch.n) for _ in range(m)]
+                pairs = {a: [ps[i] for i in idx]
+                         for a, ps in batch.pairs.items()}
+                pairs[alias] = rows * batch.n
+                joined = Batch(batch.aliases + (alias,), pairs, len(idx))
+                out.append(joined)
+                total += joined.n
+        self.rows_out = total
+        self.batches_out = len(out)
+        return out
+
+
+class VecSortOp(VecOp):
+    """ORDER BY over batches: materialize, sort by key vectors, re-chunk.
+
+    Key vectors are extracted column-wise; the sort permutes row
+    indices with Python's stable sort, so tie order (and the
+    ``sorted(...)[:k]`` equivalence of the top-k truncation) matches
+    :class:`SortOp` exactly.
+    """
+
+    name = "VecSort"
+
+    def __init__(self, child: VecOp, order_by: Tuple[S.OrderItem, ...],
+                 top_k: Optional[int], batch_size: int):
+        super().__init__()
+        self.child = child
+        self.order_by = order_by
+        self.top_k = top_k
+        self.batch_size = batch_size
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def _keys(self) -> str:
+        return ", ".join(
+            ("%s.%s" % (o.column.alias, o.column.column)
+             if o.column.alias else o.column.column)
+            + (" DESC" if o.descending else "")
+            for o in self.order_by)
+
+    def describe(self) -> str:
+        if self.top_k is not None:
+            return "VecTopK(%d, %s)" % (self.top_k, self._keys())
+        return "%s(%s)" % (self.name, self._keys())
+
+    def trace_name(self) -> str:
+        if self.top_k is not None:
+            return "TopK(%d, %s)" % (self.top_k, self._keys())
+        return "Sort(%s)" % self._keys()
+
+    def batches(self, ctx: _Ctx) -> List[Batch]:
+        from repro.sql.executor import _ReverseAware
+
+        concat = _concat_batches(self.child.batches(ctx))
+        if concat is None:
+            self.rows_out = 0
+            self.batches_out = 0
+            return []
+        aliases, pairs, n = concat
+        executor = ctx.executor
+        key_vecs = []
+        for item in self.order_by:
+            col = item.column
+            alias = col.alias
+            if alias is None:
+                alias = executor._alias_for_column(col.column, ctx.scanned)
+            if alias not in pairs:
+                raise SQLExecutionError("unknown alias %r in ORDER BY"
+                                        % alias)
+            rows = pairs[alias]
+            if col.column == "_rowid":
+                vec = [pair[0] for pair in rows]
+            else:
+                # Raw item access: a missing column raises the same
+                # bare KeyError the row mode's _order_value does.
+                vec = [pair[1][col.column] for pair in rows]
+            key_vecs.append((vec, item.descending))
+
+        def key(i: int):
+            return tuple(_ReverseAware(vec[i], desc)
+                         for vec, desc in key_vecs)
+
+        order = sorted(range(n), key=key)
+        if self.top_k is not None:
+            order = order[: self.top_k]
+        pairs = {a: [rows[i] for i in order] for a, rows in pairs.items()}
+        out = _chunk_pairs(aliases, pairs, len(order), self.batch_size)
+        self.rows_out = len(order)
+        self.batches_out = len(out)
+        return out
+
+
+class VecRestoreOp(VecOp):
+    """FROM-order restoration over batches (see :class:`RestoreOp`)."""
+
+    name = "VecRestore"
+
+    def __init__(self, child: VecOp, aliases: Tuple[str, ...],
+                 batch_size: int):
+        super().__init__()
+        self.child = child
+        self.aliases = aliases
+        self.batch_size = batch_size
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "%s(%s)" % (self.name, ", ".join(self.aliases))
+
+    def trace_name(self) -> str:
+        return "Restore(%s)" % ", ".join(self.aliases)
+
+    def batches(self, ctx: _Ctx) -> List[Batch]:
+        incoming = self.child.batches(ctx)
+        position = {alias: i for i, alias in enumerate(self.aliases)}
+        ctx.scanned.sort(
+            key=lambda src: position.get(src.alias, len(position)))
+        concat = _concat_batches(incoming)
+        if concat is None:
+            self.rows_out = 0
+            self.batches_out = 0
+            return []
+        batch_aliases, pairs, n = concat
+        rowids = [[pair[0] for pair in pairs[a]] for a in self.aliases]
+        order = sorted(range(n),
+                       key=lambda i: tuple(vec[i] for vec in rowids))
+        pairs = {a: [rows[i] for i in order] for a, rows in pairs.items()}
+        out = _chunk_pairs(batch_aliases, pairs, n, self.batch_size)
+        self.rows_out = n
+        self.batches_out = len(out)
+        return out
+
+
+class VecProjectOp(RowOp):
+    """Projection evaluated column-wise over batches.
+
+    Select items compile once at plan time; per batch, each item
+    yields one value vector (``*`` expands to direct column gathers,
+    constants broadcast) and output records assemble row-wise from the
+    zipped vectors — the same values, names and order as
+    :class:`ProjectOp`.
+    """
+
+    name = "VecProject"
+
+    def __init__(self, child: VecOp, items: Tuple[S.SelectItem, ...]):
+        super().__init__()
+        self.child = child
+        self.items = items
+        self._compiled = [None if isinstance(item.expr, S.Star)
+                          else compile_scalar(item.expr)
+                          for item in items]
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        from repro.sql.pretty import _item
+
+        return "%s(%s)" % (self.name,
+                           ", ".join(_item(i) for i in self.items))
+
+    def trace_name(self) -> str:
+        from repro.sql.pretty import _item
+
+        return "Project(%s)" % ", ".join(_item(i) for i in self.items)
+
+    def rows(self, ctx: _Ctx) -> Tuple[List[Record], Tuple[str, ...]]:
+        batches = self.child.batches(ctx)
+        executor = ctx.executor
+        columns: List[str] = []
+        plan = []     # ("star", alias, column) | ("const", fn) | ("vec", fn)
+        for item, compiled in zip(self.items, self._compiled):
+            if compiled is None:
+                star_sources = [s for s in ctx.scanned
+                                if item.expr.alias in (None, s.alias)]
+                if not star_sources:
+                    raise SQLExecutionError(
+                        "unknown alias %r in select list" % item.expr.alias)
+                for source in star_sources:
+                    for column in source.columns:
+                        name = executor._fresh_name(column, columns)
+                        columns.append(name)
+                        plan.append(("star", source.alias, column))
+            else:
+                name = item.as_name or _default_name(item.expr)
+                columns.append(executor._fresh_name(name, columns))
+                is_const, fn = compiled
+                plan.append(("const" if is_const else "vec", fn))
+
+        rows: List[Record] = []
+        params = ctx.params
+        for batch in batches:
+            vectors = []
+            for entry in plan:
+                if entry[0] == "star":
+                    vectors.append(batch.column(entry[1], entry[2]))
+                elif entry[0] == "const":
+                    vectors.append([entry[1](params)] * batch.n)
+                else:
+                    vectors.append(entry[1](batch, params))
+            for vals in zip(*vectors):
+                rows.append(Record(dict(zip(columns, vals))))
+        self.rows_out = len(rows)
+        return rows, tuple(columns)
+
+
+#: Aggregate functions the vectorized fold implements (all five — the
+#: fold runs serially over the full series in row order, so AVG's
+#: float arithmetic is bit-identical, unlike the *partitioned* partial
+#: aggregation where AVG must fall back).
+_VEC_AGGREGATES = ("COUNT", "SUM", "MIN", "MAX", "AVG")
+
+
+def _vec_call_ok(call: S.FuncCall) -> bool:
+    if call.name not in _VEC_AGGREGATES:
+        return False
+    if call.arg is None:
+        return call.name == "COUNT"
+    return vectorizable(call.arg)
+
+
+def _vec_whole_ok(expr: S.Expr) -> bool:
+    """Whole-input aggregation trees VecAggregateOp reproduces exactly
+    (mirrors ``_eval_aggregate``'s structure)."""
+    if isinstance(expr, S.FuncCall):
+        return _vec_call_ok(expr)
+    if isinstance(expr, S.BinOp):
+        # Any operator: combination goes through _apply_op either way,
+        # including its unsupported-operator error for AND/OR.
+        return _vec_whole_ok(expr.left) and _vec_whole_ok(expr.right)
+    return isinstance(expr, (S.Literal, S.Param))
+
+
+def _vec_group_ok(expr: S.Expr) -> bool:
+    """Grouped trees VecAggregateOp reproduces exactly (mirrors
+    ``AggregateOp._group_value``: non-structural leaves evaluate via
+    the executor on the group's first environment, so any leaf is
+    fine)."""
+    if isinstance(expr, S.FuncCall):
+        return _vec_call_ok(expr)
+    if isinstance(expr, S.BinOp):
+        return _vec_group_ok(expr.left) and _vec_group_ok(expr.right)
+    if isinstance(expr, S.NotOp):
+        return _vec_group_ok(expr.expr)
+    return True
+
+
+def _vec_aggregate_ok(items: Tuple[S.SelectItem, ...],
+                      group_by: Tuple[S.Expr, ...],
+                      having: Optional[S.Expr]) -> bool:
+    """Whether :class:`VecAggregateOp` can run this aggregation; other
+    shapes (``*`` items, unknown functions, unvectorizable arguments)
+    fall back to :class:`AggregateOp`, which raises or evaluates
+    exactly as the seed does."""
+    trees = []
+    for item in items:
+        if isinstance(item.expr, S.Star):
+            return False
+        trees.append(item.expr)
+    if having is not None:
+        trees.append(having)
+    if group_by:
+        if not all(vectorizable(e) for e in group_by):
+            return False
+        return all(_vec_group_ok(tree) for tree in trees)
+    return all(_vec_whole_ok(tree) for tree in trees)
+
+
+class VecAggregateOp(RowOp):
+    """Aggregation folding column vectors instead of per-env walks.
+
+    Aggregate arguments and group keys compile once at plan time;
+    per query, argument series concatenate in batch order — which is
+    row order — so every fold (including SUM/AVG float accumulation)
+    is arithmetic-identical to ``_eval_aggregate``'s left-to-right
+    loop.  Grouping buckets row indices by key tuple in
+    first-encounter order; HAVING evaluates before select items per
+    group, so filtered groups never compute their aggregates (the row
+    mode's lazy evaluation set).  Group-local non-aggregate leaves
+    evaluate through the executor on the group's first environment,
+    exactly as ``AggregateOp._group_value`` does.
+    """
+
+    name = "VecAggregate"
+
+    def __init__(self, child: VecOp, items: Tuple[S.SelectItem, ...],
+                 group_by: Tuple[S.Expr, ...],
+                 having: Optional[S.Expr]):
+        super().__init__()
+        self.child = child
+        self.items = items
+        self.group_by = group_by
+        self.having = having
+        self.groups_in = None
+        self._agg_args: Dict[int, Any] = {}
+        trees = [item.expr for item in items]
+        if having is not None:
+            trees.append(having)
+        for tree in trees:
+            self._collect_args(tree)
+        self._key_fns = [compile_scalar(e) for e in group_by]
+
+    def _collect_args(self, expr: S.Expr) -> None:
+        if isinstance(expr, S.FuncCall):
+            if expr.arg is not None:
+                self._agg_args[id(expr)] = compile_scalar(expr.arg)
+            return
+        if isinstance(expr, S.BinOp):
+            self._collect_args(expr.left)
+            self._collect_args(expr.right)
+            return
+        if isinstance(expr, S.NotOp):
+            self._collect_args(expr.expr)
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        from repro.sql.pretty import expr_sql
+
+        if not self.group_by:
+            return "VecAggregate(whole input)"
+        body = "VecGroupBy(%s)" % ", ".join(expr_sql(e)
+                                           for e in self.group_by)
+        if self.having is not None:
+            body += " having %s" % expr_sql(self.having)
+        return body
+
+    def trace_name(self) -> str:
+        from repro.sql.pretty import expr_sql
+
+        if not self.group_by:
+            return "Aggregate(whole input)"
+        body = "GroupBy(%s)" % ", ".join(expr_sql(e)
+                                         for e in self.group_by)
+        if self.having is not None:
+            body += " having %s" % expr_sql(self.having)
+        return body
+
+    def rows(self, ctx: _Ctx) -> Tuple[List[Record], Tuple[str, ...]]:
+        batches = self.child.batches(ctx)
+        if self.group_by:
+            return self._grouped(batches, ctx)
+        return self._whole(batches, ctx)
+
+    def _series(self, call: S.FuncCall, batches: List[Batch],
+                params) -> List[Any]:
+        is_const, fn = self._agg_args[id(call)]
+        out: List[Any] = []
+        for batch in batches:
+            if is_const:
+                out.extend([fn(params)] * batch.n)
+            else:
+                out.extend(fn(batch, params))
+        return out
+
+    def _fold(self, call: S.FuncCall, batches: List[Batch],
+              n_total: int, params) -> Any:
+        if call.name == "COUNT":
+            if call.arg is None:
+                return n_total
+            return sum(1 for v in self._series(call, batches, params)
+                       if v is not None)
+        series = self._series(call, batches, params)
+        if call.name == "SUM":
+            return sum(series) if series else 0
+        if call.name == "MAX":
+            return max(series) if series else None
+        if call.name == "MIN":
+            return min(series) if series else None
+        # AVG (the only remaining gated name)
+        return (sum(series) / len(series)) if series else None
+
+    def _whole(self, batches: List[Batch], ctx: _Ctx):
+        n_total = sum(batch.n for batch in batches)
+        params = ctx.params
+
+        def value(expr: S.Expr) -> Any:
+            if isinstance(expr, S.FuncCall):
+                return self._fold(expr, batches, n_total, params)
+            if isinstance(expr, S.BinOp):
+                return _apply_op(expr.op, value(expr.left),
+                                 value(expr.right))
+            if isinstance(expr, S.Literal):
+                return expr.value
+            return _param(params, expr.name)     # S.Param (gated)
+
+        executor = ctx.executor
+        columns: List[str] = []
+        values: List[Any] = []
+        for item in self.items:
+            name = item.as_name or _default_name(item.expr)
+            columns.append(executor._fresh_name(name, columns))
+            values.append(value(item.expr))
+        rows = [Record(dict(zip(columns, values)))]
+        self.rows_out = 1
+        return rows, tuple(columns)
+
+    def _grouped(self, batches: List[Batch], ctx: _Ctx):
+        executor, params, stats = ctx.executor, ctx.params, ctx.stats
+        n_total = sum(batch.n for batch in batches)
+        key_vecs: List[List[Any]] = []
+        for is_const, fn in self._key_fns:
+            if is_const:
+                key_vecs.append([fn(params)] * n_total if n_total else [])
+            else:
+                vec: List[Any] = []
+                for batch in batches:
+                    vec.extend(fn(batch, params))
+                key_vecs.append(vec)
+
+        buckets: Dict[Tuple, List[int]] = {}
+        order: List[Tuple] = []
+        for i in range(n_total):
+            key = tuple(vec[i] for vec in key_vecs)
+            got = buckets.get(key)
+            if got is None:
+                buckets[key] = got = []
+                order.append(key)
+            got.append(i)
+        self.groups_in = len(order)
+
+        columns: List[str] = []
+        for item in self.items:
+            name = item.as_name or _default_name(item.expr)
+            columns.append(executor._fresh_name(name, columns))
+
+        concat = _concat_batches(batches)
+        rows: List[Record] = []
+        for group_key in order:
+            idx = buckets[group_key]
+            aliases, all_pairs, _ = concat
+            gbatch = Batch(aliases,
+                           {a: [all_pairs[a][i] for i in idx]
+                            for a in aliases}, len(idx))
+            gb = [gbatch]
+            first_env = {a: all_pairs[a][idx[0]] for a in aliases}
+
+            def value(expr: S.Expr, gb=gb, gbatch=gbatch,
+                      first_env=first_env) -> Any:
+                if isinstance(expr, S.FuncCall):
+                    return self._fold(expr, gb, gbatch.n, params)
+                if isinstance(expr, S.BinOp):
+                    if expr.op == "AND":
+                        return (_truthy(value(expr.left))
+                                and _truthy(value(expr.right)))
+                    if expr.op == "OR":
+                        return (_truthy(value(expr.left))
+                                or _truthy(value(expr.right)))
+                    return _apply_op(expr.op, value(expr.left),
+                                     value(expr.right))
+                if isinstance(expr, S.NotOp):
+                    return not _truthy(value(expr.expr))
+                return executor._eval(expr, first_env, params, stats)
+
+            if self.having is not None and not _truthy(value(self.having)):
+                continue
+            values = [value(item.expr) for item in self.items]
+            rows.append(Record(dict(zip(columns, values))))
+        self.rows_out = len(rows)
+        return rows, tuple(columns)
+
+
 # -- lowering -----------------------------------------------------------------
 
 
-def lower(plan: L.LogicalPlan) -> RowOp:
-    """Lower an optimized logical plan to a physical operator tree."""
+def lower(plan: L.LogicalPlan, options: Optional[Any] = None) -> RowOp:
+    """Lower an optimized logical plan to a physical operator tree.
+
+    ``options`` (an ``OptimizerOptions``) selects the operator family:
+    with ``vectorized=True`` the env segment lowers to batch operators
+    wherever the expression compiler covers the query, falling back to
+    the row operators elsewhere.  The default (None, or
+    ``vectorized=False``) is byte-identical to the seed lowering — no
+    vectorized operator is ever instantiated, so serial plans, golden
+    traces and EXPLAIN output are untouched.
+    """
+    if options is not None and getattr(options, "vectorized", False):
+        return _lower_rows_vec(plan, options.batch_size)
     return _lower_rows(plan)
 
 
@@ -1591,6 +2458,112 @@ def _lower_scan(scan: L.Scan) -> ScanOp:
                                      value_expr, predicates), scan)
     return _with_est(FullScanOp(scan.table, scan.alias,
                                 scan.predicates), scan)
+
+
+def _as_vec(op: PhysicalOp, batch_size: int) -> VecOp:
+    """Coerce a lowered env segment to a batch producer."""
+    if isinstance(op, VecOp):
+        return op
+    return EnvsToVecOp(op, batch_size)
+
+
+def _as_envs(op: PhysicalOp) -> EnvOp:
+    """Coerce a lowered env segment to an environment producer."""
+    if isinstance(op, VecOp):
+        return VecToEnvsOp(op)
+    return op
+
+
+def _lower_rows_vec(plan: L.LogicalPlan, batch_size: int) -> RowOp:
+    """Vectorized counterpart of :func:`_lower_rows`.
+
+    Each node checks whether the expression compiler covers its
+    expressions; covered nodes lower to the Vec operator, others to
+    the seed row operator with an adapter below.  The partitioned
+    Gather shapes (PartialAggregateOp, GatherMergeOp, GatherOp) lower
+    exactly as in row mode — partitions keep envs as their currency
+    and vectorize internally instead (see PartitionedScanOp /
+    PartialAggregateOp).
+    """
+    if isinstance(plan, L.Limit):
+        return _with_est(LimitOp(_lower_rows_vec(plan.child, batch_size),
+                                 plan.count), plan)
+    if isinstance(plan, L.Distinct):
+        return _with_est(DistinctOp(_lower_rows_vec(plan.child,
+                                                    batch_size)), plan)
+    if isinstance(plan, L.Project):
+        lowered = _lower_envs_vec(plan.child, batch_size)
+        if all(isinstance(item.expr, S.Star) or vectorizable(item.expr)
+               for item in plan.items):
+            return _with_est(VecProjectOp(_as_vec(lowered, batch_size),
+                                          plan.items), plan)
+        return _with_est(ProjectOp(_as_envs(lowered), plan.items), plan)
+    if isinstance(plan, L.Aggregate):
+        child = plan.child
+        if isinstance(child, L.Gather) and combinable_aggregate(
+                plan.items, plan.group_by, plan.having):
+            return _with_est(PartialAggregateOp(
+                _lower_partitioned(child.child, child.partitions),
+                child.partitions, plan.items, plan.group_by,
+                plan.having), plan)
+        lowered = _lower_envs_vec(child, batch_size)
+        if _vec_aggregate_ok(plan.items, plan.group_by, plan.having):
+            return _with_est(VecAggregateOp(_as_vec(lowered, batch_size),
+                                            plan.items, plan.group_by,
+                                            plan.having), plan)
+        return _with_est(AggregateOp(_as_envs(lowered), plan.items,
+                                     plan.group_by, plan.having), plan)
+    if isinstance(plan, L.Sort):
+        child = plan.child
+        if isinstance(child, L.Aggregate):
+            return _with_est(RowSortOp(_lower_rows_vec(child, batch_size),
+                                       plan.order_by), plan)
+        raise TypeError("Sort over %r cannot be lowered here" % (child,))
+    raise TypeError("expected a row-producing logical node, got %r"
+                    % (plan,))
+
+
+def _lower_envs_vec(plan: L.LogicalPlan, batch_size: int) -> PhysicalOp:
+    """Vectorized counterpart of :func:`_lower_envs`; returns either a
+    VecOp or an EnvOp (callers adapt with ``_as_vec`` / ``_as_envs``)."""
+    if isinstance(plan, L.Sort):
+        child = plan.child
+        if plan.merge and isinstance(child, L.Gather):
+            return _with_est(GatherMergeOp(
+                _lower_partitioned(child.child, child.partitions),
+                child.partitions, plan.order_by, plan.top_k), plan)
+        return _with_est(VecSortOp(
+            _as_vec(_lower_envs_vec(child, batch_size), batch_size),
+            plan.order_by, plan.top_k, batch_size), plan)
+    if isinstance(plan, L.Restore):
+        return _with_est(VecRestoreOp(
+            _as_vec(_lower_envs_vec(plan.child, batch_size), batch_size),
+            plan.aliases, batch_size), plan)
+    if isinstance(plan, L.Gather):
+        return _with_est(
+            GatherOp(_lower_partitioned(plan.child, plan.partitions),
+                     plan.partitions), plan)
+    if isinstance(plan, L.Filter):
+        lowered = _lower_envs_vec(plan.child, batch_size)
+        if all(vectorizable(p) for p in plan.predicates):
+            return _with_est(VecFilterOp(_as_vec(lowered, batch_size),
+                                         plan.predicates), plan)
+        return _with_est(FilterOp(_as_envs(lowered), plan.predicates),
+                         plan)
+    if isinstance(plan, L.Join):
+        left = _as_vec(_lower_envs_vec(plan.left, batch_size), batch_size)
+        right = _lower_scan(plan.right)
+        if plan.strategy == "hash":
+            return _with_est(VecHashJoinOp(left, right, plan.predicate),
+                             plan)
+        return _with_est(VecNestedLoopOp(left, right), plan)
+    if isinstance(plan, L.Scan):
+        scan = _lower_scan(plan)
+        if all(vectorizable(p) for p in scan.predicates):
+            return _with_est(VecScanOp(scan, batch_size), plan)
+        return _with_est(ScanEnvsOp(scan), plan)
+    raise TypeError("expected an env-producing logical node, got %r"
+                    % (plan,))
 
 
 # -- plan driver ---------------------------------------------------------------

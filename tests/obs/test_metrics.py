@@ -49,13 +49,31 @@ def test_get_or_create_returns_same_instrument():
     assert reg.get("missing") is None
 
 
-def test_reset_clears_everything():
+def test_reset_zeroes_values_but_keeps_registrations():
     reg = MetricsRegistry()
-    reg.counter("x_total").inc()
+    c = reg.counter("x_total")
+    c.inc()
     reg.reset()
-    assert reg.get("x_total") is None
-    assert reg.snapshot() == {}
-    assert reg.exposition() == ""
+    assert reg.get("x_total") is c           # registration survives
+    assert c.total() == 0                    # ...but the samples are gone
+    assert "x_total" in reg.exposition()
+
+
+def test_reset_does_not_orphan_module_level_references():
+    """Regression: reset() used to clear the registration table, so a
+    module-level instrument reference kept recording into an object
+    the registry no longer exported — its counts silently vanished
+    from snapshot()/exposition().  reset() now delegates to
+    reset_values(), so the old reference keeps exporting."""
+    reg = MetricsRegistry()
+    module_level = reg.counter("engine_ops_total", "ops")
+    module_level.inc(7)
+    reg.reset()
+    module_level.inc()                       # the held reference records...
+    assert reg.counter("engine_ops_total") is module_level
+    assert module_level.total() == 1
+    assert "engine_ops_total 1" in reg.exposition()   # ...and exports
+    assert reg.snapshot()["engine_ops_total"]["samples"] != []
 
 
 def test_exposition_format_is_prometheus_text():

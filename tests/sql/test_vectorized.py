@@ -1,0 +1,287 @@
+"""Vectorized execution is invisible: ``ExecutorOptions(vectorized=True)``
+is row/column/stats-identical to the serial row operators (and,
+transitively, to the seed single-pass pipeline) for every batch size.
+
+Layers:
+
+* the planner-equivalence query battery under batch sizes spanning the
+  degenerate (1) and the default (1024);
+* batch-boundary sizes {1, 2, 1023, 1024, 1025, > table} over a table
+  sized to straddle the default boundary, plus empty-table and
+  single-batch fast paths;
+* composition with ``parallel=K`` for K in {1, 2, 4} on both substrate
+  backends;
+* row-mode fallback shapes the batch compiler does not cover (IN
+  subqueries, ``*`` inside COUNT) — lowered to the seed row operators,
+  identical by construction;
+* observability surfaces: ``batches=`` under EXPLAIN ANALYZE, trace
+  span operator sets equal to the serial tree's, profile attachment;
+* option validation;
+* every corpus-inferred SQL statement.
+"""
+
+import re
+
+import pytest
+
+from repro.corpus.schema import create_wilos_database, populate_wilos
+from repro.sql.database import Database
+from repro.sql.executor import ExecutorOptions
+
+from test_planner_equivalence import BATTERY
+
+BOUNDARY_SIZES = (1, 2, 1023, 1024, 1025, 5000)
+
+
+def _stats_tuple(stats):
+    return (stats.rows_scanned, stats.index_probes, stats.hash_joins,
+            stats.nested_loop_joins, stats.index_scans, stats.full_scans)
+
+
+def _assert_vectorized_identical(db, sql, params=None,
+                                 batch_sizes=(1024,), legacy=True):
+    serial = db.execute(sql, params)
+    references = [("serial planner", serial)]
+    if legacy:
+        references.append(
+            ("seed pipeline",
+             db.view(ExecutorOptions(planner=False)).execute(sql, params)))
+    for size in batch_sizes:
+        view = db.view(ExecutorOptions(vectorized=True, batch_size=size))
+        result = view.execute(sql, params)
+        for label, reference in references:
+            assert list(result.rows) == list(reference.rows), \
+                (sql, size, label)
+            assert result.columns == reference.columns, (sql, size, label)
+            assert _stats_tuple(result.stats) == \
+                _stats_tuple(reference.stats), (sql, size, label)
+
+
+@pytest.fixture(scope="module")
+def wilos_db():
+    db = create_wilos_database()
+    populate_wilos(db, n_users=50, n_roles=8, unfinished_fraction=0.3)
+    db.insert_many("process", (
+        {"id": i, "process_name": "proc%d" % i, "manager_id": i % 4}
+        for i in range(6)))
+    db.insert_many("role_descriptor", (
+        {"id": i, "role_id": i % 8, "process_id": i % 6,
+         "descriptor_name": "rd%d" % i} for i in range(25)))
+    return db
+
+
+@pytest.mark.parametrize("case", range(len(BATTERY)))
+def test_battery_vectorized_equivalence(case, wilos_db):
+    sql, params = BATTERY[case]
+    _assert_vectorized_identical(wilos_db, sql, params,
+                                 batch_sizes=(1, 7, 1024))
+
+
+# -- batch boundaries ----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def boundary_db():
+    """1030 rows: every size in BOUNDARY_SIZES lands a partial batch,
+    an exact split, or a single batch larger than the table."""
+    db = Database()
+    db.create_table("t", ("id", "k", "v"))
+    db.insert_many("t", ({"id": i, "k": i % 9, "v": i % 31}
+                         for i in range(1030)))
+    db.create_table("empty", ("id", "v"))
+    db.create_table("one", ("id", "v"))
+    db.insert("one", {"id": 0, "v": 42})
+    return db
+
+
+BOUNDARY_QUERIES = (
+    "SELECT t0.id FROM t t0 WHERE t0.v > 15",
+    "SELECT t0.k, COUNT(*) AS n, SUM(t0.v) AS tot FROM t t0 "
+    "GROUP BY t0.k ORDER BY n DESC, t0.k",
+    "SELECT t0.id, t0.v FROM t t0 WHERE t0.k = 3 "
+    "ORDER BY t0.v DESC, t0.id LIMIT 10",
+    "SELECT COUNT(*) AS n, MIN(t0.v) AS lo, AVG(t0.v) AS m FROM t t0 "
+    "WHERE t0.k > 1",
+)
+
+
+@pytest.mark.parametrize("sql", BOUNDARY_QUERIES)
+def test_batch_boundary_sizes(boundary_db, sql):
+    legacy = "GROUP BY" not in sql
+    _assert_vectorized_identical(boundary_db, sql,
+                                 batch_sizes=BOUNDARY_SIZES,
+                                 legacy=legacy)
+
+
+def test_empty_table_fast_path(boundary_db):
+    _assert_vectorized_identical(boundary_db, "SELECT * FROM empty",
+                                 batch_sizes=(1, 1024))
+    _assert_vectorized_identical(
+        boundary_db, "SELECT COUNT(*), SUM(t0.v) FROM empty t0",
+        batch_sizes=(1, 1024))
+    view = boundary_db.view(ExecutorOptions(vectorized=True))
+    text = view.explain("SELECT * FROM empty", analyze=True)
+    assert "batches=0" in text
+
+
+def test_single_batch_fast_path(boundary_db):
+    _assert_vectorized_identical(boundary_db,
+                                 "SELECT t0.v FROM one t0 WHERE t0.v > 1",
+                                 batch_sizes=(1024,))
+    view = boundary_db.view(ExecutorOptions(vectorized=True))
+    text = view.explain("SELECT t0.v FROM one t0", analyze=True)
+    assert "batches=1" in text
+
+
+# -- composition with parallel=K -----------------------------------------------
+
+
+PARALLEL_QUERIES = (
+    # Partial aggregation (the process-backend shape).
+    "SELECT COUNT(*) AS n, SUM(t0.v) AS tot, MIN(t0.v) AS lo, "
+    "MAX(t0.v) AS hi FROM t t0 WHERE t0.k > 1",
+    # Grouped partial aggregation.
+    "SELECT t0.k, COUNT(*) AS n FROM t t0 WHERE t0.v > 3 GROUP BY t0.k",
+    # GatherMerge above the boundary.
+    "SELECT t0.id FROM t t0 WHERE t0.v > 15 ORDER BY t0.v DESC, t0.id "
+    "LIMIT 20",
+    # AVG fallback: Gather + serial-side aggregation over batches.
+    "SELECT AVG(t0.v) FROM t t0 WHERE t0.k > 1",
+)
+
+
+@pytest.mark.parametrize("backend", ["threads", "processes"])
+@pytest.mark.parametrize("sql", PARALLEL_QUERIES)
+def test_vectorized_composes_with_parallel(boundary_db, sql, backend):
+    serial = boundary_db.execute(sql)
+    for k in (1, 2, 4):
+        view = boundary_db.view(ExecutorOptions(
+            vectorized=True, parallel=k, parallel_backend=backend))
+        result = view.execute(sql)
+        assert list(result.rows) == list(serial.rows), (sql, k, backend)
+        assert result.columns == serial.columns, (sql, k, backend)
+        assert _stats_tuple(result.stats) == _stats_tuple(serial.stats), \
+            (sql, k, backend)
+
+
+def test_parallel_shapes_survive_vectorization(boundary_db):
+    """The Gather shapes lower exactly as in row mode — partitions are
+    the currency at the boundary and vectorize internally."""
+    view = boundary_db.view(ExecutorOptions(vectorized=True, parallel=2))
+    plan = view.explain(PARALLEL_QUERIES[0])
+    assert "PartialAggregate(whole input, partitions=2)" in plan
+    merge_plan = view.explain(PARALLEL_QUERIES[2])
+    assert "GatherMerge(partitions=2" in merge_plan
+
+
+# -- row-mode fallbacks --------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fallback_db():
+    db = Database()
+    db.create_table("r", ("id", "a"))
+    db.create_table("s", ("id", "b"))
+    db.insert_many("r", ({"id": i, "a": i % 5} for i in range(23)))
+    db.insert_many("s", ({"id": i, "b": i % 5} for i in range(11)))
+    return db
+
+
+def test_in_subquery_falls_back_to_row_operators(fallback_db):
+    sql = ("SELECT t0.id FROM r t0 WHERE t0.a IN "
+           "(SELECT t1.b FROM s t1 WHERE t1.id = 1)")
+    view = fallback_db.view(ExecutorOptions(vectorized=True))
+    plan = view.explain(sql)
+    assert "VecScan" not in plan     # predicate is not vectorizable
+    _assert_vectorized_identical(fallback_db, sql, batch_sizes=(1, 1024))
+
+
+def test_aggregate_comparison_expression_vectorizes(fallback_db):
+    _assert_vectorized_identical(
+        fallback_db,
+        "SELECT COUNT(*) > 10 AS big, SUM(t0.id) AS tot FROM r t0 "
+        "WHERE t0.a > 1",
+        batch_sizes=(1, 1024))
+
+
+def test_partial_coverage_mixes_vec_and_row_operators(fallback_db):
+    """A vectorizable scan below a non-vectorizable aggregate: the
+    scan stays batched, the aggregate falls back with an Unbatch
+    adapter in between."""
+    sql = ("SELECT COUNT(*) AS n FROM r t0 WHERE t0.a > 1 AND t0.id IN "
+           "(SELECT t1.id FROM s t1)")
+    _assert_vectorized_identical(fallback_db, sql, batch_sizes=(1, 7))
+
+
+# -- observability surfaces ----------------------------------------------------
+
+
+def test_explain_analyze_shows_batches(boundary_db):
+    view = boundary_db.view(ExecutorOptions(vectorized=True,
+                                            batch_size=256))
+    text = view.explain("SELECT t0.id FROM t t0 WHERE t0.v > 15",
+                        analyze=True)
+    assert "VecScan" in text
+    assert re.search(r"batches=\d+", text)
+    # Static EXPLAIN has no observed counts.
+    static = view.explain("SELECT t0.id FROM t t0 WHERE t0.v > 15")
+    assert "batches=" not in static
+    # The serial plan never prints batches=.
+    serial = boundary_db.explain("SELECT t0.id FROM t t0 WHERE t0.v > 15",
+                                 analyze=True)
+    assert "batches=" not in serial
+    assert "VecScan" not in serial
+
+
+def test_trace_operator_set_matches_serial(boundary_db):
+    sql = "SELECT t0.k, COUNT(*) AS n FROM t t0 GROUP BY t0.k"
+    serial = boundary_db.execute(sql, trace=True)
+    vec = boundary_db.view(
+        ExecutorOptions(vectorized=True, batch_size=64)).execute(
+            sql, trace=True)
+
+    def ops(root):
+        return {node.tags["op"] for _, node in root.walk()
+                if "op" in node.tags}
+
+    assert ops(vec.trace) == ops(serial.trace)
+    # Vec spans carry per-operator cardinalities like row spans do.
+    assert any(node.name == "VecScan" and "rows" in node.tags
+               for _, node in vec.trace.walk())
+
+
+def test_profile_attaches_under_vectorized(boundary_db):
+    view = boundary_db.view(ExecutorOptions(vectorized=True))
+    result = view.execute(
+        "SELECT t0.k, COUNT(*) AS n FROM t t0 GROUP BY t0.k",
+        profile=True)
+    assert result.profile is not None
+
+
+# -- option validation ---------------------------------------------------------
+
+
+def test_vectorized_requires_planner():
+    with pytest.raises(ValueError):
+        Database(ExecutorOptions(planner=False, vectorized=True))
+
+
+@pytest.mark.parametrize("bad", [0, -1, 2.5, True, "1024"])
+def test_batch_size_must_be_a_positive_integer(bad):
+    with pytest.raises(ValueError):
+        Database(ExecutorOptions(batch_size=bad))
+
+
+# -- full-corpus equivalence ---------------------------------------------------
+
+
+def test_full_corpus_sql_vectorized(corpus_sql, app_dbs):
+    assert len(corpus_sql) >= 40
+    for fragment_id, app, sql in corpus_sql:
+        db = app_dbs[app]
+        params = {name: 1
+                  for name in set(re.findall(r":(\w+)", sql))}
+        legacy = "GROUP BY" not in sql
+        _assert_vectorized_identical(db, sql, params,
+                                     batch_sizes=(3, 1024),
+                                     legacy=legacy)
