@@ -6,8 +6,9 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-smoke bench-synthesis bench bench-parallel \
 	bench-planner bench-join-order bench-parallel-scan \
-	bench-vectorized-scan fuzz-smoke serve-smoke \
-	chaos-smoke obs-smoke profile-smoke bench-report docs-check
+	bench-vectorized-scan bench-worker-pool fuzz-smoke serve-smoke \
+	chaos-smoke pool-smoke obs-smoke profile-smoke bench-report \
+	docs-check
 
 # Tier-1 verification: the full unit/property/regression suite.
 test:
@@ -21,15 +22,19 @@ test:
 # join-order floor (>= 2x vs. the greedy FROM-order chain on a skewed
 # four-table corpus), then the partition-parallel scan floor (>= 1.8x
 # at 4 partitions with the process backend, asserted on >= 4 usable
-# cores, reported otherwise), and the vectorized-execution floor
-# (>= 2x on a 200k-row scan+filter+aggregate, asserted
-# unconditionally).  Perf regressions surface in seconds.
+# cores, reported otherwise), the vectorized-execution floor (>= 2x on
+# a 200k-row scan+filter+aggregate, asserted unconditionally), and the
+# worker-pool throughput floor (>= 2x over fork-per-query on a
+# repeated-query stream, asserted unconditionally — the floor is
+# overhead-based, not CPU-scaling).  Perf regressions surface in
+# seconds.
 bench-smoke:
 	$(PYTHON) benchmarks/bench_synthesis_speed.py --smoke
 	$(PYTHON) benchmarks/bench_planner.py --smoke
 	$(PYTHON) benchmarks/bench_join_order.py --smoke
 	$(PYTHON) benchmarks/bench_parallel_scan.py --smoke
 	$(PYTHON) benchmarks/bench_vectorized_scan.py --smoke
+	$(PYTHON) benchmarks/bench_worker_pool.py --smoke
 
 # Query-planner comparison at full size (best of 3 repeats).
 bench-planner:
@@ -46,6 +51,10 @@ bench-parallel-scan:
 # Vectorized batch-at-a-time execution vs. the row plan at full size.
 bench-vectorized-scan:
 	$(PYTHON) benchmarks/bench_vectorized_scan.py
+
+# Persistent worker pool vs. fork-per-query at full size.
+bench-worker-pool:
+	$(PYTHON) benchmarks/bench_worker_pool.py
 
 # Cross-mode differential fuzzing canary: a fixed-seed subset of the
 # generative SQL fuzzer plus the metamorphic relations.  Full scale
@@ -85,6 +94,14 @@ serve-smoke:
 chaos-smoke:
 	$(PYTHON) -m pytest tests/service/test_faults.py \
 		tests/sql/test_parallel_faults.py -q
+
+# Worker-pool canary: the pool's full test surface — protocol/LRU unit
+# tests, seeded worker-kill chaos (respawn + retry with exact attempt
+# counts), and battery/corpus equivalence through the pool backend.
+pool-smoke:
+	$(PYTHON) -m pytest tests/service/test_pool.py \
+		tests/sql/test_pool_faults.py \
+		tests/sql/test_parallel_equivalence.py -q
 
 # Observability canary: golden span trees, metrics exposition format,
 # untraced-off byte-identity, parallel trace stitching, and one real

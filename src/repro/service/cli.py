@@ -446,10 +446,20 @@ def cmd_bench_report(args) -> int:
     return 0
 
 
+def _register_pool_instruments() -> None:
+    """The worker pool registers its gauges and counters at import
+    time; import it for that side effect so the ops endpoint exposes
+    ``repro_pool_*`` even in a process that never ran a pool query."""
+    from repro.service import pool
+
+    pool.refresh_worker_gauge()
+
+
 def cmd_serve_metrics(args) -> int:
     """Foreground ops endpoint; Ctrl-C exits cleanly."""
     from repro.obs import httpd as obs_httpd
 
+    _register_pool_instruments()
     if args.trace_ring:
         obs_trace.keep_recent_roots(args.trace_ring)
     server = obs_httpd.OpsServer(host=args.host, port=args.port,

@@ -145,8 +145,13 @@ def _fork_child(conn, fn, item):
 
 def _reap_fork_workers(workers) -> None:
     """Close pipes and make every child exit — escalating terminate →
-    kill — so an abandoned fan-out never leaks zombies."""
-    for process, receiver in workers:
+    kill — so an abandoned fan-out never leaks zombies.  ``None``
+    entries are workers already collected (and fully released) by the
+    bounded dispatch loop."""
+    for entry in workers:
+        if entry is None:
+            continue
+        process, receiver = entry
         try:
             receiver.close()
         except OSError:
@@ -185,6 +190,16 @@ def fork_map(fn, items, deadline: Optional[Deadline] = None):
 
     Falls back to an inline map when fork is unavailable (non-POSIX)
     or when there is at most one item.
+
+    Concurrency is bounded: at most
+    :func:`repro.sql.plan.parallel.usable_cores` children are in
+    flight at once, in a dispatch loop that spawns item ``i + limit``
+    only after item ``i``'s result is collected.  More children than
+    cores buy no CPU parallelism, and an unbounded fan-out holds one
+    pipe pair (two file descriptors) per *item* open simultaneously —
+    a large K exhausts ``RLIMIT_NOFILE`` before any work fails.
+    Results still come back in item order (collection order is the
+    spawn order, so the bound changes scheduling, never results).
     """
     items = list(items)
     if len(items) <= 1:
@@ -195,25 +210,32 @@ def fork_map(fn, items, deadline: Optional[Deadline] = None):
         context = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return [fn(item) for item in items]
+    from repro.sql.plan.parallel import usable_cores
 
+    limit = max(1, usable_cores())
     workers = []
-    try:
-        for item in items:
-            receiver, sender = context.Pipe(duplex=False)
-            process = context.Process(target=_fork_child,
-                                      args=(sender, fn, item), daemon=True)
-            try:
-                process.start()
-            except OSError as exc:
-                receiver.close()
-                sender.close()
-                raise SubstrateUnavailable(
-                    "fork_map could not start a worker: %s" % exc)
-            sender.close()
-            workers.append((process, receiver))
 
+    def spawn_next() -> None:
+        item = items[len(workers)]
+        receiver, sender = context.Pipe(duplex=False)
+        process = context.Process(target=_fork_child,
+                                  args=(sender, fn, item), daemon=True)
+        try:
+            process.start()
+        except OSError as exc:
+            receiver.close()
+            sender.close()
+            raise SubstrateUnavailable(
+                "fork_map could not start a worker: %s" % exc)
+        sender.close()
+        workers.append((process, receiver))
+
+    try:
+        while len(workers) < min(limit, len(items)):
+            spawn_next()
         results = []
-        for process, receiver in workers:
+        for index in range(len(items)):
+            process, receiver = workers[index]
             if deadline is not None and \
                     not receiver.poll(deadline.remaining()):
                 raise DeadlineExceeded(
@@ -236,6 +258,16 @@ def fork_map(fn, items, deadline: Optional[Deadline] = None):
                 raise payload
             else:
                 raise faults.fault_from_payload(payload)
+            # This child replied and is exiting; release its pipe, its
+            # process handle (join alone keeps the sentinel fd open)
+            # and its slot before starting the next item, so no more
+            # than ``limit`` of any resource are ever held.
+            receiver.close()
+            process.join()
+            process.close()
+            workers[index] = None
+            if len(workers) < len(items):
+                spawn_next()
         return results
     finally:
         _reap_fork_workers(workers)

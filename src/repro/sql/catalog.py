@@ -15,12 +15,20 @@ gone stale (rows written behind the ``insert`` API).
 
 from __future__ import annotations
 
+import hashlib
+import itertools
+import pickle
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.sql.errors import SQLExecutionError
 from repro.sql.indexes import HashIndex
 from repro.sql.stats import TableStats
 from repro.tor.values import Record
+
+#: process-unique table identities, folded into content digests so two
+#: different tables can never collide on an empty/equal digest cache
+#: entry by accident of naming.
+_TABLE_UIDS = itertools.count(1)
 
 
 class Table:
@@ -37,6 +45,13 @@ class Table:
         self.stats = TableStats(self.columns)
         #: scan statistics for the benchmark harness.
         self.rows_scanned = 0
+        #: monotone content version, bumped by every mutation (insert,
+        #: index creation, stats refresh).  The worker-pool cache keys
+        #: shipped tables on it: an unchanged version means the cached
+        #: content digest — and the worker's cached copy — are current.
+        self.data_version = 0
+        self._uid = next(_TABLE_UIDS)
+        self._digest_cache: Optional[Tuple[int, str]] = None
 
     def insert(self, row: Mapping[str, Any]) -> int:
         """Insert one row; returns its rowid (= position)."""
@@ -54,6 +69,7 @@ class Table:
         self.stats.observe(record)
         for index in self.indexes.values():
             index.add(record[index.column], position)
+        self.data_version += 1
         return position
 
     def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> None:
@@ -71,12 +87,37 @@ class Table:
         for position, record in enumerate(self.rows):
             index.add(record[column], position)
         self.indexes[column] = index
+        self.data_version += 1
         return index
 
     def analyze(self) -> TableStats:
         """Recompute the optimizer statistics from the stored rows."""
         self.stats.refresh(self.rows)
+        self.data_version += 1
         return self.stats
+
+    def content_digest(self) -> str:
+        """A stable digest of this table's servable content (columns,
+        rows, index set), memoized by ``data_version``.
+
+        This is the worker pool's cache key: a worker holding a table
+        under this digest can execute against it without any rows being
+        re-shipped.  The digest folds in the table's process-unique id,
+        so the key identifies *this* table at *this* content version —
+        a deliberate choice: equality across coincidentally identical
+        tables is not worth risking staleness of derived state (stats,
+        index layout) that rides along with the shipped copy.
+        """
+        cached = self._digest_cache
+        if cached is not None and cached[0] == self.data_version:
+            return cached[1]
+        body = pickle.dumps(
+            (self._uid, self.data_version, self.columns,
+             tuple(sorted(self.indexes)), len(self.rows)),
+            protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(body).hexdigest()[:24]
+        self._digest_cache = (self.data_version, digest)
+        return digest
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -90,13 +131,25 @@ class Catalog:
 
     def __init__(self):
         self.tables: Dict[str, Table] = {}
+        #: schema version, bumped on create/drop; with each table's
+        #: ``data_version`` it forms the pool's catalog cache key.
+        self.version = 0
 
     def create_table(self, name: str, columns: Iterable[str]) -> Table:
         if name in self.tables:
             raise SQLExecutionError("table %r already exists" % name)
         table = Table(name, tuple(columns))
         self.tables[name] = table
+        self.version += 1
         return table
+
+    def content_key(self) -> Tuple:
+        """The catalog's full content identity: schema version plus
+        every table's content digest.  Two equal keys mean a worker's
+        cached catalog needs zero rows re-shipped."""
+        return (self.version,
+                tuple(sorted((name, table.content_digest())
+                             for name, table in self.tables.items())))
 
     def table(self, name: str) -> Table:
         try:
@@ -113,4 +166,5 @@ class Catalog:
             table.analyze()
 
     def drop_table(self, name: str) -> None:
-        self.tables.pop(name, None)
+        if self.tables.pop(name, None) is not None:
+            self.version += 1

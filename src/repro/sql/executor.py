@@ -101,12 +101,20 @@ class ExecutorOptions:
         ``repro.sql.plan.optimizer.resolve_auto_partitions``).
         Requires the planner.
     ``parallel_backend``
-        ``"threads"`` (default) or ``"processes"``.  Threads share the
-        operator tree; the process backend — the service scheduler's
-        fork fan-out — only ever runs partial-aggregation partitions,
-        where results are scalars rather than row sets, and is the
-        configuration that turns partition parallelism into CPU
-        speedup (``benchmarks/bench_parallel_scan.py``).
+        ``"threads"`` (default), ``"processes"``, or ``"pool"``.
+        Threads share the operator tree; the process backend — the
+        service scheduler's fork fan-out — only ever runs
+        partial-aggregation partitions, where results are scalars
+        rather than row sets, and is the configuration that turns
+        partition parallelism into CPU speedup
+        (``benchmarks/bench_parallel_scan.py``).  The pool backend
+        dispatches partition tasks to long-lived worker processes
+        (:mod:`repro.service.pool`) that cache shipped tables by
+        content digest, so repeated queries against an unchanged
+        catalog pay no per-query fork and re-ship zero rows
+        (``benchmarks/bench_worker_pool.py``); unlike ``"processes"``
+        it also runs Gather and GatherMerge partitions, shipping row
+        sets back over the pool's pipes.
     ``cost_based``
         Plan with the statistics-driven cost model (the default):
         Selinger join-order search, cost-driven access paths, and
@@ -593,7 +601,7 @@ class Executor:
             if expr.name == "MIN":
                 return min(series) if series else None
             if expr.name == "AVG":
-                return (sum(series) / len(series)) if series else None
+                return _avg_final(_avg_state(series))
             raise SQLExecutionError("unknown aggregate %r" % expr.name)
         if isinstance(expr, S.BinOp):
             left = self._eval_aggregate(expr.left, envs, params, stats)
@@ -867,6 +875,49 @@ def _apply_op(op: str, left: Any, right: Any) -> Any:
     if op == ">=":
         return left >= right
     raise SQLExecutionError("unsupported operator %r" % op)
+
+
+def _avg_state(series: Sequence[Any]) -> Tuple[Any, int]:
+    """AVG's partial state: ``(exact running total, count)``.
+
+    Finite floats accumulate as :class:`fractions.Fraction`, so the
+    total is *exact* and therefore order-insensitive — combining
+    per-partition states element-wise yields bit-for-bit the same mean
+    as the serial evaluation, which is what lets AVG lower to
+    :class:`~repro.sql.plan.physical.PartialAggregateOp` under every
+    parallel backend.  Integer series keep an integer total (identical
+    to the historical ``sum(series)``), and non-finite floats (inf,
+    nan) degrade the total to a float so they propagate exactly as a
+    plain sum would.
+    """
+    import math
+    from fractions import Fraction
+
+    total: Any = 0
+    for value in series:
+        if isinstance(value, float) and math.isfinite(value):
+            value = Fraction(value)
+        total = total + value
+    return total, len(series)
+
+
+def _avg_final(state: Tuple[Any, int]) -> Any:
+    """Finish an AVG state: the exactly-rounded mean (None when the
+    series was empty)."""
+    from fractions import Fraction
+
+    total, count = state
+    if not count:
+        return None
+    if isinstance(total, Fraction):
+        return float(total / count)
+    return total / count
+
+
+def _combine_avg(left: Tuple[Any, int], right: Tuple[Any, int]
+                 ) -> Tuple[Any, int]:
+    """Fold two AVG partial states (exact, order-insensitive)."""
+    return left[0] + right[0], left[1] + right[1]
 
 
 def _default_name(expr: S.Expr) -> str:

@@ -78,8 +78,9 @@ _SPECS: Tuple[Tuple[str, str, str, Optional[ExecutorOptions], bool], ...] = (
      "SELECT p.role_id, COUNT(*) AS n FROM participant p "
      "GROUP BY p.role_id",
      ExecutorOptions(parallel=2), True),
-    ("avg-fallback", "Gather fallback (AVG cannot combine exactly)",
-     "SELECT AVG(p.id) FROM participant p",
+    ("having-fallback", "Gather fallback (AND short-circuits in HAVING)",
+     "SELECT p.role_id, COUNT(*) AS n FROM participant p "
+     "GROUP BY p.role_id HAVING COUNT(*) > 2 AND COUNT(*) < 9",
      ExecutorOptions(parallel=2), False),
     ("cost-reorder", "Cost-based join reordering with order restore",
      "SELECT d.descriptor_name, p.login "

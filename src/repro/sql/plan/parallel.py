@@ -14,8 +14,16 @@ onto the configured backend:
   (small, picklable) task result — which is why the executor reserves
   this backend for partial aggregation, where a partition's result is
   a handful of combined values rather than a row set.
+* ``"pool"`` — the persistent worker pool
+  (:class:`repro.service.pool.WorkerPool`): processes forked *once*
+  and reused across queries, with table content cached per worker by
+  content digest so repeated queries against unchanged data ship only
+  plan fragments.  Tasks on this rung carry a picklable
+  ``pool_job``/``pool_tables`` payload attached by the physical layer;
+  when a task has none the rung reports itself unavailable and the
+  ladder falls through to ``processes``.
 
-Both backends preserve partition order in the returned list, and both
+All backends preserve partition order in the returned list, and all
 degrade to an inline loop for a single task, so ``parallel=1`` and
 serial execution share one code path.
 
@@ -23,7 +31,7 @@ serial execution share one code path.
 a payload that will not decode, a pool that cannot start — never fail
 the query.  :func:`run_tasks` classifies them through the shared
 ``repro.service.faults`` taxonomy and retries the *whole task list*
-one rung down: ``processes → threads → serial``.  Tasks build a fresh
+one rung down: ``pool → processes → threads → serial``.  Tasks build a fresh
 per-partition context on every invocation, so a rerun is idempotent
 and the results stay row/column/stats-identical to serial execution
 (the mode-flags-not-forks invariant).  Application exceptions and
@@ -45,10 +53,11 @@ from concurrent.futures import TimeoutError as _FutureTimeout
 from typing import Any, Callable, List, Optional, Sequence
 
 #: The backends :class:`~repro.sql.executor.ExecutorOptions` accepts.
-BACKENDS = ("threads", "processes")
+BACKENDS = ("threads", "processes", "pool")
 
 #: Next rung down for each substrate; ``None`` ends the ladder.
-_NEXT_RUNG = {"processes": "threads", "threads": "serial", "serial": None}
+_NEXT_RUNG = {"pool": "processes", "processes": "threads",
+              "threads": "serial", "serial": None}
 
 
 def usable_cores() -> int:
@@ -90,9 +99,14 @@ def run_tasks(tasks: Sequence[Callable[[], Any]],
     rung = backend
     attempt = 1
     while True:
-        active = _perturbed(tasks, plan, attempt, faults) \
-            if plan is not None else tasks
         try:
+            if rung == "pool":
+                # The pool applies the fault plan worker-side — a
+                # long-lived worker never inherits a plan installed
+                # after it forked — so tasks go through unperturbed.
+                return _run_pool(tasks, deadline, plan, attempt, faults)
+            active = _perturbed(tasks, plan, attempt, faults) \
+                if plan is not None else tasks
             return _run_rung(rung, active, deadline, faults)
         except (faults.WorkerCrash, faults.CorruptPayload,
                 faults.SubstrateUnavailable) as fault:
@@ -181,6 +195,31 @@ def _perturbed(tasks: Sequence[Callable[[], Any]], plan, attempt: int,
             return task()
         wrapped.append(chaotic)
     return wrapped
+
+
+def _run_pool(tasks: Sequence[Callable[[], Any]], deadline, plan,
+              attempt: int, faults) -> List[Any]:
+    """Dispatch the partition tasks' picklable ``pool_job`` payloads to
+    the persistent worker pool.
+
+    The physical layer attaches a ``pool_job`` (plan fragment + table
+    digests + estimate) and a shared ``pool_tables`` digest->Table map
+    to every task it builds for this backend; a task without one (a
+    direct ``run_tasks`` caller, a non-partition thunk) cannot cross a
+    process boundary, so the rung declares itself unavailable and the
+    ladder falls through to ``processes``.
+    """
+    jobs = [getattr(task, "pool_job", None) for task in tasks]
+    if any(job is None for job in jobs):
+        raise faults.SubstrateUnavailable(
+            "pool backend needs picklable partition jobs "
+            "(%d of %d tasks carry none)"
+            % (sum(1 for job in jobs if job is None), len(jobs)))
+    tables = getattr(tasks[0], "pool_tables", None) or {}
+    from repro.service.pool import get_pool
+
+    return get_pool().run_jobs(jobs, tables, deadline=deadline,
+                               plan=plan, attempt=attempt)
 
 
 def _call(task: Callable[[], Any]) -> Any:

@@ -35,6 +35,7 @@ row/column/stats-identical to the serial plan for every K.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
@@ -48,6 +49,9 @@ from repro.sql.executor import (
     ExecutionStats,
     QueryResult,
     _apply_op,
+    _avg_final,
+    _avg_state,
+    _combine_avg,
     _default_name,
     _hash_build,
     _hash_probe,
@@ -180,6 +184,26 @@ class PhysicalOp:
         #: the span wrapper when tracing is active; None otherwise.
         #: EXPLAIN renders it as ``time=`` when asked (``timing=True``).
         self.elapsed_seconds: Optional[float] = None
+        #: the parallel substrate this operator's fan-out was
+        #: *dispatched to* when it differs from the default (currently
+        #: only ``"pool"``); EXPLAIN ANALYZE renders it as ``backend=``.
+        #: ``degraded`` records any rungs actually fallen afterwards.
+        self.backend: Optional[str] = None
+
+    #: prepared/runtime state that never crosses the pool's process
+    #: boundary: either rebuilt by the worker's own ``prepare`` (row
+    #: slices, hash buckets, scan aliases) or compiled closures that
+    #: cannot pickle at all.  Dropping them keeps partition jobs small
+    #: — a shipped plan fragment carries structure, never data.
+    _UNPICKLED_STATE = ("_slices", "_vec_filter", "_vec_size", "_alias",
+                        "_buckets", "_probe_expr", "_build_alias",
+                        "_rows", "_vec")
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        for attr in self._UNPICKLED_STATE:
+            state.pop(attr, None)
+        return state
 
     @property
     def children(self) -> Tuple["PhysicalOp", ...]:
@@ -1000,9 +1024,149 @@ def _chain_ops(op: PartitionedOp) -> List[PartitionedOp]:
     return out
 
 
+def _split_estimates(est_rows: Optional[float],
+                     partitions: int) -> List[int]:
+    """The cost model's row estimate divided over the partitions by the
+    same remainder rule as :func:`_split_ranges` (earlier partitions
+    take one extra), so the pool's longest-estimate-first dispatch
+    order mirrors the actual contiguous-slice sizes.  Estimates steer
+    dispatch order only — results merge in partition-index order."""
+    total = int(est_rows) if est_rows and est_rows > 0 else 0
+    base, extra = divmod(total, partitions)
+    return [base + (1 if part < extra else 0)
+            for part in range(partitions)]
+
+
+class _PoolPartitionJob:
+    """One partition of a partitioned chain, in shippable form.
+
+    Carries the unprepared operator chain (runtime state is stripped by
+    :meth:`PhysicalOp.__getstate__`), the gather mode, the executor
+    options and a ``digest_map`` naming every catalog table by content
+    digest — the pool ships table content separately and caches it per
+    worker, so a warm pool receives only this job.  The worker rebuilds
+    a catalog from its cache, re-prepares the chain against the exact
+    same content (identical slices, buckets and statistics by
+    construction) and returns the standard partition payload
+    ``(result, stats, recorded, span_dict)`` — the same 4-tuple the
+    thread and fork backends produce, so the driver merge is shared.
+    """
+
+    __slots__ = ("mode", "root", "part", "params", "options", "traced",
+                 "order_by", "top_k", "digest_map", "est")
+
+    def __init__(self, mode: str, root: PhysicalOp, part: int, params,
+                 options, traced: bool, order_by, top_k,
+                 digest_map: Dict[str, str], est: int):
+        self.mode = mode                  # "gather" | "merge" | "partial"
+        self.root = root
+        self.part = part
+        self.params = params
+        self.options = options
+        self.traced = traced
+        self.order_by = order_by
+        self.top_k = top_k
+        self.digest_map = digest_map      # table name -> content digest
+        self.est = est
+
+    def run_in_worker(self, cache: Dict[str, Any]):
+        """Execute this partition inside a pool worker against the
+        worker's digest-keyed table ``cache``."""
+        from repro.service import faults
+        from repro.sql.catalog import Catalog
+        from repro.sql.executor import Executor
+
+        missing = sorted(name for name, digest in self.digest_map.items()
+                         if digest not in cache)
+        if missing:
+            # A store frame was lost or mis-decoded.  Classified as
+            # corruption: the pool retries, and a respawned worker's
+            # empty cache forces a clean re-ship.
+            raise faults.CorruptPayload(
+                "pool worker cache is missing tables: %s"
+                % ", ".join(missing))
+        catalog = Catalog()
+        catalog.tables = {name: cache[digest]
+                          for name, digest in self.digest_map.items()}
+        # The worker executes with *serialized* options: partitioning
+        # is already baked into the shipped op tree, and anything the
+        # fragment re-plans from scratch (FROM-subqueries during
+        # prepare, per-row IN subqueries) must run serial — spawning a
+        # substrate from inside a daemonic pool worker is forbidden.
+        options = dataclasses.replace(self.options, parallel=1,
+                                      parallel_backend="threads")
+        executor = Executor(catalog, options)
+        ctx = _Ctx(executor=executor, params=self.params,
+                   stats=ExecutionStats())
+        root = self.root
+        chain = root.child if self.mode == "partial" else root
+        # Worker-side prepare recounts the shared scan/build statistics
+        # into a throwaway ExecutionStats — the driver already prepared
+        # (and counted) once; only the per-partition pctx.stats ship
+        # home, exactly as on the thread and fork backends.
+        chain.prepare(ctx)
+        if self.mode == "partial":
+            root._setup_vec(ctx)
+        pctx = _PartCtx(executor, self.params)
+        if self.traced:
+            pspan = obs_trace.Span("partition", part=self.part)
+            pspan.detached = True
+            with pspan:
+                payload = self._execute(chain, root, ctx, pctx, executor)
+            pspan.tag(backend="pool")
+            return payload, pctx.stats, pctx.recorded, pspan.to_dict()
+        return (self._execute(chain, root, ctx, pctx, executor),
+                pctx.stats, pctx.recorded, None)
+
+    def _execute(self, chain: PartitionedOp, root: PhysicalOp, ctx: _Ctx,
+                 pctx: _PartCtx, executor):
+        if self.mode == "partial":
+            worker = root._grouped_partition if root.group_by \
+                else root._whole_partition
+            return worker(chain.run_partition(self.part, pctx), pctx)
+        envs = chain.run_partition(self.part, pctx)
+        if self.mode == "merge":
+            if self.top_k is not None:
+                return executor._top_k(self.order_by, envs, ctx.scanned,
+                                       self.top_k)
+            return executor._order(self.order_by, envs, ctx.scanned)
+        return envs                       # "gather"
+
+
+def _attach_pool_jobs(tasks: List[Any], chain: PartitionedOp, ctx: _Ctx,
+                      pool_spec: Dict[str, Any],
+                      driver_op: Optional[PhysicalOp],
+                      traced: bool) -> None:
+    """Give every partition task its picklable pool payload.
+
+    The pool rung of :func:`~repro.sql.plan.parallel.run_tasks` reads
+    ``task.pool_job`` / ``task.pool_tables``; the task closures stay
+    callable unchanged, which is what the degradation ladder runs when
+    the pool rung fails."""
+    executor = ctx.executor
+    catalog = executor.catalog
+    digest_map = {name: table.content_digest()
+                  for name, table in catalog.tables.items()}
+    pool_tables = {digest: catalog.tables[name]
+                   for name, digest in digest_map.items()}
+    ests = _split_estimates(getattr(chain, "est_rows", None), len(tasks))
+    mode = pool_spec["mode"]
+    root = driver_op if mode == "partial" else chain
+    for part, task in enumerate(tasks):
+        task.pool_job = _PoolPartitionJob(
+            mode=mode, root=root, part=part, params=ctx.params,
+            options=executor.options, traced=traced,
+            order_by=pool_spec.get("order_by"),
+            top_k=pool_spec.get("top_k"),
+            digest_map=digest_map, est=ests[part])
+        task.pool_tables = pool_tables
+
+
 def _run_partitioned(chain: PartitionedOp, ctx: _Ctx, backend: str,
                      worker, driver_op: Optional[PhysicalOp] = None,
-                     owner: Optional[PhysicalOp] = None) -> List[Any]:
+                     owner: Optional[PhysicalOp] = None,
+                     pool_spec: Optional[Dict[str, Any]] = None) \
+        -> List[Any]:
     """Drive a partitioned chain: prepare serially, fan partitions out.
 
     ``worker(part, pctx)`` runs per partition on the configured backend
@@ -1073,8 +1237,11 @@ def _run_partitioned(chain: PartitionedOp, ctx: _Ctx, backend: str,
         _DEGRADATIONS.inc(**{"from": from_rung, "to": to_rung,
                              "kind": kind})
 
-    results = run_tasks([make_task(part) for part in range(count)],
-                        backend=backend, deadline=ctx.deadline,
+    tasks = [make_task(part) for part in range(count)]
+    if backend == "pool" and pool_spec is not None:
+        _attach_pool_jobs(tasks, chain, ctx, pool_spec, driver_op, traced)
+        owner.backend = "pool"
+    results = run_tasks(tasks, backend=backend, deadline=ctx.deadline,
                         on_degrade=on_degrade)
     payloads = []
     for part, (payload, pstats, recorded, span_dict) in enumerate(results):
@@ -1114,15 +1281,20 @@ class GatherOp(EnvOp):
 
     def envs(self, ctx: _Ctx) -> List[Env]:
         child = self.child
-        # Always threads: a Gather's per-partition result is a full row
-        # set, which threads hand over by reference; forking here would
-        # pickle every joined row back through a pipe.  The process
+        # Threads by default: a Gather's per-partition result is a full
+        # row set, which threads hand over by reference; fork-per-query
+        # would pickle every joined row back through a pipe (the fork
         # backend is reserved for PartialAggregateOp, whose partition
-        # results are scalars.
+        # results are scalars).  The persistent pool is the exception:
+        # its workers cache table content across queries, so only the
+        # per-partition result rows cross the pipe — it runs Gathers.
+        backend = "pool" \
+            if ctx.executor.options.parallel_backend == "pool" \
+            else "threads"
         parts = _run_partitioned(
-            child, ctx, "threads",
+            child, ctx, backend,
             lambda part, pctx: child.run_partition(part, pctx),
-            owner=self)
+            owner=self, pool_spec={"mode": "gather"})
         out = [env for part in parts for env in part]
         self.rows_out = len(out)
         return out
@@ -1184,9 +1356,17 @@ class GatherMergeOp(EnvOp):
                 return executor._top_k(order_by, envs, scanned, top_k)
             return executor._order(order_by, envs, scanned)
 
-        # Threads only, like GatherOp: partition results are row sets.
-        parts = _run_partitioned(child, ctx, "threads", worker,
-                                 owner=self)
+        # Threads by default, like GatherOp — and the pool for the same
+        # reason Gather runs there: cached tables make the per-run
+        # traffic just the sorted partition runs.
+        backend = "pool" \
+            if ctx.executor.options.parallel_backend == "pool" \
+            else "threads"
+        parts = _run_partitioned(child, ctx, backend, worker,
+                                 owner=self,
+                                 pool_spec={"mode": "merge",
+                                            "order_by": order_by,
+                                            "top_k": top_k})
 
         def key(env: Env):
             return tuple(
@@ -1202,12 +1382,13 @@ class GatherMergeOp(EnvOp):
         return out
 
 
-#: Aggregates with an exact, order-insensitive combine step.  AVG is
-#: deliberately absent: combining per-partition float sums can round
-#: differently from the serial left-to-right fold, and the engine's
-#: contract is exact identity, so AVG falls back to Gather + serial
-#: aggregation.
-_COMBINABLE_AGGREGATES = ("COUNT", "SUM", "MIN", "MAX")
+#: Aggregates with an exact, order-insensitive combine step.  AVG
+#: qualifies via ``(exact total, count)`` partials: finite floats
+#: accumulate as exact fractions (:func:`repro.sql.executor._avg_state`),
+#: so combining partition states in any order yields the same
+#: exactly-rounded mean as the serial evaluation — the float-bitwise
+#: identity the engine's contract demands.
+_COMBINABLE_AGGREGATES = ("COUNT", "SUM", "MIN", "MAX", "AVG")
 
 
 def combinable_aggregate(items: Tuple[S.SelectItem, ...],
@@ -1216,10 +1397,10 @@ def combinable_aggregate(items: Tuple[S.SelectItem, ...],
     """Whether this aggregation can run as partials + a combine step.
 
     Conservative by design — anything not provably identical to the
-    serial evaluation (AVG's float folding, AND/OR short-circuits,
-    subqueries whose statistics would be double-counted across
-    partitions) falls back to :class:`GatherOp` + :class:`AggregateOp`,
-    which is always correct.
+    serial evaluation (AND/OR short-circuits, subqueries whose
+    statistics would be double-counted across partitions) falls back
+    to :class:`GatherOp` + :class:`AggregateOp`, which is always
+    correct.
     """
     grouped = bool(group_by)
     # With HAVING, the serial path never evaluates select-list
@@ -1274,13 +1455,19 @@ def _partial_state(call: S.FuncCall, envs: List[Env], executor, params,
                    stats) -> Any:
     """One aggregate call's partial state over one partition's envs.
 
-    For the combinable aggregates the partial state *is* the aggregate
-    value over the partition, so this delegates to the executor's
-    single aggregate semantics (COUNT-arg None filtering, SUM of an
-    empty series = 0, MIN/MAX of an empty series = None) rather than
+    For COUNT/SUM/MIN/MAX the partial state *is* the aggregate value
+    over the partition, so this delegates to the executor's single
+    aggregate semantics (COUNT-arg None filtering, SUM of an empty
+    series = 0, MIN/MAX of an empty series = None) rather than
     re-implementing it — a semantics tweak there cannot desynchronize
-    the parallel path.
+    the parallel path.  AVG's state is the executor's ``(exact total,
+    count)`` pair (:func:`repro.sql.executor._avg_state`), finished
+    with :func:`repro.sql.executor._avg_final` after the merge.
     """
+    if call.name == "AVG":
+        series = [executor._eval(call.arg, env, params, stats)
+                  for env in envs]
+        return _avg_state(series)
     return executor._eval_aggregate(call, envs, params, stats)
 
 
@@ -1288,6 +1475,8 @@ def _combine_states(call: S.FuncCall, left: Any, right: Any) -> Any:
     """Fold two partial states of one aggregate call."""
     if call.name in ("COUNT", "SUM"):
         return left + right
+    if call.name == "AVG":
+        return _combine_avg(left, right)
     if left is None:
         return right
     if right is None:
@@ -1295,12 +1484,19 @@ def _combine_states(call: S.FuncCall, left: Any, right: Any) -> Any:
     return max(left, right) if call.name == "MAX" else min(left, right)
 
 
+def _finish_state(call: S.FuncCall, state: Any) -> Any:
+    """Turn a fully-combined partial state into the aggregate value."""
+    if call.name == "AVG":
+        return _avg_final(state)
+    return state
+
+
 class PartialAggregateOp(RowOp):
     """Aggregation as per-partition partials plus an exact combine.
 
     Each partition computes, per group (or for the whole input), the
-    partial state of every COUNT/SUM/MIN/MAX call; the driver merges
-    partitions in partition-index order, which preserves the serial
+    partial state of every COUNT/SUM/MIN/MAX/AVG call; the driver
+    merges partitions in partition-index order, which preserves the serial
     **first-encounter group order** and picks each group's first
     environment from the earliest partition that saw the group — so
     non-aggregate select items evaluate exactly as they do serially.
@@ -1378,7 +1574,7 @@ class PartialAggregateOp(RowOp):
             child, ctx, ctx.executor.options.parallel_backend,
             lambda part, pctx: worker(child.run_partition(part, pctx),
                                       pctx),
-            driver_op=self)
+            driver_op=self, pool_spec={"mode": "partial"})
         if self.group_by:
             return self._merge_grouped(parts, ctx)
         return self._merge_whole(parts, ctx)
@@ -1429,9 +1625,10 @@ class PartialAggregateOp(RowOp):
 
     def _vec_state(self, call: S.FuncCall, envs: List[Env],
                    params) -> Any:
-        # Partial-state semantics of the four combinable aggregates
-        # (see _partial_state): COUNT(*) = len, COUNT(x) drops None,
-        # SUM of an empty series = 0, MIN/MAX of an empty series = None.
+        # Partial-state semantics of the combinable aggregates (see
+        # _partial_state): COUNT(*) = len, COUNT(x) drops None, SUM of
+        # an empty series = 0, MIN/MAX of an empty series = None, AVG
+        # is the (exact total, count) pair.
         if call.arg is None:
             return len(envs)                     # COUNT(*)
         series = self._vec_series(self._vec["args"][id(call)], envs,
@@ -1440,6 +1637,8 @@ class PartialAggregateOp(RowOp):
             return sum(1 for v in series if v is not None)
         if call.name == "SUM":
             return sum(series) if series else 0
+        if call.name == "AVG":
+            return _avg_state(series)
         if call.name == "MAX":
             return max(series) if series else None
         return min(series) if series else None   # MIN
@@ -1505,7 +1704,7 @@ class PartialAggregateOp(RowOp):
             value = parts[0][i]
             for states in parts[1:]:
                 value = _combine_states(call, value, states[i])
-            combined[id(call)] = value
+            combined[id(call)] = _finish_state(call, value)
 
         columns = self._columns(ctx)
         values = [self._merge_eval(item.expr, combined, {}, ctx.params)
@@ -1534,7 +1733,7 @@ class PartialAggregateOp(RowOp):
         columns = self._columns(ctx)
         rows: List[Record] = []
         for key in order:
-            agg_values = {id(call): merged[key][i]
+            agg_values = {id(call): _finish_state(call, merged[key][i])
                           for i, call in enumerate(self._agg_calls)}
             leaf_values = {id(leaf): first_leaves[key][i]
                            for i, leaf in enumerate(self._leaves)}
@@ -2080,9 +2279,9 @@ class VecProjectOp(RowOp):
 
 
 #: Aggregate functions the vectorized fold implements (all five — the
-#: fold runs serially over the full series in row order, so AVG's
-#: float arithmetic is bit-identical, unlike the *partitioned* partial
-#: aggregation where AVG must fall back).
+#: fold runs serially over the full series in row order and AVG uses
+#: the executor's exactly-rounded mean, so every fold is
+#: arithmetic-identical to ``_eval_aggregate``).
 _VEC_AGGREGATES = ("COUNT", "SUM", "MIN", "MAX", "AVG")
 
 
@@ -2244,8 +2443,8 @@ class VecAggregateOp(RowOp):
             return max(series) if series else None
         if call.name == "MIN":
             return min(series) if series else None
-        # AVG (the only remaining gated name)
-        return (sum(series) / len(series)) if series else None
+        # AVG: the executor's exactly-rounded mean
+        return _avg_final(_avg_state(series))
 
     def _whole(self, batches: List[Batch], ctx: _Ctx):
         n_total = sum(batch.n for batch in batches)

@@ -46,6 +46,23 @@ def test_metrics_route_is_prometheus_exposition(server):
     assert 'repro_http_requests_total{path="/metrics",status="200"}' in again
 
 
+def test_pool_instruments_visible_on_metrics(server):
+    """serve-metrics imports the pool module for its side effect, so
+    the pool's gauges and counters show up in the exposition even when
+    this process never dispatched a pool query."""
+    from repro.service import cli
+
+    cli._register_pool_instruments()
+    _, _, body = _get(server, "/metrics")
+    lines = body.splitlines()
+    assert "# TYPE repro_pool_workers gauge" in lines
+    assert "# TYPE repro_pool_dispatches_total counter" in lines
+    assert "# TYPE repro_pool_rows_shipped_total counter" in lines
+    # The gauge is pinned to 0.0 at import: a scraper sees "no pool"
+    # rather than a missing series.
+    assert any(line.startswith("repro_pool_workers ") for line in lines)
+
+
 def test_healthz(server):
     status, content_type, body = _get(server, "/healthz")
     assert status == 200

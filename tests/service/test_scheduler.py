@@ -1,5 +1,6 @@
 """Scheduler semantics: parallel == sequential, cache reuse, timeouts."""
 
+import os
 import time
 
 import pytest
@@ -244,3 +245,27 @@ def test_fork_map_reraises_child_exceptions():
 
     with pytest.raises(ValueError, match="bad item 2"):
         fork_map(boom, [1, 2, 3])
+
+
+def test_fork_map_bounds_concurrent_children():
+    """Large K must not fork K children at once: the dispatch loop caps
+    live workers at ``usable_cores()`` and releases each worker's pipe
+    and process handle as soon as its result is collected.  Run under a
+    file-descriptor budget far below what unbounded fan-out needs —
+    2 pipe fds per in-flight child plus the process sentinel — so a
+    regression fails with EMFILE instead of silently over-forking."""
+    import resource
+
+    from repro.service.scheduler import fork_map
+
+    used = len(os.listdir("/proc/self/fd"))
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    budget = min(used + 32, hard if hard != resource.RLIM_INFINITY
+                 else used + 32)
+    resource.setrlimit(resource.RLIMIT_NOFILE, (budget, hard))
+    try:
+        items = list(range(200))
+        assert fork_map(lambda x: x * 3, items) \
+            == [x * 3 for x in items]
+    finally:
+        resource.setrlimit(resource.RLIMIT_NOFILE, (soft, hard))

@@ -3,8 +3,9 @@
 A seeded generator builds random schemas, data and SELECT statements,
 then executes each query under every execution mode the engine offers —
 seed pipeline, greedy planner, cost-based planner, partition-parallel
-at K in {1, 2, 4} (threads, periodically the fork backend), vectorized
-at several batch sizes, and vectorized composed with parallel — and
+at K in {1, 2, 4} (threads, periodically the fork backend and the
+persistent worker pool), vectorized at several batch sizes, and
+vectorized composed with parallel — and
 asserts the identity contract: same rows (values *and* order) and
 columns everywhere, plus engine-statistics identity within each
 stats family (see ``_modes`` — cost-based planning may legitimately
@@ -265,6 +266,11 @@ def _modes(index, rng, sql):
         modes.append(("processes",
                       ExecutorOptions(parallel=2,
                                       parallel_backend="processes"),
+                      "baseline"))
+    if index % 10 == 5:
+        modes.append(("pool",
+                      ExecutorOptions(parallel=2,
+                                      parallel_backend="pool"),
                       "baseline"))
     for size in sorted({rng.choice((1, 3, 1024)), 1024}):
         modes.append(("vectorized-%d" % size,

@@ -53,8 +53,8 @@ PartialAggregate(whole input, partitions=2)  [rows=1, parts=2|1, est_rows=1, cos
 PartialGroupBy(p.role_id, partitions=2)  [rows=3, parts=3|3, est_rows=3, cost=12]
  └─ PartitionedScan(FullScan(participant AS p), partitions=2)  [rows=9, parts=5|4, est_rows=9, cost=9]""",
 
-    "avg-fallback": """\
-Aggregate(whole input)  [est_rows=1, cost=10]
+    "having-fallback": """\
+GroupBy(p.role_id) having COUNT(*) > 2 AND COUNT(*) < 9  [est_rows=3, cost=12]
  └─ Gather(partitions=2)  [est_rows=9, cost=9]
      └─ PartitionedScan(FullScan(participant AS p), partitions=2)  [est_rows=9, cost=9]""",
 
@@ -116,8 +116,8 @@ PartialAggregate(whole input, partitions=2)  [rows=1, parts=2|1]
 PartialGroupBy(p.role_id, partitions=2)  [rows=3, parts=3|3]
  └─ PartitionedScan(FullScan(participant AS p), partitions=2)  [rows=9, parts=5|4]""",
 
-    "avg-fallback": """\
-Aggregate(whole input)
+    "having-fallback": """\
+GroupBy(p.role_id) having COUNT(*) > 2 AND COUNT(*) < 9
  └─ Gather(partitions=2)
      └─ PartitionedScan(FullScan(participant AS p), partitions=2)""",
 

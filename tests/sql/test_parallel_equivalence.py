@@ -7,14 +7,20 @@ Three layers:
 * the planner-equivalence query battery, re-run under
   ``ExecutorOptions(parallel=K)`` for K in {1, 2, 4} against both the
   serial planner and the seed pipeline;
-* targeted shapes: grouped partial aggregation (threads *and* the
-  fork-based process backend), combinable whole-input aggregates, the
-  AVG / AND-HAVING fallbacks to Gather + serial aggregation, empty
-  tables, and K larger than the row count;
-* every corpus-inferred SQL statement, executed at K=4.
+* targeted shapes: grouped partial aggregation (threads, the
+  fork-based process backend *and* the persistent worker pool),
+  combinable whole-input aggregates — including AVG, whose
+  ``(total, count)`` partials combine to a float-bitwise-identical
+  mean — the AND-HAVING fallback to Gather + serial aggregation,
+  empty tables, and K larger than the row count;
+* every corpus-inferred SQL statement, executed at K=4 (and again
+  through the worker pool at K=2);
+* the pool's table cache: a warm pool re-ships zero rows for an
+  unchanged catalog, and a catalog mutation invalidates the digest.
 """
 
 import re
+import struct
 
 import pytest
 
@@ -72,6 +78,15 @@ def test_battery_parallel_equivalence(case, wilos_db):
     _assert_parallel_identical(wilos_db, sql, params)
 
 
+@pytest.mark.parametrize("case", range(len(BATTERY)))
+def test_battery_pool_equivalence(case, wilos_db):
+    """The whole battery again, dispatched to the persistent worker
+    pool — same rows, columns, and stats as the serial planner."""
+    sql, params = BATTERY[case]
+    _assert_parallel_identical(wilos_db, sql, params, partitions=(2,),
+                               backend="pool")
+
+
 # -- targeted shapes -----------------------------------------------------------
 
 
@@ -95,7 +110,7 @@ WHOLE = ("SELECT COUNT(*) AS n, SUM(t0.id) AS tot, MIN(t0.id) AS lo, "
          "WHERE t0.a = t1.b AND t0.id > 2")
 
 
-@pytest.mark.parametrize("backend", ["threads", "processes"])
+@pytest.mark.parametrize("backend", ["threads", "processes", "pool"])
 def test_partial_aggregation_backends(small_db, backend):
     # GROUP BY only exists in the planner, so compare against the
     # serial planner alone.
@@ -114,8 +129,6 @@ def test_partial_aggregation_lowering(small_db):
 
 
 @pytest.mark.parametrize("sql", [
-    # AVG cannot combine exactly (float fold order); serial fallback.
-    "SELECT AVG(t0.id) FROM r t0",
     # AND short-circuits in HAVING; serial fallback.
     "SELECT t0.a, COUNT(*) AS n FROM r t0 GROUP BY t0.a "
     "HAVING COUNT(*) > 1 AND COUNT(*) < 5",
@@ -128,7 +141,40 @@ def test_non_combinable_aggregates_fall_back(small_db, sql):
     _assert_parallel_identical(small_db, sql, legacy=False)
 
 
-@pytest.mark.parametrize("backend", ["threads", "processes"])
+AVG_GROUPED = ("SELECT t0.a, AVG(t0.id) AS m, COUNT(*) AS n FROM r t0 "
+               "GROUP BY t0.a ORDER BY t0.a")
+AVG_WHOLE = "SELECT AVG(t0.id) AS m FROM r t0 WHERE t0.id > 2"
+
+
+def test_avg_lowers_to_partials(small_db):
+    """AVG no longer forces the Gather fallback: its partial state is
+    an exact ``(total, count)`` pair, so it combines like SUM/COUNT."""
+    view = small_db.view(ExecutorOptions(parallel=3))
+    assert "PartialAggregate" in view.explain(AVG_WHOLE)
+    assert "PartialGroupBy" in view.explain(AVG_GROUPED)
+
+
+@pytest.mark.parametrize("backend", ["threads", "processes", "pool"])
+def test_avg_combines_bitwise_identical(small_db, backend):
+    """The combined mean is float-*bitwise* identical to the serial
+    fold on every backend, not merely approximately equal."""
+    for sql in (AVG_GROUPED, AVG_WHOLE):
+        serial = list(small_db.execute(sql).rows)
+        for k in (2, 4):
+            view = small_db.view(
+                ExecutorOptions(parallel=k, parallel_backend=backend))
+            got = list(view.execute(sql).rows)
+            assert len(got) == len(serial), (sql, k)
+            for mine, reference in zip(got, serial):
+                for value, expected in zip(mine, reference):
+                    if isinstance(expected, float):
+                        assert struct.pack("<d", value) == \
+                            struct.pack("<d", expected), (sql, k, backend)
+                    else:
+                        assert value == expected, (sql, k, backend)
+
+
+@pytest.mark.parametrize("backend", ["threads", "processes", "pool"])
 def test_nested_subquery_inside_partition(small_db, backend):
     """Per-row IN subqueries evaluated inside partition workers must
     execute with a *serial* nested plan: re-planning them parallel
@@ -222,3 +268,54 @@ def test_full_corpus_sql_parallel(corpus_sql, app_dbs):
         legacy = "GROUP BY" not in sql
         _assert_parallel_identical(db, sql, params, partitions=(4,),
                                    legacy=legacy)
+
+
+def test_full_corpus_sql_pool(corpus_sql, app_dbs):
+    """Every corpus statement again through the worker pool; the warm
+    pool serves repeated catalogs from its table cache."""
+    for fragment_id, app, sql in corpus_sql:
+        db = app_dbs[app]
+        params = {name: 1
+                  for name in set(re.findall(r":(\w+)", sql))}
+        legacy = "GROUP BY" not in sql
+        _assert_parallel_identical(db, sql, params, partitions=(2,),
+                                   backend="pool", legacy=legacy)
+
+
+# -- pool table cache ----------------------------------------------------------
+
+
+def test_pool_reships_nothing_when_catalog_unchanged(small_db):
+    """A warm pool sends only plan fragments: repeated queries over an
+    unchanged catalog ship zero table rows (the cache-hit metric grows,
+    the rows-shipped metric does not)."""
+    from repro.service import pool as pool_mod
+    view = small_db.view(ExecutorOptions(parallel=2,
+                                         parallel_backend="pool"))
+    sql = "SELECT t0.id, t1.id FROM r t0, s t1 WHERE t0.a = t1.b"
+    view.execute(sql)  # cold: ships whatever isn't cached yet
+    shipped_cold = pool_mod._ROWS_SHIPPED.total()
+    hits_cold = pool_mod._CACHE_HITS.total()
+    for _ in range(3):
+        view.execute(sql)
+    assert pool_mod._ROWS_SHIPPED.total() == shipped_cold
+    assert pool_mod._CACHE_HITS.total() > hits_cold
+
+
+def test_pool_reships_after_catalog_mutation(small_db):
+    """An insert bumps the table's content digest, so the next pool
+    query re-ships that table (and only then caches the new version)."""
+    from repro.service import pool as pool_mod
+    db = Database()
+    db.create_table("m", ("id", "v"))
+    db.insert_many("m", ({"id": i, "v": i % 3} for i in range(10)))
+    view = db.view(ExecutorOptions(parallel=2, parallel_backend="pool"))
+    sql = "SELECT t0.v, COUNT(*) AS n FROM m t0 GROUP BY t0.v"
+    view.execute(sql)
+    warm = pool_mod._ROWS_SHIPPED.total()
+    view.execute(sql)
+    assert pool_mod._ROWS_SHIPPED.total() == warm  # cached
+    db.insert_many("m", ({"id": 100 + i, "v": i} for i in range(2)))
+    result = view.execute(sql)
+    assert pool_mod._ROWS_SHIPPED.total() > warm  # re-shipped
+    assert list(result.rows) == list(db.execute(sql).rows)

@@ -30,6 +30,7 @@ DOCTEST_FILES = (
     os.path.join("docs", "explain.md"),
     os.path.join("docs", "robustness.md"),
     os.path.join("docs", "observability.md"),
+    os.path.join("docs", "serving.md"),
 )
 
 
